@@ -1,0 +1,57 @@
+"""Session-scoped archives shared by the benchmark suite.
+
+Default sizes are CI-friendly; ``REPRO_SCALE`` grows them toward the
+paper's scale (16,000 projectile points, 5,844 heterogeneous objects at
+length 1,024, ~1,000 light curves).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2006)
+
+
+@pytest.fixture(scope="session")
+def points_archive():
+    """Homogeneous projectile points, length 251 (the paper's length)."""
+    from repro.datasets.shapes_data import projectile_point_collection
+
+    size = int(1000 * scale())
+    return projectile_point_collection(np.random.default_rng(17), size, length=251)
+
+
+@pytest.fixture(scope="session")
+def points_archive_small(points_archive):
+    """Prefix used by the slower DTW experiments."""
+    return points_archive[: min(len(points_archive), int(320 * scale()))]
+
+
+@pytest.fixture(scope="session")
+def heterogeneous_archive():
+    """Mixed collection (paper: every dataset + points, length 1,024)."""
+    from repro.datasets.registry import heterogeneous_collection
+
+    size = int(400 * scale())
+    length = 512 if scale() >= 2 else 256
+    return heterogeneous_collection(np.random.default_rng(23), size, length=length)
+
+
+@pytest.fixture(scope="session")
+def lightcurve_archive():
+    """Folded light curves across the three periodic-variable classes."""
+    from repro.datasets.lightcurve_data import light_curve_collection
+
+    size = int(600 * scale())
+    return light_curve_collection(np.random.default_rng(29), size, length=256)

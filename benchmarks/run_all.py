@@ -1,0 +1,93 @@
+"""Convenience driver: run every experiment and print a combined report.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` followed by
+concatenating ``benchmarks/results/*.txt``, but as one command::
+
+    python benchmarks/run_all.py [--scale 4] [--only fig19,table8]
+
+The per-experiment tables land in ``benchmarks/results/`` either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+EXPERIMENTS = [
+    "test_table8_classification.py",
+    "test_fig19_points_euclidean.py",
+    "test_fig20_points_dtw.py",
+    "test_fig21_heterogeneous.py",
+    "test_fig22_lightcurves_euclidean.py",
+    "test_fig23_lightcurves_dtw.py",
+    "test_fig24_disk_access.py",
+    "test_empirical_complexity.py",
+    "test_sanity_clustering.py",
+    "test_rotation_limited.py",
+    "test_ablation_wedges.py",
+    "test_baseline_measures.py",
+    "test_index_structures.py",
+    "test_mining_speedup.py",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="REPRO_SCALE for this run (default: inherit env)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated substrings selecting experiments")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    if args.scale is not None:
+        env["REPRO_SCALE"] = str(args.scale)
+
+    selected = EXPERIMENTS
+    if args.only:
+        needles = [s.strip() for s in args.only.split(",") if s.strip()]
+        selected = [e for e in EXPERIMENTS if any(n in e for n in needles)]
+        if not selected:
+            print(f"no experiment matches {args.only!r}", file=sys.stderr)
+            return 2
+
+    failures = []
+    for experiment in selected:
+        print(f"=== {experiment} ===", flush=True)
+        t0 = time.time()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(BENCH_DIR / experiment),
+             "--benchmark-only", "-q"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        status = "ok" if proc.returncode == 0 else "FAILED"
+        print(f"    {status} in {time.time() - t0:.0f}s", flush=True)
+        if proc.returncode != 0:
+            failures.append(experiment)
+            print(proc.stdout[-2000:])
+            print(proc.stderr[-1000:], file=sys.stderr)
+
+    print("\n" + "=" * 72)
+    print("COMBINED REPORT")
+    print("=" * 72)
+    for result_file in sorted(RESULTS_DIR.glob("*.txt")):
+        print()
+        print(result_file.read_text().rstrip())
+
+    if failures:
+        print(f"\nFAILED experiments: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The O(n^1.06) claim: empirical per-comparison complexity of wedge search.
+
+Section 1: "we can take the O(n^3) approach of [1] and on real world
+problems bring the average complexity down to O(n^1.06)".  The experiment:
+fix a database size, vary the series length n, measure the *average number
+of steps per object comparison* for the wedge search, and fit the log-log
+slope.  Rotation-invariant brute force costs n^2 per comparison under ED
+(n rotations x n steps) and n^3 under unconstrained DTW; the wedge search
+should come out dramatically sub-quadratic, approaching linear.
+"""
+
+import numpy as np
+
+from harness import scale, write_result
+from repro.core.search import wedge_search
+from repro.datasets.shapes_data import projectile_point_collection
+from repro.distances.euclidean import EuclideanMeasure
+
+LENGTHS = (64, 128, 256, 512)
+
+
+def run_complexity(m=None, n_queries=3, seed=106):
+    m = m if m is not None else int(250 * scale())
+    rng = np.random.default_rng(seed)
+    measure = EuclideanMeasure()
+    per_comparison = []
+    for n in LENGTHS:
+        archive = projectile_point_collection(np.random.default_rng(seed + n), m, length=n)
+        steps = 0.0
+        query_ids = rng.choice(m, size=n_queries, replace=False)
+        for qid in query_ids:
+            db = np.delete(archive, qid, axis=0)
+            result = wedge_search(list(db), archive[qid], measure)
+            steps += result.counter.steps / len(db)
+        per_comparison.append(steps / n_queries)
+    slope = np.polyfit(np.log(LENGTHS), np.log(per_comparison), 1)[0]
+    return per_comparison, float(slope)
+
+
+def test_empirical_complexity(benchmark):
+    per_comparison, slope = benchmark.pedantic(run_complexity, rounds=1, iterations=1)
+
+    lines = [
+        "Empirical complexity -- average wedge-search steps per object comparison",
+        "=" * 72,
+        f"{'n':>6} {'steps/comparison':>18} {'n^2 (brute)':>14}",
+    ]
+    for n, steps in zip(LENGTHS, per_comparison):
+        lines.append(f"{n:>6} {steps:>18.1f} {n * n:>14}")
+    lines.append(f"fitted exponent: steps ~ n^{slope:.2f}  (paper: n^1.06; brute force: n^2)")
+    write_result("empirical_complexity", "\n".join(lines))
+
+    # Dramatically sub-quadratic: the whole point of the paper.
+    assert slope < 1.6
+    # And every length beats brute force by a wide margin.
+    for n, steps in zip(LENGTHS, per_comparison):
+        assert steps < 0.25 * n * n

@@ -1,0 +1,51 @@
+"""Figure 19: projectile points under Euclidean distance.
+
+Paper's series: Brute force, FFT, Early abandon, Wedge -- fraction of
+brute-force steps vs database size m.  Expected shape: the wedge approach
+starts slightly *worse* than FFT/early-abandon for tiny m (it pays the
+O(n^2) wedge-building start-up), breaks even by m ~ 64, and is an order of
+magnitude better than FFT / early abandoning and around two orders of
+magnitude better than brute force by the time the full archive is scanned.
+"""
+
+from harness import (
+    ea_strategy,
+    fft_strategy,
+    run_speedup_experiment,
+    wedge_strategy,
+    write_result,
+)
+from repro.distances.euclidean import EuclideanMeasure
+
+
+def test_fig19_projectile_points_euclidean(benchmark, points_archive):
+    measure = EuclideanMeasure()
+
+    def run():
+        return run_speedup_experiment(
+            "Figure 19 -- Projectile Points, Euclidean (fraction of brute-force steps)",
+            points_archive,
+            measure,
+            strategies={
+                "fft": fft_strategy,
+                "early-abandon": ea_strategy,
+                "wedge": wedge_strategy,
+            },
+            n_queries=3,
+            seed=19,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig19_points_euclidean", result.format())
+
+    wedge = result.fractions["wedge"]
+    fft = result.fractions["fft"]
+    ea = result.fractions["early-abandon"]
+    # Paper shape 1: everything beats brute force for m beyond trivial sizes.
+    assert wedge[-1] < 0.1
+    assert ea[-1] < 0.5
+    # Paper shape 2: the wedge line improves (relatively) as m grows ...
+    assert wedge[-1] < wedge[0]
+    # ... and at full size beats both exact competitors.
+    assert wedge[-1] <= fft[-1]
+    assert wedge[-1] <= ea[-1]

@@ -1,0 +1,69 @@
+"""Figure 21: the heterogeneous dataset, Euclidean (left) and DTW (right).
+
+The paper's point: wedge-based search keeps winning on a *mixed* archive
+(all classification datasets plus projectile points, interpolated to one
+length), taking "slightly longer to beat Early abandon (and FFT for
+Euclidean search)" than on the homogeneous archive, but reaching two
+orders of magnitude over the Euclidean competitors and an order of
+magnitude over early abandoning for DTW by m ~ 8,000.
+"""
+
+from harness import (
+    ea_strategy,
+    fft_strategy,
+    run_speedup_experiment,
+    wedge_strategy,
+    write_result,
+)
+from repro.distances.dtw import DTWMeasure, band_cell_count
+from repro.distances.euclidean import EuclideanMeasure
+
+RADIUS = 5
+
+
+def test_fig21_heterogeneous_euclidean(benchmark, heterogeneous_archive):
+    def run():
+        return run_speedup_experiment(
+            "Figure 21 (left) -- Heterogeneous, Euclidean (fraction of brute-force steps)",
+            heterogeneous_archive,
+            EuclideanMeasure(),
+            strategies={
+                "fft": fft_strategy,
+                "early-abandon": ea_strategy,
+                "wedge": wedge_strategy,
+            },
+            n_queries=3,
+            seed=211,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig21_heterogeneous_euclidean", result.format())
+
+    wedge = result.fractions["wedge"]
+    assert wedge[-1] < 0.2
+    assert wedge[-1] < wedge[0]
+    assert wedge[-1] <= result.fractions["early-abandon"][-1] * 1.5
+
+
+def test_fig21_heterogeneous_dtw(benchmark, heterogeneous_archive):
+    archive = heterogeneous_archive[: max(len(heterogeneous_archive) // 2, 128)]
+    n = archive.shape[1]
+
+    def run():
+        return run_speedup_experiment(
+            f"Figure 21 (right) -- Heterogeneous, DTW R={RADIUS} (fraction of brute-force steps)",
+            archive,
+            DTWMeasure(radius=RADIUS),
+            strategies={"early-abandon": ea_strategy, "wedge": wedge_strategy},
+            n_queries=2,
+            seed=212,
+            brute_pairwise_cost=n * n,
+            extra_brute_lines={"brute-R=5": band_cell_count(n, RADIUS)},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig21_heterogeneous_dtw", result.format())
+
+    wedge = result.fractions["wedge"]
+    assert wedge[-1] < result.fractions["brute-R=5"][-1]
+    assert wedge[-1] < 0.02

@@ -1,0 +1,42 @@
+"""Figure 22: star light curves under Euclidean distance.
+
+The astronomy application of Section 2.4: folded light curves have no
+natural phase origin, so similarity search must test every circular shift.
+Expected shape: the wedge approach is slightly slower on tiny archives
+(set-up overhead), overtakes FFT / early abandoning somewhere around a
+hundred curves, and is roughly an order of magnitude better than the FFT
+approach on the full archive.
+"""
+
+from harness import (
+    ea_strategy,
+    fft_strategy,
+    run_speedup_experiment,
+    wedge_strategy,
+    write_result,
+)
+from repro.distances.euclidean import EuclideanMeasure
+
+
+def test_fig22_lightcurves_euclidean(benchmark, lightcurve_archive):
+    def run():
+        return run_speedup_experiment(
+            "Figure 22 -- Light Curves, Euclidean (fraction of brute-force steps)",
+            lightcurve_archive,
+            EuclideanMeasure(),
+            strategies={
+                "fft": fft_strategy,
+                "early-abandon": ea_strategy,
+                "wedge": wedge_strategy,
+            },
+            n_queries=3,
+            seed=22,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig22_lightcurves_euclidean", result.format())
+
+    wedge = result.fractions["wedge"]
+    assert wedge[-1] < 0.1
+    assert wedge[-1] < wedge[0]
+    assert wedge[-1] <= result.fractions["fft"][-1]

@@ -1,0 +1,37 @@
+"""Figure 23: star light curves under DTW.
+
+"As in the shape dataset, our method is several orders of magnitude
+faster" -- the wedge line sits below early abandoning, which itself sits
+far below the banded brute force, all relative to the full-matrix brute
+force.
+"""
+
+from harness import ea_strategy, run_speedup_experiment, wedge_strategy, write_result
+from repro.distances.dtw import DTWMeasure, band_cell_count
+
+RADIUS = 5
+
+
+def test_fig23_lightcurves_dtw(benchmark, lightcurve_archive):
+    archive = lightcurve_archive[: max(len(lightcurve_archive) // 2, 128)]
+    n = archive.shape[1]
+
+    def run():
+        return run_speedup_experiment(
+            f"Figure 23 -- Light Curves, DTW R={RADIUS} (fraction of brute-force steps)",
+            archive,
+            DTWMeasure(radius=RADIUS),
+            strategies={"early-abandon": ea_strategy, "wedge": wedge_strategy},
+            n_queries=2,
+            seed=23,
+            brute_pairwise_cost=n * n,
+            extra_brute_lines={"brute-R=5": band_cell_count(n, RADIUS)},
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig23_lightcurves_dtw", result.format())
+
+    wedge = result.fractions["wedge"]
+    assert wedge[-1] < result.fractions["brute-R=5"][-1]
+    assert wedge[-1] <= result.fractions["early-abandon"][-1]
+    assert wedge[-1] < 0.02

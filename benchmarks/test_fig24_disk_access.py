@@ -1,0 +1,89 @@
+"""Figure 24: fraction of objects retrieved from disk, D = {4, 8, 16, 32}.
+
+Once the wedge machinery removes the CPU bottleneck, the metric that
+matters is disk retrievals.  The index keeps a D-dimensional signature per
+object in memory (Fourier magnitudes for ED; PAA for DTW) and fetches full
+objects in ascending-lower-bound order until the bound exceeds the best
+verified distance.
+
+Expected shape, matching the paper's bars: the fraction retrieved falls
+as D grows; the Euclidean filter is much tighter than the DTW filter at
+equal D; the projectile-point (homogeneous) archive filters better than
+the heterogeneous one.  Absolute fractions run higher than the paper's
+because our CI-sized archives are far sparser than 16,000 points -- the
+best-match distance that drives pruning is correspondingly larger (see
+EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from harness import write_result
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.index.linear_scan import SignatureFilteredScan
+
+DIMENSIONALITIES = (4, 8, 16, 32)
+RADIUS = 5
+
+
+def sweep(archive, n_queries=4, seed=24):
+    rng = np.random.default_rng(seed)
+    rows = {}
+    query_ids = rng.choice(len(archive), size=n_queries, replace=False)
+    for d in DIMENSIONALITIES:
+        fractions = {"euclidean": [], "dtw": []}
+        for qid in query_ids:
+            db = np.delete(archive, qid, axis=0)
+            index = SignatureFilteredScan(db, n_coefficients=d)
+            query = archive[qid]
+            for name, measure in (
+                ("euclidean", EuclideanMeasure()),
+                ("dtw", DTWMeasure(radius=RADIUS)),
+            ):
+                answer = index.query(query, measure)
+                fractions[name].append(answer.fraction_retrieved)
+        rows[d] = {name: float(np.mean(vals)) for name, vals in fractions.items()}
+    return rows
+
+
+def format_sweep(title, rows):
+    lines = [title, "=" * len(title), f"{'D':>4} {'wedge: Euclidean':>18} {'wedge: DTW':>14}"]
+    for d, vals in rows.items():
+        lines.append(f"{d:>4} {vals['euclidean']:>18.4f} {vals['dtw']:>14.4f}")
+    return "\n".join(lines)
+
+
+def test_fig24_projectile_points(benchmark, points_archive_small):
+    archive = points_archive_small[: min(len(points_archive_small), 250)]
+
+    result = benchmark.pedantic(lambda: sweep(archive, seed=241), rounds=1, iterations=1)
+    write_result(
+        "fig24_points_disk",
+        format_sweep("Figure 24 (left) -- Projectile Points, fraction retrieved from disk", result),
+    )
+    ed = [result[d]["euclidean"] for d in DIMENSIONALITIES]
+    dtw = [result[d]["dtw"] for d in DIMENSIONALITIES]
+    # More coefficients -> tighter filter (monotone-ish; allow tiny noise).
+    assert ed[-1] <= ed[0] + 1e-9
+    assert dtw[-1] <= dtw[0] + 1e-9
+    # Euclidean filters harder than DTW at every D (the paper's bar heights).
+    for e, d_ in zip(ed, dtw):
+        assert e <= d_ + 1e-9
+    # The high-D Euclidean filter touches only a small fraction of the disk.
+    assert ed[-1] < 0.1
+
+
+def test_fig24_heterogeneous(benchmark, heterogeneous_archive):
+    archive = heterogeneous_archive[: min(len(heterogeneous_archive), 200)]
+
+    result = benchmark.pedantic(lambda: sweep(archive, seed=242), rounds=1, iterations=1)
+    write_result(
+        "fig24_heterogeneous_disk",
+        format_sweep("Figure 24 (right) -- Heterogeneous, fraction retrieved from disk", result),
+    )
+    ed = [result[d]["euclidean"] for d in DIMENSIONALITIES]
+    dtw = [result[d]["dtw"] for d in DIMENSIONALITIES]
+    assert ed[-1] <= ed[0] + 1e-9
+    for e, d_ in zip(ed, dtw):
+        assert e <= d_ + 1e-9
+    assert ed[-1] < 0.3

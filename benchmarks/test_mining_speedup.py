@@ -1,0 +1,64 @@
+"""Mining-layer benchmarks: the wedge engine as a data-mining subroutine.
+
+The paper's conclusion promises wedge search inside clustering,
+classification, and motif discovery; this bench quantifies the payoff on
+two representative mining tasks plus the streaming filter:
+
+* **discord discovery** (the Section 2.4 "unusual light curves" hunt) --
+  all-pairs NN distances, wedge-pruned vs the analytic brute-force cost;
+* **motif discovery** -- closest pair with Fourier pre-ordering;
+* **stream filtering** -- steps per window against a pattern set vs the
+  exhaustive per-pattern scan.
+"""
+
+import numpy as np
+
+from harness import write_result
+from repro.core.counters import StepCounter
+from repro.datasets.lightcurve_data import light_curve_collection
+from repro.distances.euclidean import EuclideanMeasure
+from repro.mining.discords import find_discords
+from repro.mining.motifs import find_motif
+from repro.mining.streaming import StreamMonitor
+
+
+def run_mining():
+    measure = EuclideanMeasure()
+    archive = light_curve_collection(np.random.default_rng(31), 60, length=128)
+    m, n = archive.shape
+    results = {}
+
+    counter = StepCounter()
+    find_discords(list(archive), measure, top=3, counter=counter)
+    brute = m * (m - 1) * n * n  # every ordered pair, every rotation, full ED
+    results["discords"] = (counter.steps, brute)
+
+    counter = StepCounter()
+    find_motif(list(archive), measure, counter=counter)
+    brute_pairs = m * (m - 1) // 2 * n * n
+    results["motif"] = (counter.steps, brute_pairs)
+
+    patterns = archive[:8, :32].copy()
+    stream = np.concatenate([light_curve_collection(np.random.default_rng(32), 4, length=128).ravel()])
+    monitor = StreamMonitor(patterns, measure, threshold=1.0)
+    monitor.process_batch(stream)
+    exhaustive = monitor.windows_seen * patterns.shape[0] * patterns.shape[1]
+    results["stream-filter"] = (monitor.counter.steps, exhaustive)
+    return results
+
+
+def test_mining_speedup(benchmark):
+    results = benchmark.pedantic(run_mining, rounds=1, iterations=1)
+
+    lines = [
+        "Mining-layer speedups (wedge-pruned steps vs exhaustive)",
+        "=" * 64,
+        f"{'task':>16} {'steps':>14} {'exhaustive':>14} {'fraction':>10}",
+    ]
+    for task, (steps, brute) in results.items():
+        lines.append(f"{task:>16} {steps:>14,} {brute:>14,} {steps / brute:>10.4f}")
+    write_result("mining_speedup", "\n".join(lines))
+
+    for task, (steps, brute) in results.items():
+        budget = 0.5 if task == "stream-filter" else 0.2
+        assert steps < budget * brute, task

@@ -1,0 +1,77 @@
+"""Rotation-limited and mirror-invariant queries (Section 3's generalisations).
+
+Not a numbered figure in the paper, but a claimed capability with a clear
+cost model: restricting the admissible rotations shrinks the candidate set
+(and therefore the work), while mirror invariance doubles it.  This bench
+quantifies both against the unrestricted query on the projectile-point
+archive, and verifies the semantics (the limited query never matches a
+rotation outside its window).
+"""
+
+import numpy as np
+
+from harness import write_result
+from repro.core.search import wedge_search
+from repro.distances.euclidean import EuclideanMeasure
+
+ANGLES = (15.0, 45.0, 90.0, 180.0)
+
+
+def run_rotation_limited(archive, n_queries=3, seed=11):
+    rng = np.random.default_rng(seed)
+    measure = EuclideanMeasure()
+    query_ids = rng.choice(len(archive), size=n_queries, replace=False)
+    rows = {}
+    baseline = 0.0
+    mirror_cost = 0.0
+    for qid in query_ids:
+        db = list(np.delete(archive, qid, axis=0))
+        baseline += wedge_search(db, archive[qid], measure).counter.steps
+        mirror_cost += wedge_search(db, archive[qid], measure, mirror=True).counter.steps
+    baseline /= n_queries
+    mirror_cost /= n_queries
+    for angle in ANGLES:
+        total = 0.0
+        for qid in query_ids:
+            from repro.core.search import RotationQuery
+
+            db = list(np.delete(archive, qid, axis=0))
+            rq = RotationQuery(archive[qid], max_degrees=angle)
+            result = wedge_search(db, rq, measure)
+            total += result.counter.steps
+            n = archive.shape[1]
+            max_shift = int(angle * n / 360.0)
+            # result.rotation indexes the (restricted) rotation set; map it
+            # back to the circular shift it denotes.
+            shift = rq.rotation_set.shifts[result.rotation]
+            assert shift <= max_shift or shift >= n - max_shift
+        rows[angle] = total / n_queries
+    return baseline, mirror_cost, rows
+
+
+def test_rotation_limited_queries(benchmark, points_archive_small):
+    archive = points_archive_small[: min(len(points_archive_small), 200)]
+    baseline, mirror_cost, rows = benchmark.pedantic(
+        lambda: run_rotation_limited(archive), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Rotation-limited and mirror-invariant query cost (wedge search, steps)",
+        "=" * 72,
+        f"{'query type':>24} {'steps':>14} {'vs unrestricted':>16}",
+        f"{'unrestricted':>24} {baseline:>14.0f} {1.0:>16.2f}",
+        f"{'mirror-invariant':>24} {mirror_cost:>14.0f} {mirror_cost / baseline:>16.2f}",
+    ]
+    for angle, steps in rows.items():
+        lines.append(
+            f"{f'limited to +-{angle:g} deg':>24} {steps:>14.0f} {steps / baseline:>16.2f}"
+        )
+    write_result("rotation_limited", "\n".join(lines))
+
+    # Tighter windows cost less; the tightest is far below unrestricted.
+    costs = [rows[a] for a in ANGLES]
+    assert costs[0] <= costs[-1]
+    assert rows[15.0] < baseline
+    # Mirror invariance costs more than plain, but far less than 2x brute
+    # (the wedges absorb the doubled candidate set).
+    assert mirror_cost > baseline * 0.9

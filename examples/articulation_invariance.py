@@ -1,0 +1,69 @@
+"""Articulation invariance of the centroid-distance method (Figure 18).
+
+The paper takes three Lepidoptera (two of them very similar species),
+copies each, "bends" the right hindwing of the copies in a photo editor,
+and clusters all six under rotation-invariant Euclidean distance: every
+bent copy pairs with its original, demonstrating that the centroid-based
+1-D representation is robust to articulation (unlike Hausdorff-style
+boundary measures -- the paper's bent-car-antenna thought experiment).
+
+Run:  python examples/articulation_invariance.py
+"""
+
+import numpy as np
+
+from repro import Dendrogram, brute_force_search, butterfly, linkage, polygon_to_series
+from repro.distances.euclidean import EuclideanMeasure
+
+from repro.shapes.transforms import articulate_polygon
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # Three species: two Actias-like close relatives plus a distant one.
+    species = {
+        "Actias maenas": dict(forewing=1.0, hindwing=0.78),
+        "Actias philippinica": dict(forewing=0.88, hindwing=0.62),
+        "Chorinea amazon": dict(forewing=0.6, hindwing=1.1),
+    }
+
+    series, labels = [], []
+    for name, wings in species.items():
+        base_seed = int(rng.integers(1 << 30))
+        poly = butterfly(np.random.default_rng(base_seed), **wings)
+        # The copy is the same individual with the right hindwing region
+        # bent in "a photo editing program" (vertex-space articulation),
+        # plus an unrelated random rotation.
+        bent = articulate_polygon(poly, center_fraction=2 / 3, width_fraction=0.18, degrees=25)
+        for variant, outline in (("original", poly), ("bent-wing copy", bent)):
+            raw = polygon_to_series(outline, 128)
+            # Random rotation = random circular shift of the series.
+            series.append(np.roll(raw, int(rng.integers(128))))
+            labels.append(f"{name} ({variant})")
+
+    measure = EuclideanMeasure()
+    k = len(series)
+    matrix = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            d = brute_force_search([series[j]], series[i], measure).distance
+            matrix[i, j] = matrix[j, i] = d
+
+    dendro = Dendrogram(linkage(matrix, "average"), k, labels)
+    print(dendro.render(max_width=100))
+
+    correct = 0
+    for node in dendro.root:
+        if not node.is_leaf and all(child.is_leaf for child in node.children):
+            a, b = (labels[child.id] for child in node.children)
+            if a.split(" (")[0] == b.split(" (")[0]:
+                correct += 1
+    print(f"\noriginal/bent pairs clustered together: {correct} / 3")
+    print("The 1-D centroid representation barely changes when a wing is")
+    print("bent, so boundary-based matching is NOT intrinsically brittle to")
+    print("articulation -- the brittleness lies in measures like Hausdorff.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""The contour-sampling pitfall (Section 2.3's fish anecdote).
+
+Many shape-matching systems downsample contours aggressively to make the
+distance measure tractable -- the fish-recognition system the paper
+discusses kept just 40 boundary points and "found that a reduced data set
+of 40 points was sufficient".  The paper disagrees: with full-resolution
+contours and plain rotation-invariant Euclidean distance it scored 88.57%
+accuracy against the tuned system's 64%.
+
+This script reproduces the *mechanism*: classify the same synthetic fish
+at several contour resolutions and watch accuracy fall as the sampling
+gets coarse -- while the wedge machinery keeps the full-resolution match
+affordable, removing the reason to downsample in the first place.
+
+Run:  python examples/contour_sampling_pitfall.py
+"""
+
+import numpy as np
+
+from repro import EuclideanMeasure, leave_one_out_error
+from repro.datasets.shapes_data import Dataset
+from repro.shapes.convert import polygon_to_series
+from repro.shapes.generators import fourier_blob
+
+
+def build_fish(rng, per_class=6):
+    """Fish-like outlines sharing one body plan, differing in fine detail.
+
+    Every class has the same low-order "body" (so coarse samplings cannot
+    tell them apart) plus a class-specific high-order "fin pattern" --
+    order 13-21 undulations that an 8- or 16-point contour aliases away
+    entirely (Nyquist) but a 128-point contour preserves.  This mirrors the
+    fish systems the paper criticises: the features that matter live in
+    the detail the downsampling throws out.
+    """
+    body = [(2, 0.30, 0.4), (3, 0.12, 1.1)]  # shared across classes
+    classes = []
+    for _ in range(5):
+        order = int(rng.integers(13, 22))
+        phase = float(rng.uniform(0, 2 * np.pi))
+        classes.append(body + [(order, 0.14, phase)])
+    polygons, labels = [], []
+    for label, harmonics in enumerate(classes):
+        for _ in range(per_class):
+            polygons.append(fourier_blob(rng, harmonics, jitter=0.06))
+            labels.append(label)
+    return polygons, np.asarray(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(19)
+    polygons, labels = build_fish(rng)
+    measure = EuclideanMeasure()
+
+    # Each specimen arrives at an arbitrary orientation: roll the polygon
+    # itself, so the rotation falls *between* the samples of a coarse
+    # contour (a real photograph is not rotated by multiples of 45
+    # degrees).  A fine contour can absorb any rotation as a near-integer
+    # shift; an 8-point contour cannot.
+    rolled = [np.roll(poly, int(rng.integers(poly.shape[0])), axis=0) for poly in polygons]
+
+    print("1-NN leave-one-out error vs contour resolution (rotation-invariant ED)")
+    print(f"{'points on contour':>20} {'error':>8}")
+    errors = {}
+    for resolution in (8, 16, 40, 128):
+        series = np.vstack([polygon_to_series(poly, resolution) for poly in rolled])
+        dataset = Dataset(f"fish-{resolution}", series, labels)
+        errors[resolution] = leave_one_out_error(dataset, measure)
+        print(f"{resolution:>20} {errors[resolution]:>7.1f}%")
+
+    assert errors[128] < errors[8], "full resolution should beat 8 points"
+    assert errors[128] <= min(errors[16], errors[40])
+    print("\nCoarse sampling throws away the features that separate the classes.")
+    print("The paper's point: you do not need to downsample -- the wedge")
+    print("machinery makes full-resolution rotation-invariant matching cheap")
+    print("(run examples/projectile_point_search.py to see the step counts).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Hand-geometry verification with trajectory matching (the [25] lineage).
+
+The paper notes its conference version was adopted "to index hand
+geometries for biometrics" -- closed 2-D traces of a hand outline, where
+the tracing may begin anywhere along the wrist.  Trajectories are the
+multi-dimensional case: each sample is an (x, y) point, and the start
+point is the rotation degree of freedom.
+
+This script enrols several synthetic "subjects" (each with a
+characteristic finger-length profile), then verifies probe traces that
+are re-started, re-scaled, and noisy -- and shows a DTW comparison
+absorbing a local tracing slowdown.
+
+Run:  python examples/hand_geometry_trajectories.py
+"""
+
+import numpy as np
+
+from repro import trajectory_dtw, trajectory_search
+
+
+def hand_outline(rng, finger_lengths, n=160, noise=0.004):
+    """A closed hand-like outline: five finger lobes over a palm circle."""
+    t = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    radius = 0.55 * np.ones(n)
+    centers = np.linspace(0.6, 2.5, 5)  # finger directions (radians)
+    for center, length in zip(centers, finger_lengths):
+        angle = (t - center + np.pi) % (2 * np.pi) - np.pi
+        radius += length * np.exp(-(angle**2) / 0.006)
+    radius *= 1.0 + rng.normal(0.0, noise, n)
+    return np.column_stack([radius * np.cos(t), radius * np.sin(t)])
+
+
+def main() -> None:
+    rng = np.random.default_rng(25)
+
+    subjects = {
+        "alice": [0.95, 1.15, 1.25, 1.10, 0.70],
+        "bob": [0.80, 1.05, 1.10, 1.00, 0.60],
+        "carol": [1.05, 1.30, 1.35, 1.25, 0.85],
+        "dave": [0.90, 1.00, 1.20, 0.95, 0.75],
+    }
+
+    print("=== enrolment: one template trace per subject ===")
+    names = list(subjects)
+    templates = [hand_outline(rng, subjects[name]) for name in names]
+    print(f"{len(templates)} subjects, {templates[0].shape[0]} boundary points each")
+
+    print("\n=== verification: re-started, re-scaled, noisy probes ===")
+    correct = 0
+    trials = 8
+    for trial in range(trials):
+        name = names[trial % len(names)]
+        probe = hand_outline(rng, subjects[name], noise=0.01)
+        probe = np.roll(probe, int(rng.integers(160)), axis=0)  # arbitrary start
+        probe = probe * float(rng.uniform(0.7, 1.4))  # camera distance
+        result = trajectory_search(templates, probe)
+        claimed = names[result.index]
+        ok = claimed == name
+        correct += ok
+        print(f"probe of {name:<6} -> matched {claimed:<6} "
+              f"(distance {result.distance:.3f}, start {result.rotation:>3}) "
+              f"{'ok' if ok else 'WRONG'}")
+    print(f"\nverification accuracy: {correct}/{trials}")
+    assert correct == trials
+
+    print("\n=== a shaky trace: DTW absorbs the local slowdown ===")
+    steady = hand_outline(np.random.default_rng(7), subjects["alice"], noise=0.0)
+    shaky = np.vstack([steady[:50], steady[50:51].repeat(6, axis=0), steady[50:-6]])
+    shaky = shaky[: steady.shape[0]]
+    euclidean = float(np.linalg.norm(steady - shaky))
+    dtw = trajectory_dtw(steady, shaky, radius=8)
+    print(f"Euclidean: {euclidean:.3f}   trajectory DTW (R=8): {dtw:.3f}")
+    assert dtw < euclidean
+    print("\nSame wedges, same guarantees -- the samples just happen to be 2-D.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Indexing star light curves (Section 2.4 and Figures 22-23).
+
+A folded light curve has no natural phase origin, so comparing two curves
+means testing every circular shift -- the rotation-invariance problem,
+verbatim.  This script simulates a small survey archive of periodic
+variables, runs a nearest-neighbour query with the wedge search under both
+Euclidean distance and DTW, and then classifies the archive to show the
+class structure is recoverable despite the random phases.
+
+Run:  python examples/lightcurve_indexing.py
+"""
+
+import numpy as np
+
+from repro import (
+    DTWMeasure,
+    EuclideanMeasure,
+    NearestNeighborClassifier,
+    early_abandon_search,
+    light_curve,
+    wedge_search,
+)
+from repro.datasets.lightcurve_data import light_curve_labelled_dataset
+from repro.timeseries.lightcurves import LIGHT_CURVE_CLASSES
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    length = 256
+
+    print("=== a small survey archive ===")
+    dataset = light_curve_labelled_dataset(rng, per_class=12, length=length)
+    print(f"{len(dataset)} curves, classes: {', '.join(dataset.class_names)}")
+
+    print("\n=== nearest-neighbour query, unknown phase ===")
+    target = light_curve(rng, "rr_lyrae", length=length)
+    for measure in (EuclideanMeasure(), DTWMeasure(radius=5)):
+        result = wedge_search(dataset.series, target, measure)
+        baseline = early_abandon_search(dataset.series, target, measure)
+        match_class = dataset.class_names[dataset.labels[result.index]]
+        assert result.index == baseline.index
+        print(
+            f"{measure.name:>9}: matched a {match_class:<16} "
+            f"dist={result.distance:6.3f}  wedge steps={result.counter.steps:>9,} "
+            f"(early-abandon scan: {baseline.counter.steps:>10,})"
+        )
+
+    print("\n=== can we tell the classes apart at random phase? ===")
+    half = len(dataset) // 2
+    order = rng.permutation(len(dataset))
+    train, test = order[:half], order[half:]
+    clf = NearestNeighborClassifier(EuclideanMeasure())
+    clf.fit(dataset.series[train], dataset.labels[train])
+    predictions = clf.predict(dataset.series[test])
+    accuracy = float(np.mean(predictions == dataset.labels[test]))
+    print(f"1-NN accuracy over {len(test)} held-out curves: {accuracy:.1%}")
+    print("\nThe identical machinery indexes shapes and light curves --")
+    print("'without modification', as the paper puts it.")
+
+
+if __name__ == "__main__":
+    main()

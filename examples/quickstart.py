@@ -1,0 +1,88 @@
+"""Quickstart: rotation-invariant shape matching end to end.
+
+Walks the full pipeline of the paper's Figure 2 and Section 4:
+
+1. generate shapes and rasterise one to a bitmap,
+2. trace its boundary and convert it to a centroid-distance time series,
+3. search a small database for the best rotation-invariant match with
+   every strategy (brute force, early abandon, FFT, wedge), confirming
+   they agree while costing very different amounts of work.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    EuclideanMeasure,
+    brute_force_search,
+    circular_shift,
+    contour_to_series,
+    early_abandon_search,
+    fft_search,
+    largest_contour,
+    polygon_to_series,
+    rasterize_polygon,
+    regular_polygon,
+    star_polygon,
+    wedge_search,
+)
+from repro.shapes.image import render_ascii
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    print("=== Step 1: a shape, as a bitmap ===")
+    star = star_polygon(5)
+    bitmap = rasterize_polygon(star, resolution=32)
+    print(render_ascii(bitmap))
+
+    print("\n=== Step 2: bitmap -> boundary -> time series (Figure 2) ===")
+    boundary = largest_contour(bitmap)
+    series = contour_to_series(boundary, n_points=128)
+    print(f"boundary pixels: {len(boundary)}, series length: {series.size}")
+
+    print("\n=== Step 3: a database of shapes, randomly rotated ===")
+    # Rotating an image moves the boundary-trace starting point, which
+    # circularly shifts the centroid-distance series -- so random rotation
+    # is emulated by a random circular shift (Section 3).  Ten noisy
+    # specimens of each shape family make a database of 120 objects; the
+    # wedge machinery needs a few dozen objects to amortise its O(n^2)
+    # start-up (the paper breaks even at 64).
+    database = []
+    descriptions = []
+    families = [(f"{sides}-gon", regular_polygon(sides)) for sides in range(3, 9)]
+    families += [(f"{points}-pointed star", star_polygon(points)) for points in range(3, 9)]
+    for name, polygon in families:
+        raw = polygon_to_series(polygon, 128)
+        for specimen in range(10):
+            noisy = raw + rng.normal(0.0, 0.05, raw.size)
+            database.append(circular_shift(noisy, int(rng.integers(128))))
+            descriptions.append(name)
+
+    query = series  # the 5-pointed star, via the full bitmap pipeline
+    measure = EuclideanMeasure()
+
+    print("\n=== Step 4: four exact search strategies, one answer ===")
+    for search in (brute_force_search, early_abandon_search, fft_search, wedge_search):
+        if search is fft_search:
+            result = search(database, query)
+        else:
+            result = search(database, query, measure)
+        print(
+            f"{result.strategy:>14}: best match = {descriptions[result.index]:<16} "
+            f"distance = {result.distance:7.4f}  steps = {result.counter.steps:>9,}"
+        )
+
+    print("\nAll four strategies are exact: they return the same nearest")
+    print("neighbour, guaranteed (Proposition 1 -- no false dismissals).")
+    print("On this toy database of spiky polygons the early-abandon scan is")
+    print("already cheap; the wedge search pulls ahead on larger archives of")
+    print("smooth real-world contours, where groups of adjacent rotations")
+    print("form tight envelopes -- run examples/projectile_point_search.py")
+    print("and the Figure 19-23 benchmarks to watch the gap grow with m.")
+
+
+if __name__ == "__main__":
+    main()

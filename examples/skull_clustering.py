@@ -1,0 +1,100 @@
+"""Clustering skulls: landmark alignment vs best-rotation alignment (Figures 3 & 16).
+
+The paper's motivating experiment: aligning shapes by a "landmark" (the
+major axis, a fixed starting angle, ...) is brittle -- a small rotation
+error produces a large distance error and biologically meaningless
+clusters.  Testing all rotations fixes it.
+
+This script builds three "taxa" of skull-like outlines (two of them
+closely related, one distant), produces two specimens of each at random
+orientations, and clusters them twice:
+
+* once with distances at the *raw* (landmark) alignment,
+* once with the rotation-invariant distance.
+
+The rotation-invariant dendrogram pairs conspecifics; the landmark one
+usually does not.
+
+Run:  python examples/skull_clustering.py
+"""
+
+import numpy as np
+
+from repro import (
+    Dendrogram,
+    brute_force_search,
+    circular_shift,
+    linkage,
+    polygon_to_series,
+    skull_profile,
+)
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+
+
+def build_specimens(rng: np.random.Generator):
+    """Two specimens each of three taxa, at random orientations.
+
+    Rotating an image moves the point at which the boundary trace starts,
+    which circularly shifts the centroid-distance series -- so a "randomly
+    rotated" specimen is its series at a random circular shift (Section 3).
+    """
+    taxa = {
+        # name: (braincase, brow, jaw) -- the morphology knobs.
+        "owl-monkey-A": (0.70, 0.06, 0.15),
+        "owl-monkey-B": (1.00, 0.15, 0.35),  # congeneric: similar but distinct
+        "orangutan": (1.40, 0.32, 0.60),  # distant
+    }
+    series, labels = [], []
+    for name, (braincase, brow, jaw) in taxa.items():
+        for specimen in (1, 2):
+            poly = skull_profile(rng, braincase=braincase, brow=brow, jaw=jaw, jitter=0.005)
+            raw = polygon_to_series(poly, 128)
+            series.append(circular_shift(raw, int(rng.integers(128))))
+            labels.append(f"{name}-{specimen}")
+    return series, labels
+
+
+def distance_matrix(series, rotation_invariant: bool) -> np.ndarray:
+    measure = EuclideanMeasure()
+    k = len(series)
+    matrix = np.zeros((k, k))
+    for i in range(k):
+        for j in range(i + 1, k):
+            if rotation_invariant:
+                d = brute_force_search([series[j]], series[i], measure).distance
+            else:
+                d = euclidean_distance(series[i], series[j])
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+def purity(dendrogram: Dendrogram, labels) -> int:
+    """How many same-taxon pairs end up as dendrogram siblings."""
+    taxa = [label.rsplit("-", 1)[0] for label in labels]
+    paired = 0
+    for node in dendrogram.root:
+        if not node.is_leaf and all(child.is_leaf for child in node.children):
+            a, b = (child.id for child in node.children)
+            if taxa[a] == taxa[b]:
+                paired += 1
+    return paired
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    series, labels = build_specimens(rng)
+
+    for mode, invariant in (("landmark (raw) alignment", False), ("best-rotation alignment", True)):
+        matrix = distance_matrix(series, rotation_invariant=invariant)
+        dendro = Dendrogram(linkage(matrix, "average"), len(series), labels)
+        print(f"=== {mode} ===")
+        print(dendro.render())
+        print(f"conspecific sibling pairs: {purity(dendro, labels)} / 3\n")
+
+    print("Rotation (mis)alignment is the most important invariance for")
+    print("shape matching: unless we have the best rotation, nothing else")
+    print("matters (Section 2.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""repro: rotation-invariant shape and light-curve indexing with LB_Keogh wedges.
+
+A faithful, from-scratch reproduction of
+
+    Keogh, Wei, Xi, Vlachos, Lee, Protopapas.
+    "LB_Keogh Supports Exact Indexing of Shapes under Rotation Invariance
+    with Arbitrary Representations and Distance Measures."  VLDB 2006.
+
+Quick start::
+
+    from repro import EuclideanMeasure, polygon_to_series, star_polygon, wedge_search
+
+    database = [polygon_to_series(star_polygon(k)) for k in range(3, 30)]
+    query = polygon_to_series(star_polygon(5))
+    result = wedge_search(database, query, EuclideanMeasure())
+    print(result.index, result.distance)
+
+Package map (see DESIGN.md for the full inventory):
+
+``repro.core``
+    Wedges, the H-Merge search, rotation sets, step counters -- the paper's
+    contribution.
+``repro.distances``
+    Euclidean, DTW, LCSS, all early-abandoning.
+``repro.shapes``
+    Shape -> time-series conversion and synthetic shape generators.
+``repro.timeseries``
+    Series operations and the star light-curve simulator.
+``repro.clustering``
+    Hierarchical clustering (drives wedge construction; also the
+    dendrogram sanity checks).
+``repro.index``
+    Fourier/PAA signatures, VP-tree, and the disk-resident index.
+``repro.classify``
+    Rotation-invariant 1-NN classification (Table 8).
+``repro.datasets``
+    Synthetic reconstructions of the paper's datasets.
+"""
+
+from repro.classify.evaluation import evaluate_dataset, train_warping_window
+from repro.classify.knn import NearestNeighborClassifier, leave_one_out_error
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.linkage import linkage
+from repro.core.counters import StepCounter
+from repro.core.cascade import CascadePolicy, lb_kim
+from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
+from repro.core.rotation import RotationSet
+from repro.core.search import (
+    AnytimeResult,
+    RotationQuery,
+    SearchResult,
+    brute_force_search,
+    early_abandon_search,
+    anytime_wedge_search,
+    fft_search,
+    test_all_rotations,
+    wedge_search,
+)
+from repro.core.wedge import Wedge
+from repro.core.wedge_builder import WedgeTree, build_wedge_tree
+from repro.datasets.registry import TABLE_EIGHT, heterogeneous_collection, load_dataset
+from repro.datasets.shapes_data import (
+    Dataset,
+    projectile_point_collection,
+    projectile_point_dataset,
+)
+from repro.distances.dtw import DTWMeasure, dtw_distance, warping_path
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+from repro.distances.lcss import LCSSMeasure, lcss_similarity
+from repro.index.fourier import fourier_signature, rotation_invariant_ed_lower_bound
+from repro.mining.discords import Discord, find_discords
+from repro.mining.motifs import Motif, find_motif
+from repro.mining.queries import Neighbor, knn_search, range_search
+from repro.mining.scaling import scaled_candidates, scaling_invariant_search
+from repro.mining.streaming import StreamMatch, StreamMonitor
+from repro.mining.trajectories import trajectory_dtw, trajectory_search
+from repro.persistence import load_dataset_file, load_index, save_dataset, save_index
+from repro.viz import plot_series, plot_warping_matrix, plot_wedge
+from repro.index.linear_scan import SignatureFilteredScan
+from repro.index.rtree import Rect, RTree
+from repro.index.vptree import VPTree
+from repro.shapes.contour import largest_contour, moore_trace
+from repro.shapes.convert import contour_to_series, polygon_to_series
+from repro.shapes.generators import (
+    butterfly,
+    fourier_blob,
+    projectile_point,
+    regular_polygon,
+    rotate_polygon,
+    skull_profile,
+    star_polygon,
+)
+from repro.shapes.image import rasterize_polygon
+from repro.timeseries.lightcurves import light_curve, light_curve_dataset
+from repro.timeseries.ops import all_rotations, circular_shift, resample, znormalize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "StepCounter",
+    "RotationSet",
+    "RotationQuery",
+    "SearchResult",
+    "Wedge",
+    "WedgeTree",
+    "build_wedge_tree",
+    "h_merge",
+    "DynamicKPolicy",
+    "FixedKPolicy",
+    "brute_force_search",
+    "early_abandon_search",
+    "fft_search",
+    "wedge_search",
+    "anytime_wedge_search",
+    "AnytimeResult",
+    "CascadePolicy",
+    "lb_kim",
+    "test_all_rotations",
+    # distances
+    "EuclideanMeasure",
+    "DTWMeasure",
+    "LCSSMeasure",
+    "euclidean_distance",
+    "dtw_distance",
+    "warping_path",
+    "lcss_similarity",
+    # shapes
+    "polygon_to_series",
+    "contour_to_series",
+    "moore_trace",
+    "largest_contour",
+    "rasterize_polygon",
+    "star_polygon",
+    "regular_polygon",
+    "fourier_blob",
+    "projectile_point",
+    "skull_profile",
+    "butterfly",
+    "rotate_polygon",
+    # time series
+    "znormalize",
+    "circular_shift",
+    "all_rotations",
+    "resample",
+    "light_curve",
+    "light_curve_dataset",
+    # clustering
+    "linkage",
+    "Dendrogram",
+    # index
+    "fourier_signature",
+    "rotation_invariant_ed_lower_bound",
+    "SignatureFilteredScan",
+    "VPTree",
+    "RTree",
+    "Rect",
+    # mining
+    "Neighbor",
+    "knn_search",
+    "range_search",
+    "Motif",
+    "find_motif",
+    "Discord",
+    "find_discords",
+    "StreamMatch",
+    "StreamMonitor",
+    "scaled_candidates",
+    "scaling_invariant_search",
+    "trajectory_search",
+    "trajectory_dtw",
+    # persistence & viz
+    "save_dataset",
+    "load_dataset_file",
+    "save_index",
+    "load_index",
+    "plot_series",
+    "plot_wedge",
+    "plot_warping_matrix",
+    # classify
+    "NearestNeighborClassifier",
+    "leave_one_out_error",
+    "evaluate_dataset",
+    "train_warping_window",
+    # datasets
+    "Dataset",
+    "TABLE_EIGHT",
+    "load_dataset",
+    "heterogeneous_collection",
+    "projectile_point_dataset",
+    "projectile_point_collection",
+]

@@ -1,0 +1,14 @@
+"""Rotation-invariant 1-NN classification and Table-8 evaluation."""
+
+from repro.classify.evaluation import (
+    TableEightRow,
+    evaluate_dataset,
+    holdout_error,
+    train_warping_window,
+)
+from repro.classify.knn import NearestNeighborClassifier, leave_one_out_error
+
+__all__ = [
+    "NearestNeighborClassifier", "leave_one_out_error", "TableEightRow",
+    "evaluate_dataset", "holdout_error", "train_warping_window",
+]

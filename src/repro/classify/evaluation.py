@@ -1,0 +1,109 @@
+"""Evaluation utilities: warping-window training and error summaries.
+
+Table 8's DTW column reports the error at the best Sakoe-Chiba window
+``R``, "learned by looking only at the training data".  This module
+reproduces that protocol: candidate windows are scored by leave-one-out on
+a training split and the winner is evaluated untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classify.knn import NearestNeighborClassifier, leave_one_out_error
+from repro.datasets.shapes_data import Dataset
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+
+__all__ = ["train_warping_window", "holdout_error", "TableEightRow", "evaluate_dataset"]
+
+
+def train_warping_window(
+    train: Dataset,
+    candidate_radii=(1, 2, 3),
+    max_instances: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Pick the DTW window ``R`` by leave-one-out on the training data only."""
+    if not candidate_radii:
+        raise ValueError("need at least one candidate radius")
+    best_r = None
+    best_error = float("inf")
+    for radius in candidate_radii:
+        error = leave_one_out_error(
+            train, DTWMeasure(radius), max_instances=max_instances, rng=rng
+        )
+        if error < best_error:
+            best_error = error
+            best_r = radius
+    return int(best_r)
+
+
+def holdout_error(train: Dataset, test: Dataset, measure) -> float:
+    """Train-on-train, test-on-test 1-NN error rate in percent."""
+    if len(test) == 0:
+        raise ValueError("test set must not be empty")
+    clf = NearestNeighborClassifier(measure).fit(train.series, train.labels)
+    predictions = clf.predict(test.series)
+    return 100.0 * float(np.mean(predictions != test.labels))
+
+
+@dataclass
+class TableEightRow:
+    """One evaluated row of Table 8: measured vs published error rates."""
+
+    name: str
+    n_classes: int
+    n_instances: int
+    euclidean_error: float
+    dtw_error: float
+    dtw_radius: int
+    paper_euclidean_error: float | None = None
+    paper_dtw_error: float | None = None
+
+    def format(self) -> str:
+        paper_ed = f"{self.paper_euclidean_error:.2f}" if self.paper_euclidean_error is not None else "-"
+        paper_dtw = f"{self.paper_dtw_error:.2f}" if self.paper_dtw_error is not None else "-"
+        return (
+            f"{self.name:<14} classes={self.n_classes:<3} N={self.n_instances:<5} "
+            f"ED={self.euclidean_error:6.2f}% (paper {paper_ed}%)  "
+            f"DTW={self.dtw_error:6.2f}% {{R={self.dtw_radius}}} (paper {paper_dtw}%)"
+        )
+
+
+def evaluate_dataset(
+    dataset: Dataset,
+    candidate_radii=(1, 2, 3),
+    max_instances: int | None = None,
+    seed: int = 0,
+    paper_euclidean_error: float | None = None,
+    paper_dtw_error: float | None = None,
+) -> TableEightRow:
+    """Full Table-8 protocol on one dataset.
+
+    Leave-one-out error under Euclidean distance, then under DTW at the
+    window radius trained by nested leave-one-out (using the same
+    evaluation subsample for comparability).
+    """
+    rng = np.random.default_rng(seed)
+    ed_error = leave_one_out_error(
+        dataset, EuclideanMeasure(), max_instances=max_instances, rng=np.random.default_rng(seed)
+    )
+    radius = train_warping_window(
+        dataset, candidate_radii, max_instances=max_instances, rng=np.random.default_rng(seed + 1)
+    )
+    dtw_error = leave_one_out_error(
+        dataset, DTWMeasure(radius), max_instances=max_instances, rng=np.random.default_rng(seed)
+    )
+    return TableEightRow(
+        name=dataset.name,
+        n_classes=dataset.n_classes,
+        n_instances=len(dataset),
+        euclidean_error=ed_error,
+        dtw_error=dtw_error,
+        dtw_radius=radius,
+        paper_euclidean_error=paper_euclidean_error,
+        paper_dtw_error=paper_dtw_error,
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface: explore the library without writing code.
+
+Examples
+--------
+List the reconstructable datasets::
+
+    python -m repro datasets
+
+Run a rotation-invariant nearest-neighbour search on a synthetic archive::
+
+    python -m repro search --collection points --size 200 --measure dtw --radius 5
+
+Reproduce one Table-8 row::
+
+    python -m repro classify --dataset OSULeaves --per-class 4 --length 48
+
+Mine a light-curve archive for outliers::
+
+    python -m repro discords --collection lightcurves --size 40 --top 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_collection(name: str, size: int, length: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if name == "points":
+        from repro.datasets.shapes_data import projectile_point_collection
+
+        return projectile_point_collection(rng, size, length=length)
+    if name == "lightcurves":
+        from repro.datasets.lightcurve_data import light_curve_collection
+
+        return light_curve_collection(rng, size, length=length)
+    if name == "heterogeneous":
+        from repro.datasets.registry import heterogeneous_collection
+
+        return heterogeneous_collection(rng, size, length=length)
+    raise SystemExit(f"unknown collection {name!r}; choose points, lightcurves, heterogeneous")
+
+
+def _build_measure(args):
+    if args.measure == "euclidean":
+        from repro.distances.euclidean import EuclideanMeasure
+
+        return EuclideanMeasure()
+    if args.measure == "dtw":
+        from repro.distances.dtw import DTWMeasure
+
+        return DTWMeasure(radius=args.radius)
+    if args.measure == "lcss":
+        from repro.distances.lcss import LCSSMeasure
+
+        return LCSSMeasure(delta=args.radius, epsilon=args.epsilon)
+    raise SystemExit(f"unknown measure {args.measure!r}")
+
+
+def cmd_datasets(args) -> int:
+    from repro.datasets.registry import TABLE_EIGHT
+
+    print(f"{'name':<16} {'classes':>8} {'paper N':>8} {'paper ED%':>10} {'paper DTW%':>11}")
+    for spec in TABLE_EIGHT.values():
+        print(
+            f"{spec.name:<16} {spec.n_classes:>8} {spec.paper_instances:>8} "
+            f"{spec.paper_ed_error:>10.2f} {spec.paper_dtw_error:>11.2f}"
+        )
+    print("\ncollections for `search`/`discords`: points, lightcurves, heterogeneous")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.core.search import (
+        brute_force_search,
+        early_abandon_search,
+        fft_search,
+        wedge_search,
+    )
+
+    archive = _build_collection(args.collection, args.size, args.length, args.seed)
+    measure = _build_measure(args)
+    query_index = args.query_index % len(archive)
+    query = archive[query_index]
+    database = list(np.delete(archive, query_index, axis=0))
+
+    strategies = {
+        "wedge": wedge_search,
+        "brute": brute_force_search,
+        "early-abandon": early_abandon_search,
+        "fft": fft_search,
+    }
+    search = strategies[args.strategy]
+    kwargs = dict(mirror=args.mirror)
+    if args.max_degrees is not None:
+        kwargs["max_degrees"] = args.max_degrees
+    if args.strategy == "fft":
+        result = search(database, query, mirror=args.mirror)
+    else:
+        result = search(database, query, measure, **kwargs)
+
+    brute_steps = len(database) * archive.shape[1] * measure.pairwise_cost(archive.shape[1])
+    print(f"query: object {query_index} of the {args.collection} collection")
+    print(f"best match: object {result.index} at distance {result.distance:.4f} "
+          f"(rotation {result.rotation})")
+    print(f"steps: {result.counter.steps:,} "
+          f"({result.counter.steps / brute_steps:.2%} of brute force)")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.classify.evaluation import evaluate_dataset
+    from repro.datasets.registry import TABLE_EIGHT, load_dataset
+
+    if args.dataset not in TABLE_EIGHT:
+        raise SystemExit(f"unknown dataset {args.dataset!r}; run `python -m repro datasets`")
+    spec = TABLE_EIGHT[args.dataset]
+    dataset = load_dataset(args.dataset, seed=args.seed, per_class=args.per_class, length=args.length)
+    row = evaluate_dataset(
+        dataset,
+        candidate_radii=(1, 2, 3),
+        max_instances=args.max_instances,
+        seed=args.seed,
+        paper_euclidean_error=spec.paper_ed_error,
+        paper_dtw_error=spec.paper_dtw_error,
+    )
+    print(row.format())
+    return 0
+
+
+def cmd_discords(args) -> int:
+    from repro.mining.discords import find_discords
+
+    archive = _build_collection(args.collection, args.size, args.length, args.seed)
+    measure = _build_measure(args)
+    discords = find_discords(list(archive), measure, top=args.top)
+    print(f"top {args.top} discords of the {args.collection} collection "
+          f"({args.size} objects, {args.measure}):")
+    for rank, discord in enumerate(discords, 1):
+        print(f"{rank}. object {discord.index:>4}  NN distance {discord.nn_distance:8.3f}  "
+              f"(nearest: object {discord.nn_index})")
+    return 0
+
+
+def cmd_motif(args) -> int:
+    from repro.mining.motifs import find_motif
+
+    archive = _build_collection(args.collection, args.size, args.length, args.seed)
+    measure = _build_measure(args)
+    motif = find_motif(list(archive), measure)
+    print(f"motif of the {args.collection} collection ({args.size} objects, {args.measure}):")
+    print(f"objects {motif.first} and {motif.second}, distance {motif.distance:.4f}, "
+          f"aligned at rotation {motif.rotation}")
+    return 0
+
+
+def _add_collection_args(parser):
+    parser.add_argument("--collection", default="points",
+                        choices=("points", "lightcurves", "heterogeneous"))
+    parser.add_argument("--size", type=int, default=100, help="collection size")
+    parser.add_argument("--length", type=int, default=128, help="series length")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_measure_args(parser):
+    parser.add_argument("--measure", default="euclidean",
+                        choices=("euclidean", "dtw", "lcss"))
+    parser.add_argument("--radius", type=int, default=5,
+                        help="DTW band / LCSS delta")
+    parser.add_argument("--epsilon", type=float, default=0.5, help="LCSS epsilon")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rotation-invariant shape/light-curve indexing (Keogh et al., VLDB 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table-8 dataset reconstructions").set_defaults(
+        func=cmd_datasets
+    )
+
+    search = sub.add_parser("search", help="rotation-invariant 1-NN search")
+    _add_collection_args(search)
+    _add_measure_args(search)
+    search.add_argument("--query-index", type=int, default=0)
+    search.add_argument("--strategy", default="wedge",
+                        choices=("wedge", "brute", "early-abandon", "fft"))
+    search.add_argument("--mirror", action="store_true")
+    search.add_argument("--max-degrees", type=float, default=None)
+    search.set_defaults(func=cmd_search)
+
+    classify = sub.add_parser("classify", help="Table-8 protocol on one dataset")
+    classify.add_argument("--dataset", required=True)
+    classify.add_argument("--per-class", type=int, default=4)
+    classify.add_argument("--length", type=int, default=48)
+    classify.add_argument("--max-instances", type=int, default=32)
+    classify.add_argument("--seed", type=int, default=8)
+    classify.set_defaults(func=cmd_classify)
+
+    discords = sub.add_parser("discords", help="find the collection's outliers")
+    _add_collection_args(discords)
+    _add_measure_args(discords)
+    discords.add_argument("--top", type=int, default=3)
+    discords.set_defaults(func=cmd_discords)
+
+    motif = sub.add_parser("motif", help="find the collection's closest pair")
+    _add_collection_args(motif)
+    _add_measure_args(motif)
+    motif.set_defaults(func=cmd_motif)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

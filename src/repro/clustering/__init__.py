@@ -1,0 +1,6 @@
+"""Hierarchical clustering (from scratch) and dendrograms."""
+
+from repro.clustering.dendrogram import ClusterNode, Dendrogram
+from repro.clustering.linkage import LINKAGES, Merge, linkage
+
+__all__ = ["linkage", "Merge", "LINKAGES", "Dendrogram", "ClusterNode"]

@@ -1,0 +1,130 @@
+"""Dendrogram trees built from merge lists, with K-frontier cuts.
+
+The paper derives wedge sets "of every size from 1 to 5" from a dendrogram
+(Figure 10): cutting a dendrogram into ``K`` subtrees yields the ``K`` wedge
+sets of the H-Merge search.  :meth:`Dendrogram.cut` performs that operation
+for any ``K``, and :meth:`Dendrogram.render` draws the tree as ASCII art for
+the clustering sanity-check examples (Figures 16-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clustering.linkage import Merge
+
+__all__ = ["ClusterNode", "Dendrogram"]
+
+
+@dataclass
+class ClusterNode:
+    """A node of the dendrogram.
+
+    Leaves carry a single observation index; internal nodes carry the merge
+    height at which their two children were joined.
+    """
+
+    id: int
+    height: float = 0.0
+    children: tuple["ClusterNode", ...] = ()
+    members: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __iter__(self):
+        yield self
+        for child in self.children:
+            yield from child
+
+
+class Dendrogram:
+    """The full agglomeration tree over ``k`` observations."""
+
+    def __init__(self, merges: list[Merge], k: int, labels: list[str] | None = None):
+        if labels is not None and len(labels) != k:
+            raise ValueError(f"expected {k} labels, got {len(labels)}")
+        if len(merges) != max(0, k - 1):
+            raise ValueError(f"expected {k - 1} merges for {k} observations, got {len(merges)}")
+        self.k = k
+        self.labels = list(labels) if labels is not None else [str(i) for i in range(k)]
+        nodes: dict[int, ClusterNode] = {
+            i: ClusterNode(id=i, members=(i,)) for i in range(k)
+        }
+        for t, merge in enumerate(merges):
+            left = nodes[merge.left]
+            right = nodes[merge.right]
+            nodes[k + t] = ClusterNode(
+                id=k + t,
+                height=merge.height,
+                children=(left, right),
+                members=tuple(sorted(left.members + right.members)),
+            )
+        self.root = nodes[k + len(merges) - 1] if merges else nodes[0]
+        self._nodes = nodes
+
+    def node(self, node_id: int) -> ClusterNode:
+        """Look up a node by id (0..k-1 leaves, then merges in order)."""
+        return self._nodes[node_id]
+
+    def cut(self, k_clusters: int) -> list[ClusterNode]:
+        """Split the tree into ``k_clusters`` subtrees (Figure 10's wedge sets).
+
+        Repeatedly splits the frontier node with the greatest merge height,
+        which is equivalent to removing the ``k_clusters - 1`` tallest
+        merges.  Returns the frontier ordered by each subtree's smallest
+        member index, so cuts are deterministic.
+        """
+        if not 1 <= k_clusters <= self.k:
+            raise ValueError(f"k_clusters must be in [1, {self.k}], got {k_clusters}")
+        frontier = [self.root]
+        while len(frontier) < k_clusters:
+            split_idx = max(
+                (i for i, node in enumerate(frontier) if not node.is_leaf),
+                key=lambda i: frontier[i].height,
+            )
+            node = frontier.pop(split_idx)
+            frontier.extend(node.children)
+        return sorted(frontier, key=lambda node: node.members[0])
+
+    def cluster_assignments(self, k_clusters: int) -> list[int]:
+        """Cluster label (0-based) of every observation under a ``k`` cut."""
+        assignment = [0] * self.k
+        for label, node in enumerate(self.cut(k_clusters)):
+            for member in node.members:
+                assignment[member] = label
+        return assignment
+
+    def render(self, max_width: int = 72) -> str:
+        """ASCII rendering of the tree with labelled leaves."""
+        lines: list[str] = []
+
+        def walk(node: ClusterNode, prefix: str, connector: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{prefix}{connector}{self.labels[node.id]}")
+                return
+            lines.append(f"{prefix}{connector}+ h={node.height:.4g}")
+            child_prefix = prefix + ("|  " if connector == "|- " else "   ")
+            walk(node.children[0], child_prefix, "|- ")
+            walk(node.children[1], child_prefix, "`- ")
+
+        walk(self.root, "", "")
+        return "\n".join(line[:max_width] for line in lines)
+
+    def cophenetic_distance(self, i: int, j: int) -> float:
+        """Height of the smallest subtree containing both observations."""
+        if i == j:
+            return 0.0
+        node = self.root
+        while not node.is_leaf:
+            in_left = [i in child.members for child in node.children]
+            in_both_same = None
+            for child in node.children:
+                if i in child.members and j in child.members:
+                    in_both_same = child
+                    break
+            if in_both_same is None:
+                return node.height
+            node = in_both_same
+        raise KeyError(f"observations {i}, {j} not found in tree")

@@ -1,0 +1,170 @@
+"""Agglomerative hierarchical clustering, built from scratch.
+
+The paper derives its wedge sets from "the result of a hierarchal clustering
+algorithm" using **group average linkage** (Figure 9), and its sanity-check
+experiments cluster primate and reptile skulls the same way (Figures 16-17).
+This module implements single, complete, and group-average linkage over an
+arbitrary precomputed distance matrix.
+
+The implementation uses the **nearest-neighbour-chain** algorithm, which is
+exact for any reducible linkage (all three offered here) and runs in
+``O(k^2)`` time with vectorised Lance-Williams updates -- fast enough to
+cluster all 1,024 rotations of a long query series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Merge", "linkage", "LINKAGES"]
+
+LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step.
+
+    ``left`` and ``right`` are node ids: ids ``0..k-1`` are the original
+    observations; merge ``t`` creates node ``k + t``.  ``height`` is the
+    linkage distance at which the two clusters were joined, and ``size`` the
+    number of observations in the new cluster.
+    """
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+def linkage(distance_matrix, method: str = "average") -> list[Merge]:
+    """Cluster ``k`` observations given their ``k x k`` distance matrix.
+
+    Parameters
+    ----------
+    distance_matrix:
+        Symmetric matrix of pairwise distances with a zero diagonal.
+    method:
+        One of ``"single"``, ``"complete"``, ``"average"`` (the paper's
+        group-average linkage).
+
+    Returns
+    -------
+    list[Merge]
+        ``k - 1`` merges ordered by non-decreasing height (the standard
+        dendrogram ordering).  A single observation yields an empty list.
+    """
+    if method not in LINKAGES:
+        raise ValueError(f"unknown linkage {method!r}; choose from {LINKAGES}")
+    dist = np.array(distance_matrix, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError(f"distance matrix must be square, got shape {dist.shape}")
+    k = dist.shape[0]
+    if k == 0:
+        raise ValueError("cannot cluster zero observations")
+    if not np.allclose(dist, dist.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    if k == 1:
+        return []
+
+    # Active working copy; row/col ``i`` describes current cluster ``i``.
+    work = dist.copy()
+    np.fill_diagonal(work, np.inf)
+    active = np.ones(k, dtype=bool)
+    sizes = np.ones(k, dtype=np.int64)
+    # node_id[i] is the dendrogram id currently living in slot i.
+    node_id = np.arange(k)
+    merges: list[Merge] = []
+    next_id = k
+    chain: list[int] = []
+
+    while len(merges) < k - 1:
+        if not chain:
+            chain.append(int(np.flatnonzero(active)[0]))
+        # Distances of rotation sets are near-circulant: huge families of
+        # pairs tie up to ~1e-14 of numerical noise.  Exact comparisons make
+        # the chain orbit those pseudo-ties forever, so ties are detected
+        # with a relative tolerance and always resolved toward the previous
+        # chain element (forcing a reciprocal pair).
+        n_active = int(active.sum())
+        while True:
+            tip = chain[-1]
+            row = work[tip]
+            nearest = int(np.argmin(row))
+            if len(chain) > 1:
+                prev = chain[-2]
+                tolerance = 1e-9 * max(abs(row[nearest]), 1e-30) + 1e-12
+                if row[prev] <= row[nearest] + tolerance:
+                    nearest = prev
+                if nearest == prev:
+                    break
+            if len(chain) > n_active:
+                # Safety net: a chain longer than the number of live
+                # clusters must contain a repeat; merge the tip with its
+                # nearest neighbour rather than walking on.
+                chain = [tip]
+                chain.append(nearest)
+                break
+            chain.append(nearest)
+        b = chain.pop()
+        a = chain.pop()
+        height = float(work[a, b])
+        merged_size = int(sizes[a] + sizes[b])
+        merges.append(Merge(int(node_id[a]), int(node_id[b]), height, merged_size))
+
+        # Lance-Williams update into slot ``a``; slot ``b`` is retired.
+        if method == "single":
+            new_row = np.minimum(work[a], work[b])
+        elif method == "complete":
+            new_row = np.maximum(work[a], work[b])
+        else:  # average
+            new_row = (sizes[a] * work[a] + sizes[b] * work[b]) / merged_size
+        new_row[~active] = np.inf
+        new_row[a] = np.inf
+        new_row[b] = np.inf
+        work[a] = new_row
+        work[:, a] = new_row
+        work[b] = np.inf
+        work[:, b] = np.inf
+        active[b] = False
+        sizes[a] = merged_size
+        node_id[a] = next_id
+        next_id += 1
+
+    # NN-chain may discover merges out of height order; renumber into the
+    # standard sorted-by-height dendrogram encoding.
+    return _sort_merges(merges, k)
+
+
+def _sort_merges(merges: list[Merge], k: int) -> list[Merge]:
+    """Re-encode merges in non-decreasing height order with stable ids.
+
+    Reducible linkages are mathematically monotone (a parent's height is
+    never below its children's), but floating-point averaging can dip a
+    parent 1 ulp under a child; heights are clamped monotone first so the
+    (height, creation-index) sort always places children before parents.
+    """
+    clamped: list[float] = []
+    for t, merge in enumerate(merges):
+        height = merge.height
+        for child in (merge.left, merge.right):
+            if child >= k:
+                height = max(height, clamped[child - k])
+        clamped.append(height)
+        if height != merge.height:
+            merges[t] = Merge(merge.left, merge.right, height, merge.size)
+    order = sorted(range(len(merges)), key=lambda t: (merges[t].height, t))
+    remap: dict[int, int] = {}
+    for new_pos, old_pos in enumerate(order):
+        remap[k + old_pos] = k + new_pos
+
+    def translate(node: int) -> int:
+        return remap.get(node, node)
+
+    result = []
+    for old_pos in order:
+        m = merges[old_pos]
+        result.append(Merge(translate(m.left), translate(m.right), m.height, m.size))
+    return result

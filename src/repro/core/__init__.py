@@ -1,0 +1,28 @@
+"""The paper's contribution: wedges, H-Merge, rotation-invariant search."""
+
+from repro.core.cascade import CascadePolicy, lb_kim
+from repro.core.counters import StepCounter, fft_step_cost
+from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
+from repro.core.rotation import RotationSet, rotation_lag_profile, shifts_for_max_angle
+from repro.core.search import (
+    AnytimeResult,
+    RotationQuery,
+    SearchResult,
+    brute_force_search,
+    early_abandon_search,
+    anytime_wedge_search,
+    fft_search,
+    test_all_rotations,
+    wedge_search,
+)
+from repro.core.wedge import Wedge
+from repro.core.wedge_builder import WedgeTree, build_wedge_tree
+
+__all__ = [
+    "CascadePolicy", "lb_kim", "AnytimeResult", "anytime_wedge_search",
+    "StepCounter", "fft_step_cost", "DynamicKPolicy", "FixedKPolicy", "h_merge",
+    "RotationSet", "rotation_lag_profile", "shifts_for_max_angle",
+    "RotationQuery", "SearchResult", "brute_force_search", "early_abandon_search",
+    "fft_search", "test_all_rotations", "wedge_search", "Wedge", "WedgeTree",
+    "build_wedge_tree",
+]

@@ -1,0 +1,118 @@
+"""Cascading lower bounds: LB_Kim in front of LB_Keogh in front of DTW.
+
+The lower-bounding literature the paper founded settled on a *cascade*:
+test the cheapest bound first and escalate only on survival.  LB_Kim
+(Kim, Park & Chu, ICDE 2001) compares just a handful of landmark points
+-- O(1) against DTW's O(nR) -- and is the classic first tier:
+
+    LB_Kim  <=  LB_Keogh  (not in general -- but both <= DTW, which is
+                            what admissibility requires)
+
+This module provides:
+
+* :func:`lb_kim` -- the 4-point bound (first, last, global min, global
+  max) against a wedge envelope, admissible for DTW into the wedge;
+* :class:`CascadePolicy` -- a pluggable leaf policy for H-Merge-style
+  search loops: given a candidate, a leaf wedge, and the current
+  threshold, run the cascade and return the exact distance or prove the
+  leaf hopeless after O(1) work.
+
+The ablation benchmark quantifies how many full DTW computations the
+extra tier removes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.counters import StepCounter
+from repro.core.wedge import Wedge
+from repro.distances.base import Measure
+
+__all__ = ["lb_kim", "CascadePolicy"]
+
+
+def lb_kim(candidate: np.ndarray, upper: np.ndarray, lower: np.ndarray) -> float:
+    """The 4-point Kim bound against an (already measure-expanded) envelope.
+
+    Admissibility: any warping path aligns the *first* points of the two
+    series with each other and the *last* points with each other, so the
+    first/last violations are unavoidable; and every candidate point --
+    including its extremes -- must pay at least its distance to the
+    envelope.  The bound is the largest single unavoidable violation,
+    which can never exceed the full accumulated LB_Keogh (hence <= DTW).
+    """
+    c = np.asarray(candidate, dtype=np.float64)
+    n = c.size
+
+    def violation(value: float, hi: float, lo: float) -> float:
+        if value > hi:
+            return value - hi
+        if value < lo:
+            return lo - value
+        return 0.0
+
+    first = violation(c[0], upper[0], lower[0])
+    last = violation(c[n - 1], upper[n - 1], lower[n - 1])
+    env_hi = float(upper.max())
+    env_lo = float(lower.min())
+    cmax = violation(float(c.max()), env_hi, env_lo)
+    cmin = violation(float(c.min()), env_hi, env_lo)
+    return max(first, last, cmax, cmin)
+
+
+class CascadePolicy:
+    """Evaluate a leaf through the LB_Kim -> LB_Keogh -> distance cascade.
+
+    Parameters
+    ----------
+    measure:
+        The final (expensive) measure; for Euclidean distance the second
+        tier is already exact and the third never runs.
+    use_kim:
+        Toggle the O(1) first tier (the ablation knob).
+    """
+
+    def __init__(self, measure: Measure, use_kim: bool = True):
+        self.measure = measure
+        self.use_kim = use_kim
+        self.kim_rejections = 0
+        self.keogh_rejections = 0
+        self.full_computations = 0
+
+    def leaf_distance(
+        self,
+        candidate: np.ndarray,
+        leaf: Wedge,
+        threshold: float,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """Exact distance to the leaf's series, or ``inf`` once provably
+        >= ``threshold`` -- after as little work as the cascade allows."""
+        upper, lower = leaf.envelope_for(self.measure)
+        if self.use_kim:
+            kim = lb_kim(candidate, upper, lower)
+            if counter is not None:
+                counter.lb_calls += 1
+                counter.add(4)  # four landmark comparisons
+            if kim >= threshold:
+                self.kim_rejections += 1
+                return math.inf
+        keogh = self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+        if keogh >= threshold:
+            self.keogh_rejections += 1
+            return math.inf
+        if self.measure.lb_exact_for_singleton:
+            return keogh
+        self.full_computations += 1
+        return self.measure.distance(candidate, leaf.series, threshold, counter=counter)
+
+    def stats(self) -> dict[str, int]:
+        """Rejection counts per tier (for the ablation report)."""
+        return {
+            "kim_rejections": self.kim_rejections,
+            "keogh_rejections": self.keogh_rejections,
+            "full_computations": self.full_computations,
+        }

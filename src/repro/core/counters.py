@@ -1,0 +1,110 @@
+"""Step-count instrumentation (the paper's ``num_steps`` cost model).
+
+Section 5.3 of the paper argues that comparing competing approaches with raw
+CPU time invites implementation bias, and instead reports the number of
+"steps" -- real-valued subtractions -- performed by each algorithm.  Every
+distance function, lower bound, and search strategy in this library reports
+the steps it performed so that the benchmark harness can regenerate the
+paper's relative-performance figures (Figures 19-23) with the same
+implementation-free metric.
+
+The conventions, matching the paper:
+
+* Euclidean distance over ``k`` processed points costs ``k`` steps (Table 1's
+  ``num_steps``); early abandoning after ``k`` points costs exactly ``k``.
+* ``LB_Keogh`` over ``k`` processed points costs ``k`` steps (Table 5).
+* DTW costs one step per warping-matrix cell actually computed, which is at
+  most ``n * (2R + 1)`` for a Sakoe-Chiba band of width ``R``.
+* The FFT lower bound is charged ``n * log2(n)`` steps per comparison, the
+  cost model stated in Section 5.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["StepCounter", "fft_step_cost"]
+
+
+@dataclass
+class StepCounter:
+    """Mutable accumulator of algorithmic work.
+
+    Attributes
+    ----------
+    steps:
+        Total number of "steps" (real-valued subtractions) performed.
+    distance_calls:
+        How many full distance computations were started.
+    lb_calls:
+        How many lower-bound computations were started.
+    early_abandons:
+        How many computations were cut short by early abandoning.
+    disk_accesses:
+        How many full objects were fetched from (simulated) disk.
+    """
+
+    steps: int = 0
+    distance_calls: int = 0
+    lb_calls: int = 0
+    early_abandons: int = 0
+    disk_accesses: int = 0
+    _checkpoints: list[int] = field(default_factory=list, repr=False)
+
+    def add(self, n: int) -> None:
+        """Record ``n`` additional steps."""
+        self.steps += int(n)
+
+    def merge(self, other: "StepCounter") -> None:
+        """Fold the counts of ``other`` into this counter."""
+        self.steps += other.steps
+        self.distance_calls += other.distance_calls
+        self.lb_calls += other.lb_calls
+        self.early_abandons += other.early_abandons
+        self.disk_accesses += other.disk_accesses
+
+    def reset(self) -> None:
+        """Zero every count."""
+        self.steps = 0
+        self.distance_calls = 0
+        self.lb_calls = 0
+        self.early_abandons = 0
+        self.disk_accesses = 0
+        self._checkpoints.clear()
+
+    def checkpoint(self) -> None:
+        """Remember the current step count (see :meth:`since_checkpoint`)."""
+        self._checkpoints.append(self.steps)
+
+    def since_checkpoint(self) -> int:
+        """Steps performed since the most recent :meth:`checkpoint`.
+
+        Pops the checkpoint, so nested checkpoint/since pairs behave like a
+        stack.  Raises :class:`IndexError` when no checkpoint is pending.
+        """
+        return self.steps - self._checkpoints.pop()
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counts as a plain dictionary (for reports)."""
+        return {
+            "steps": self.steps,
+            "distance_calls": self.distance_calls,
+            "lb_calls": self.lb_calls,
+            "early_abandons": self.early_abandons,
+            "disk_accesses": self.disk_accesses,
+        }
+
+
+def fft_step_cost(n: int) -> int:
+    """Step cost charged for one FFT lower-bound comparison.
+
+    The paper states "The cost model for the FFT lower bound is nlogn steps"
+    (Section 5.3).  We use ``ceil(n * log2(n))``, with a floor of ``n`` so a
+    degenerate length-1 series still costs at least one step.
+    """
+    if n < 1:
+        raise ValueError(f"series length must be positive, got {n}")
+    if n == 1:
+        return 1
+    return max(n, math.ceil(n * math.log2(n)))

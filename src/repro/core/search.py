@@ -1,0 +1,376 @@
+"""Rotation-invariant nearest-neighbour search strategies.
+
+This module assembles the paper's four competing search algorithms over a
+database ``Q = {Q1 .. Qm}`` of series at arbitrary rotation (Figures 19-23):
+
+* :func:`brute_force_search` -- Table 3 with early abandoning disabled:
+  every rotation of the query is fully compared to every object.
+* :func:`early_abandon_search` -- Tables 2+3: the same scan, but every
+  distance computation abandons against the running best-so-far.
+* :func:`fft_search` -- the Fourier-magnitude lower bound screens each
+  object (at the paper's ``n log n`` step cost) before the early-abandoning
+  rotation scan; Euclidean only, since coefficient magnitudes do not bound
+  DTW.
+* :func:`wedge_search` -- the paper's contribution: the query's rotations
+  are clustered into a hierarchical wedge tree (O(n^2) start-up, charged),
+  and every object is matched with H-Merge under a dynamically tuned
+  wedge-set size K.
+
+All four return a :class:`SearchResult` carrying the best match, its
+aligning rotation, and the full step accounting, and all four are **exact**:
+they always return the same nearest neighbour (Proposition 1/2 -- no false
+dismissals).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counters import StepCounter, fft_step_cost
+from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
+from repro.core.rotation import RotationSet
+from repro.core.wedge_builder import WedgeTree, build_wedge_tree
+from repro.distances.base import Measure
+from repro.distances.euclidean import EuclideanMeasure
+
+__all__ = [
+    "SearchResult",
+    "RotationQuery",
+    "AnytimeResult",
+    "brute_force_search",
+    "early_abandon_search",
+    "fft_search",
+    "wedge_search",
+    "anytime_wedge_search",
+    "test_all_rotations",
+]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one nearest-neighbour query.
+
+    Attributes
+    ----------
+    index:
+        Position of the best match in the database (-1 when nothing beat the
+        initial threshold).
+    distance:
+        The rotation-invariant distance to the best match.
+    rotation:
+        Which candidate rotation aligned best (an index into the query's
+        :class:`~repro.core.rotation.RotationSet`).
+    counter:
+        Full step accounting for the query, start-up costs included.
+    strategy:
+        Which algorithm produced this result.
+    """
+
+    index: int
+    distance: float
+    rotation: int
+    counter: StepCounter = field(default_factory=StepCounter)
+    strategy: str = ""
+
+    @property
+    def found(self) -> bool:
+        return self.index >= 0
+
+
+class RotationQuery:
+    """A query pre-processed for rotation-invariant matching.
+
+    Bundles the rotation set (Section 3's matrix **C**, with optional mirror
+    augmentation and rotation limiting) with the hierarchical wedge tree of
+    Section 4.1.  The wedge tree is built lazily on first use so strategies
+    that do not need wedges (brute force, FFT) pay nothing for it.
+    """
+
+    def __init__(
+        self,
+        series,
+        mirror: bool = False,
+        max_degrees: float | None = None,
+        linkage_method: str = "average",
+    ):
+        self.rotation_set = RotationSet.full(series, mirror=mirror, max_degrees=max_degrees)
+        self.linkage_method = linkage_method
+        self._tree: WedgeTree | None = None
+        self._signature_cache: dict[int | None, np.ndarray] = {}
+
+    @property
+    def length(self) -> int:
+        return self.rotation_set.length
+
+    @property
+    def rotations(self) -> np.ndarray:
+        return self.rotation_set.rotations
+
+    def wedge_tree(self, counter: StepCounter | None = None) -> WedgeTree:
+        """The hierarchical wedge tree, built (and charged) once."""
+        if self._tree is None:
+            self._tree = build_wedge_tree(
+                self.rotation_set, method=self.linkage_method, counter=counter
+            )
+        return self._tree
+
+    def signature(self, n_coefficients: int | None = None) -> np.ndarray:
+        """Fourier magnitude signature (identical for every rotation)."""
+        # Imported here: repro.index pulls in modules that themselves import
+        # this one, so a top-level import would be circular.
+        from repro.index.fourier import fourier_signature
+
+        if n_coefficients not in self._signature_cache:
+            self._signature_cache[n_coefficients] = fourier_signature(
+                self.rotation_set.series, n_coefficients
+            )
+        return self._signature_cache[n_coefficients]
+
+
+def _as_query(
+    query,
+    mirror: bool,
+    max_degrees: float | None,
+    linkage_method: str = "average",
+) -> RotationQuery:
+    if isinstance(query, RotationQuery):
+        return query
+    return RotationQuery(
+        query, mirror=mirror, max_degrees=max_degrees, linkage_method=linkage_method
+    )
+
+
+def test_all_rotations(
+    candidate,
+    query: RotationQuery,
+    measure: Measure,
+    r: float = math.inf,
+    counter: StepCounter | None = None,
+    early_abandon: bool = True,
+) -> tuple[float, int]:
+    """The paper's ``Test_All_Rotations`` (Table 2).
+
+    Scans every candidate rotation of ``query`` against ``candidate`` with a
+    running best-so-far seeded at ``r``.  Returns ``(distance, rotation)``;
+    the distance is ``math.inf`` when no rotation beat ``r``.
+    """
+    return measure.batch_min_distance(
+        np.asarray(candidate, dtype=np.float64),
+        query.rotations,
+        r=r,
+        counter=counter,
+        early_abandon=early_abandon,
+    )
+
+
+def brute_force_search(
+    database: Sequence,
+    query,
+    measure: Measure,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+) -> SearchResult:
+    """Exhaustive search with no pruning at all (the paper's "Brute force")."""
+    rq = _as_query(query, mirror, max_degrees)
+    counter = StepCounter()
+    best = math.inf
+    best_index, best_rotation = -1, -1
+    for i, obj in enumerate(database):
+        dist, rotation = test_all_rotations(
+            obj, rq, measure, r=math.inf, counter=counter, early_abandon=False
+        )
+        if dist < best:
+            best, best_index, best_rotation = dist, i, rotation
+    return SearchResult(best_index, best, best_rotation, counter, "brute-force")
+
+
+def early_abandon_search(
+    database: Sequence,
+    query,
+    measure: Measure,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+) -> SearchResult:
+    """Linear scan with early abandoning everywhere (the "Early abandon" line)."""
+    rq = _as_query(query, mirror, max_degrees)
+    counter = StepCounter()
+    best = math.inf
+    best_index, best_rotation = -1, -1
+    for i, obj in enumerate(database):
+        dist, rotation = test_all_rotations(
+            obj, rq, measure, r=best, counter=counter, early_abandon=True
+        )
+        if dist < best:
+            best, best_index, best_rotation = dist, i, rotation
+    return SearchResult(best_index, best, best_rotation, counter, "early-abandon")
+
+
+def fft_search(
+    database: Sequence,
+    query,
+    measure: Measure | None = None,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+) -> SearchResult:
+    """Fourier-magnitude screening before the early-abandoning scan.
+
+    Only valid for Euclidean distance: DFT magnitudes bound rotation-
+    invariant ED, not DTW or LCSS.  Each screening test is charged the
+    paper's ``n log n`` step cost.
+    """
+    if measure is None:
+        measure = EuclideanMeasure()
+    if measure.name != "euclidean":
+        raise ValueError(
+            "the Fourier magnitude bound only lower-bounds Euclidean distance; "
+            f"got measure {measure.name!r}"
+        )
+    from repro.index.fourier import fourier_signature, signature_distance
+
+    rq = _as_query(query, mirror, max_degrees)
+    counter = StepCounter()
+    n = rq.length
+    query_sig = rq.signature()
+    best = math.inf
+    best_index, best_rotation = -1, -1
+    for i, obj in enumerate(database):
+        counter.lb_calls += 1
+        counter.add(fft_step_cost(n))
+        lb = signature_distance(query_sig, fourier_signature(obj))
+        if lb >= best:
+            counter.early_abandons += 1
+            continue
+        dist, rotation = test_all_rotations(
+            obj, rq, measure, r=best, counter=counter, early_abandon=True
+        )
+        if dist < best:
+            best, best_index, best_rotation = dist, i, rotation
+    return SearchResult(best_index, best, best_rotation, counter, "fft")
+
+
+def wedge_search(
+    database: Sequence,
+    query,
+    measure: Measure,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+    linkage_method: str = "average",
+    k_policy: DynamicKPolicy | FixedKPolicy | None = None,
+    order: str = "dfs",
+    charge_setup: bool = True,
+) -> SearchResult:
+    """The paper's wedge-based search (Section 4.1).
+
+    Builds the query's hierarchical wedge tree (charging the O(n^2)
+    start-up unless ``charge_setup=False``), then scans the database with
+    H-Merge.  The wedge-set size ``K`` follows ``k_policy`` -- by default
+    the dynamic scheme that re-tunes K (by probing candidate values on the
+    next object, probe cost included) every time the best-so-far improves.
+    """
+    rq = _as_query(query, mirror, max_degrees, linkage_method)
+    counter = StepCounter()
+    tree = rq.wedge_tree(counter if charge_setup else None)
+    policy = k_policy if k_policy is not None else DynamicKPolicy()
+    max_k = tree.max_k
+    best = math.inf
+    best_index, best_rotation = -1, -1
+    probe_ks: list[int] = []
+    for i, obj in enumerate(database):
+        obj = np.asarray(obj, dtype=np.float64)
+        if probe_ks:
+            dist, rotation = math.inf, -1
+            for k in probe_ks:
+                counter.checkpoint()
+                dist, rotation = h_merge(
+                    obj, tree.frontier(k), measure, r=best, counter=counter, order=order
+                )
+                policy.observe_probe(k, counter.since_checkpoint())
+            probe_ks = []
+        else:
+            k = policy.current_k(max_k)
+            dist, rotation = h_merge(
+                obj, tree.frontier(k), measure, r=best, counter=counter, order=order
+            )
+        if dist < best:
+            best, best_index, best_rotation = dist, i, rotation
+            probe_ks = policy.candidates_after_improvement(max_k)
+    return SearchResult(best_index, best, best_rotation, counter, "wedge")
+
+
+@dataclass
+class AnytimeResult:
+    """Outcome of a budgeted search: the best answer found so far.
+
+    ``exact`` is True when the whole database was scanned within budget,
+    in which case ``result`` carries the same guarantee as
+    :func:`wedge_search`; otherwise it is the best over
+    ``objects_scanned`` objects -- an anytime answer that only improves
+    with budget.
+    """
+
+    result: SearchResult
+    exact: bool
+    objects_scanned: int
+
+
+def anytime_wedge_search(
+    database: Sequence,
+    query,
+    measure: Measure,
+    step_budget: int,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+    order_by_signature: bool = True,
+    wedge_set_size: int = 8,
+) -> AnytimeResult:
+    """Wedge search under a hard step budget (anytime semantics).
+
+    The scan stops once ``step_budget`` steps have been spent (the wedge
+    build is charged first -- a budget below the O(n^2) start-up yields an
+    empty answer).  With ``order_by_signature`` (Euclidean only), objects
+    are visited in ascending Fourier-magnitude-bound order, so the most
+    promising candidates are verified first and the early answer is
+    typically already the true nearest neighbour.
+    """
+    if step_budget < 1:
+        raise ValueError(f"step_budget must be positive, got {step_budget}")
+    rq = _as_query(query, mirror, max_degrees)
+    counter = StepCounter()
+    tree = rq.wedge_tree(counter)
+    frontier = tree.frontier(min(wedge_set_size, tree.max_k))
+
+    order = range(len(database))
+    if order_by_signature and measure.name == "euclidean" and len(database):
+        from repro.index.fourier import fourier_signature
+
+        query_sig = rq.signature()
+        bounds = []
+        for obj in database:
+            counter.add(fft_step_cost(rq.length))
+            bounds.append(signature_gap(query_sig, obj))
+        order = np.argsort(np.asarray(bounds), kind="stable")
+
+    best = math.inf
+    best_index, best_rotation = -1, -1
+    scanned = 0
+    for i in order:
+        if counter.steps >= step_budget:
+            break
+        obj = np.asarray(database[int(i)], dtype=np.float64)
+        dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
+        scanned += 1
+        if dist < best:
+            best, best_index, best_rotation = dist, int(i), rotation
+    result = SearchResult(best_index, best, best_rotation, counter, "anytime-wedge")
+    return AnytimeResult(result=result, exact=scanned == len(database), objects_scanned=scanned)
+
+
+def signature_gap(query_signature: np.ndarray, candidate) -> float:
+    """Fourier-magnitude bound between a precomputed signature and a raw series."""
+    from repro.index.fourier import fourier_signature, signature_distance
+
+    return signature_distance(query_signature, fourier_signature(candidate))

@@ -1,0 +1,136 @@
+"""Time-series wedges: bounding envelopes over sets of candidate sequences.
+
+A wedge ``W = {U, L}`` (Section 4.1, Figure 6) is the smallest envelope
+enclosing a set of series: ``U_i = max(C1_i .. Ck_i)``,
+``L_i = min(C1_i .. Ck_i)``.  Wedges nest hierarchically (Figure 7): merging
+``W(1,2)`` with ``W3`` takes pointwise max/min of the arms, and individual
+sequences are degenerate wedges with ``U == L``.
+
+Because the tightness of ``LB_Keogh`` degrades as a wedge gets fatter
+(Figure 8), each wedge records its *area* -- the quantity the paper uses to
+reason about which merges are worthwhile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.ops import as_series
+
+__all__ = ["Wedge"]
+
+
+class Wedge:
+    """A (possibly hierarchically nested) bounding envelope.
+
+    Attributes
+    ----------
+    upper, lower:
+        The envelope arms ``U`` and ``L``; for a leaf both equal the series.
+    indices:
+        Candidate-sequence ids enclosed by this wedge (rotation indices in
+        the rotation-invariant setting).
+    children:
+        The two child wedges this wedge was merged from; empty for a leaf.
+    height:
+        The clustering height at which the children were merged (0 for a
+        leaf); used to cut the tree into wedge sets of any size ``K``.
+    """
+
+    __slots__ = ("upper", "lower", "indices", "children", "height", "_envelopes")
+
+    def __init__(
+        self,
+        upper: np.ndarray,
+        lower: np.ndarray,
+        indices: tuple[int, ...],
+        children: tuple["Wedge", ...] = (),
+        height: float = 0.0,
+    ):
+        if upper.shape != lower.shape or upper.ndim != 1:
+            raise ValueError(
+                f"envelope arms must be equal-length 1-D arrays, got {upper.shape} and {lower.shape}"
+            )
+        if np.any(upper < lower):
+            raise ValueError("upper arm dips below lower arm")
+        if not indices:
+            raise ValueError("a wedge must enclose at least one sequence")
+        if children and len(children) != 2:
+            raise ValueError(f"wedges merge exactly two children, got {len(children)}")
+        self.upper = upper
+        self.lower = lower
+        self.indices = tuple(indices)
+        self.children = tuple(children)
+        self.height = float(height)
+        # Per-measure expanded envelopes (e.g. the DTW_U/DTW_L expansion),
+        # cached keyed by Measure.cache_key().
+        self._envelopes: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def from_series(cls, series, index: int) -> "Wedge":
+        """A degenerate wedge enclosing a single sequence."""
+        arr = as_series(series)
+        return cls(arr, arr, (index,))
+
+    @classmethod
+    def merge(cls, left: "Wedge", right: "Wedge", height: float = 0.0) -> "Wedge":
+        """Combine two wedges into their smallest common envelope (Figure 7)."""
+        if left.upper.size != right.upper.size:
+            raise ValueError(
+                f"cannot merge wedges of different lengths: {left.upper.size} vs {right.upper.size}"
+            )
+        overlap = set(left.indices) & set(right.indices)
+        if overlap:
+            raise ValueError(f"wedges share sequences {sorted(overlap)}")
+        return cls(
+            np.maximum(left.upper, right.upper),
+            np.minimum(left.lower, right.lower),
+            tuple(left.indices + right.indices),
+            children=(left, right),
+            height=height,
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def cardinality(self) -> int:
+        """Number of candidate sequences enclosed (the paper's |W|)."""
+        return len(self.indices)
+
+    @property
+    def length(self) -> int:
+        return self.upper.size
+
+    @property
+    def series(self) -> np.ndarray:
+        """The single enclosed sequence; only valid on a leaf."""
+        if not self.is_leaf:
+            raise ValueError(f"wedge over {self.cardinality} sequences has no single series")
+        return self.upper
+
+    def area(self) -> float:
+        """Total gap between the arms, the paper's predictor of pruning power."""
+        return float(np.sum(self.upper - self.lower))
+
+    def encloses(self, series) -> bool:
+        """True when ``L_i <= series_i <= U_i`` everywhere (with float slack)."""
+        arr = as_series(series)
+        if arr.size != self.length:
+            return False
+        eps = 1e-9
+        return bool(np.all(arr <= self.upper + eps) and np.all(arr >= self.lower - eps))
+
+    def envelope_for(self, measure) -> tuple[np.ndarray, np.ndarray]:
+        """The envelope expanded as ``measure`` requires, cached per measure."""
+        key = measure.cache_key()
+        cached = self._envelopes.get(key)
+        if cached is None:
+            cached = measure.expand_envelope(self.upper, self.lower)
+            self._envelopes[key] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"node(h={self.height:.3g})"
+        return f"Wedge({kind}, |W|={self.cardinality}, area={self.area():.3g})"

@@ -1,0 +1,23 @@
+"""Synthetic reconstructions of the paper's evaluation datasets."""
+
+from repro.datasets.lightcurve_data import light_curve_collection, light_curve_labelled_dataset
+from repro.datasets.registry import (
+    TABLE_EIGHT,
+    TableEightSpec,
+    env_scale,
+    heterogeneous_collection,
+    load_dataset,
+)
+from repro.datasets.shapes_data import (
+    Dataset,
+    make_archetype_dataset,
+    projectile_point_collection,
+    projectile_point_dataset,
+)
+
+__all__ = [
+    "Dataset", "make_archetype_dataset", "projectile_point_dataset",
+    "projectile_point_collection", "light_curve_labelled_dataset",
+    "light_curve_collection", "TABLE_EIGHT", "TableEightSpec", "load_dataset",
+    "heterogeneous_collection", "env_scale",
+]

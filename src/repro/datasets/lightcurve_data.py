@@ -1,0 +1,53 @@
+"""The Light-Curve dataset and unlabelled archives for the indexing figures.
+
+Wraps :mod:`repro.timeseries.lightcurves` into the :class:`Dataset`
+container used by the classification harness (Table 8's 3-class Light-Curve
+row) and provides the unlabelled archive used by the search-efficiency
+experiments on star data (Figures 22-23).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.shapes_data import Dataset
+from repro.timeseries.lightcurves import LIGHT_CURVE_CLASSES, light_curve
+
+__all__ = ["light_curve_labelled_dataset", "light_curve_collection"]
+
+
+def light_curve_labelled_dataset(
+    rng: np.random.Generator,
+    per_class: int,
+    length: int = 512,
+    noise: float = 0.05,
+) -> Dataset:
+    """Labelled light curves across the three periodic-variable classes."""
+    series_list: list[np.ndarray] = []
+    labels: list[int] = []
+    for label, kind in enumerate(LIGHT_CURVE_CLASSES):
+        for _ in range(per_class):
+            series_list.append(light_curve(rng, kind, length=length, noise=noise))
+            labels.append(label)
+    return Dataset(
+        "light-curves",
+        np.vstack(series_list),
+        np.asarray(labels),
+        class_names=list(LIGHT_CURVE_CLASSES),
+    )
+
+
+def light_curve_collection(
+    rng: np.random.Generator,
+    size: int,
+    length: int = 512,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """An unlabelled archive of ``size`` light curves (classes drawn uniformly)."""
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    rows = []
+    for _ in range(size):
+        kind = LIGHT_CURVE_CLASSES[int(rng.integers(0, len(LIGHT_CURVE_CLASSES)))]
+        rows.append(light_curve(rng, kind, length=length, noise=noise))
+    return np.vstack(rows)

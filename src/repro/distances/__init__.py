@@ -1,0 +1,19 @@
+"""Distance measures: Euclidean, DTW, LCSS -- all early-abandoning."""
+
+from repro.distances.base import Measure
+from repro.distances.dtw import DTWMeasure, band_cell_count, dtw_batch, dtw_distance, warping_path
+from repro.distances.euclidean import EuclideanMeasure, ea_euclidean_distance, euclidean_distance
+from repro.distances.imagespace import (
+    chamfer_distance,
+    hausdorff_distance,
+    rotation_invariant_pointset_distance,
+)
+from repro.distances.lcss import LCSSMeasure, lcss_batch, lcss_similarity
+
+__all__ = [
+    "Measure", "EuclideanMeasure", "DTWMeasure", "LCSSMeasure",
+    "euclidean_distance", "ea_euclidean_distance",
+    "dtw_distance", "dtw_batch", "warping_path", "band_cell_count",
+    "lcss_similarity", "lcss_batch",
+    "chamfer_distance", "hausdorff_distance", "rotation_invariant_pointset_distance",
+]

@@ -1,0 +1,136 @@
+"""The distance-measure protocol shared by Euclidean, DTW, and LCSS.
+
+The paper's central claim is that its wedge machinery works "with all the
+most popular distance measures".  The machinery needs exactly three things
+from a measure, captured by :class:`Measure`:
+
+1. ``distance(q, c, r)`` -- the true distance, early-abandoning against a
+   threshold ``r`` (Definition 1 / Table 1).
+2. ``expand_envelope(U, L)`` -- how a wedge envelope must be widened before
+   lower bounding (identity for Euclidean; the Sakoe-Chiba expansion of
+   Figure 13 for DTW; a band-and-threshold expansion for LCSS).
+3. ``lower_bound(q, EU, EL, r)`` -- the LB_Keogh-style bound of the measure
+   against an (expanded) envelope, also early-abandoning (Table 5).
+
+Every method reports work on an optional :class:`~repro.core.counters.StepCounter`
+so the benchmark harness can reproduce the paper's implementation-free cost
+accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.core.counters import StepCounter
+
+__all__ = ["Measure"]
+
+
+class Measure(abc.ABC):
+    """A distance measure usable by the rotation-invariant search engine.
+
+    Subclasses must be stateless apart from their parameters (e.g. the DTW
+    band width), so one instance can be shared across threads and queries.
+    """
+
+    #: Short machine-readable name ("euclidean", "dtw", "lcss").
+    name: str = "abstract"
+
+    #: True when the lower bound against a single-sequence (degenerate)
+    #: wedge equals the true distance, so leaf wedges need no second pass.
+    #: Holds for Euclidean distance (LB_Keogh degenerates to ED); not for
+    #: DTW or LCSS, whose envelopes are widened by the warping band.
+    lb_exact_for_singleton: bool = False
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of this measure's envelope expansion.
+
+        Wedges cache their expanded envelopes keyed by this value, so two
+        measure instances with identical parameters share cache entries.
+        """
+        return (self.name,)
+
+    @abc.abstractmethod
+    def distance(
+        self,
+        q: np.ndarray,
+        c: np.ndarray,
+        r: float = math.inf,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """True distance between ``q`` and ``c``, early-abandoning at ``r``.
+
+        Returns ``math.inf`` when the computation was abandoned because the
+        partial sum already proved the distance exceeds ``r``; otherwise the
+        exact distance.
+        """
+
+    @abc.abstractmethod
+    def expand_envelope(
+        self, upper: np.ndarray, lower: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Widen a raw wedge envelope ``(U, L)`` as this measure requires.
+
+        For Euclidean distance this is the identity.  For DTW it is the
+        sliding-window expansion ``DTW_U / DTW_L`` of Section 4.3.
+        """
+
+    @abc.abstractmethod
+    def lower_bound(
+        self,
+        q: np.ndarray,
+        upper: np.ndarray,
+        lower: np.ndarray,
+        r: float = math.inf,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """LB_Keogh of ``q`` against an envelope already expanded for this measure.
+
+        Guaranteed to be ≤ the true distance from ``q`` to every series the
+        envelope encloses (Propositions 1 and 2).  Returns ``math.inf`` when
+        early-abandoned at ``r``.
+        """
+
+    def batch_min_distance(
+        self,
+        q: np.ndarray,
+        candidates: np.ndarray,
+        r: float = math.inf,
+        counter: StepCounter | None = None,
+        early_abandon: bool = True,
+    ) -> tuple[float, int]:
+        """Minimum distance from ``q`` to any row of ``candidates``.
+
+        The rows are scanned in order, each comparison early-abandoning
+        against the best value seen so far (seeded with ``r``), exactly like
+        the paper's ``Test_All_Rotations`` (Table 2).  Returns
+        ``(best_distance, best_row_index)``; ``best_distance`` is
+        ``math.inf`` and the index ``-1`` when nothing beat ``r``.
+
+        Subclasses override this with vectorised implementations; the base
+        version simply loops over :meth:`distance`.
+        """
+        best = float(r)
+        best_idx = -1
+        for j, row in enumerate(np.atleast_2d(candidates)):
+            dist = self.distance(q, row, best, counter=counter)
+            if dist < best:
+                best = dist
+                best_idx = j
+        if best_idx < 0:
+            return math.inf, -1
+        return best, best_idx
+
+    def pairwise_cost(self, n: int) -> int:
+        """Worst-case step cost of one full distance computation at length ``n``.
+
+        Used by benchmarks to report analytic brute-force costs without
+        actually performing the computation.
+        """
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,107 @@
+"""Image-space baselines: Chamfer and Hausdorff distance (Section 2).
+
+"The two most popular measures that operate directly in the image space,
+the Chamfer [6] and Hausdorff [27] distance measures, require O(n^2 log n)
+time, and recent experiments ... suggest that 1D representations can
+achieve comparable or superior accuracy."  On the MixedBag dataset the
+paper reports Chamfer at 6.0% and Hausdorff at 7.0% error, "slightly worse
+than Euclidean distance" (4.375%).
+
+These baselines are implemented over boundary point sets so that (a) the
+comparison is runnable (``benchmarks/test_baseline_measures.py``) and (b)
+the paper's thought experiment is testable: the Hausdorff distance is
+catastrophically sensitive to a single articulated appendage (the "bent
+car antenna"), while the centroid-distance representation is not.
+
+Rotation invariance is obtained the only way these measures support it --
+brute-force minimisation over sampled rotations -- which is precisely why
+the paper's 1-D machinery is preferable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.shapes.convert import resample_closed_curve
+
+__all__ = [
+    "directed_hausdorff",
+    "hausdorff_distance",
+    "chamfer_distance",
+    "rotation_invariant_pointset_distance",
+]
+
+
+def _normalise(points: np.ndarray, n_samples: int) -> np.ndarray:
+    """Resample, centre on the centroid, and scale to unit RMS radius."""
+    pts = resample_closed_curve(np.asarray(points, dtype=np.float64), n_samples)
+    pts = pts - pts.mean(axis=0)
+    rms = math.sqrt(float(np.mean(np.einsum("ij,ij->i", pts, pts))))
+    if rms > 1e-12:
+        pts = pts / rms
+    return pts
+
+
+def _cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    diff = a[:, np.newaxis, :] - b[np.newaxis, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def directed_hausdorff(a, b) -> float:
+    """``max_{p in A} min_{q in B} |p - q|`` on raw point sets."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return float(_cross_distances(a, b).min(axis=1).max())
+
+
+def hausdorff_distance(a, b) -> float:
+    """Symmetric Hausdorff distance: max of the two directed distances."""
+    d = _cross_distances(np.asarray(a, float), np.asarray(b, float))
+    return float(max(d.min(axis=1).max(), d.min(axis=0).max()))
+
+
+def chamfer_distance(a, b) -> float:
+    """Symmetric Chamfer distance: *mean* nearest-point distance.
+
+    Averaging instead of maximising makes Chamfer far less brittle to a
+    single outlying point than Hausdorff -- visible in the articulation
+    tests.
+    """
+    d = _cross_distances(np.asarray(a, float), np.asarray(b, float))
+    return float((d.min(axis=1).mean() + d.min(axis=0).mean()) / 2.0)
+
+
+def rotation_invariant_pointset_distance(
+    shape_a,
+    shape_b,
+    metric: str = "chamfer",
+    n_rotations: int = 64,
+    n_samples: int = 128,
+) -> float:
+    """Best-rotation Chamfer/Hausdorff distance between two closed shapes.
+
+    Shapes are normalised for translation and scale, then one is rotated
+    through ``n_rotations`` sampled angles (the paper: R "should be
+    approximately equal n to guarantee all rotations ... are considered",
+    which is exactly the O(R p log p) cost it criticises).
+    """
+    if metric == "chamfer":
+        measure = chamfer_distance
+    elif metric == "hausdorff":
+        measure = hausdorff_distance
+    else:
+        raise ValueError(f"unknown metric {metric!r}; choose 'chamfer' or 'hausdorff'")
+    if n_rotations < 1:
+        raise ValueError(f"n_rotations must be positive, got {n_rotations}")
+    a = _normalise(shape_a, n_samples)
+    b = _normalise(shape_b, n_samples)
+    best = math.inf
+    for t in range(n_rotations):
+        theta = 2.0 * math.pi * t / n_rotations
+        rot = np.array(
+            [[math.cos(theta), -math.sin(theta)], [math.sin(theta), math.cos(theta)]]
+        )
+        best = min(best, measure(a, b @ rot.T))
+    return best

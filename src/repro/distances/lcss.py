@@ -1,0 +1,240 @@
+"""Longest Common SubSequence similarity (Section 4.3, Figures 14-15).
+
+LCSS is DTW's robust cousin: instead of forcing every point to match, it
+simply ignores parts of the series that are too difficult to match --
+occlusions, broken projectile-point tips, missing skull bones.  Two points
+``q_i`` and ``c_j`` *match* when they are within ``epsilon`` in value and
+within ``delta`` in time; the LCSS length is the largest number of
+monotonically ordered matches.
+
+Following the paper (and Vlachos et al. [37], which it cites for the lower
+bound), we report:
+
+* ``similarity(q, c) = lcss_length / n``  in ``[0, 1]``,
+* ``distance(q, c)   = 1 - similarity``   so the wedge machinery can treat
+  LCSS uniformly as a distance (the paper: "The minor changes include
+  reversing some inequality signs since LCSS is a similarity measure").
+
+The dynamic program runs over anti-diagonals exactly like
+:mod:`repro.distances.dtw`, with ``max`` in place of ``min``, and abandons
+early once even a perfect match of all remaining points could not bring the
+distance below the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.counters import StepCounter
+from repro.distances.base import Measure
+from repro.timeseries.ops import sliding_envelope
+
+__all__ = ["LCSSMeasure", "lcss_similarity", "lcss_batch"]
+
+
+def _diag_bounds(s: int, n: int, radius: int) -> tuple[int, int]:
+    lo = max(0, s - (n - 1), (s - radius + 1) // 2)
+    hi = min(n - 1, s, (s + radius) // 2)
+    return lo, hi
+
+
+def lcss_similarity(q, c, delta: int, epsilon: float) -> float:
+    """LCSS similarity of two equal-length series, in ``[0, 1]``."""
+    sims, _steps, _abandoned = lcss_batch(q, np.atleast_2d(c), delta, epsilon)
+    return float(sims[0])
+
+
+def lcss_batch(
+    q,
+    candidates,
+    delta: int,
+    epsilon: float,
+    min_similarity: float = 0.0,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Banded LCSS similarity of ``q`` against every row of ``candidates``.
+
+    Parameters
+    ----------
+    q, candidates:
+        Query series and a ``(k, n)`` matrix of candidates.
+    delta:
+        Maximum time separation ``|i - j|`` of a matched pair.
+    epsilon:
+        Maximum value separation of a matched pair.
+    min_similarity:
+        Early-abandonment floor: a candidate is abandoned once even matching
+        every remaining point could not reach this similarity.  Abandoned
+        candidates report similarity ``-inf``.
+
+    Returns
+    -------
+    (similarities, steps, abandoned)
+    """
+    q = np.asarray(q, dtype=np.float64)
+    rows = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    if rows.shape[1] != q.size:
+        raise ValueError(f"length mismatch: {rows.shape[1]} vs {q.size}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    n = q.size
+    k = rows.shape[0]
+    delta = min(int(delta), n - 1)
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    required = min_similarity * n  # matches needed to stay viable
+
+    # Missing predecessors -- the virtual row/column -1 and cells outside the
+    # band -- are read as 0.  This is exact: every optimal in-band match
+    # sequence can be realised by a skip path that never leaves the band, and
+    # LCSS lengths are non-negative, so clamping missing cells to 0 neither
+    # gains nor loses matches.
+    prev1 = np.zeros((k, n))
+    prev2 = np.zeros((k, n))
+    alive = np.ones(k, dtype=bool)
+    prev1_best = np.zeros(k)
+    prev2_best = np.zeros(k)
+    steps = 0
+
+    for s in range(2 * n - 1):
+        lo, hi = _diag_bounds(s, n, delta)
+        if lo > hi:
+            # Empty diagonal (delta=0, odd s): rotate the buffers so that
+            # predecessor reads stay aligned with their anti-diagonal depth.
+            prev2, prev2_best = prev1, prev1_best
+            prev1 = np.zeros((k, n))
+            prev1_best = np.zeros(k)
+            continue
+        width = hi - lo + 1
+        q_slice = q[lo : hi + 1]
+        c_slice = rows[:, s - hi : s - lo + 1][:, ::-1]
+        match = (np.abs(c_slice - q_slice[np.newaxis, :]) <= epsilon).astype(np.float64)
+
+        if s == 0:
+            current = match
+        else:
+            up = prev1[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev1[:, lo:hi], k)
+            left = prev1[:, lo : hi + 1]
+            diag = prev2[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev2[:, lo:hi], k)
+            # L[i,j] = max(L[i-1,j], L[i,j-1], L[i-1,j-1] + match(i,j)) is the
+            # standard skip/extend formulation of LCSS.
+            current = np.maximum(np.maximum(up, left), diag + match)
+
+        steps += int(alive.sum()) * width
+
+        new_best = current.max(axis=1)
+        prev2 = prev1
+        prev2_best = prev1_best
+        prev1 = np.zeros((k, n))
+        prev1[:, lo : hi + 1] = current
+        prev1_best = new_best
+
+        if required > 0:
+            # From any cell on diagonal s, at most n - 1 - ceil(s/2) further
+            # matches are possible (each match advances both coordinates).
+            remaining = n - 1 - ((s + 1) // 2)
+            reachable = np.maximum(prev1_best, prev2_best) + remaining
+            doomed = (reachable < required) & alive
+            if doomed.any():
+                alive &= ~doomed
+                if not alive.any():
+                    break
+
+    sims = np.full(k, -np.inf)
+    final = prev1[:, n - 1]
+    # A candidate that survived to the last anti-diagonal is finished; a
+    # finished candidate that still misses the floor is reported as-is.
+    # Only truly abandoned candidates carry -inf.
+    sims[alive] = final[alive] / n
+    abandoned = ~alive
+    return sims, steps, abandoned
+
+
+def _pad_left(block: np.ndarray, k: int) -> np.ndarray:
+    pad = np.zeros((k, 1))
+    if block.shape[1] == 0:
+        return pad
+    return np.concatenate([pad, block], axis=1)
+
+
+class LCSSMeasure(Measure):
+    """LCSS exposed as a distance (``1 - similarity``) for the wedge engine.
+
+    Parameters
+    ----------
+    delta:
+        Time-warping band (like DTW's ``R``).
+    epsilon:
+        Value threshold below which two points are considered matched.
+    """
+
+    name = "lcss"
+
+    def __init__(self, delta: int, epsilon: float):
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        self.delta = int(delta)
+        self.epsilon = float(epsilon)
+
+    def cache_key(self) -> tuple:
+        return (self.name, self.delta, self.epsilon)
+
+    def distance(self, q, c, r=math.inf, counter: StepCounter | None = None) -> float:
+        floor = max(0.0, 1.0 - r) if math.isfinite(r) else 0.0
+        sims, steps, abandoned = lcss_batch(
+            q, np.atleast_2d(c), self.delta, self.epsilon, min_similarity=floor
+        )
+        if counter is not None:
+            counter.distance_calls += 1
+            counter.add(steps)
+            counter.early_abandons += int(abandoned[0])
+        if abandoned[0]:
+            return math.inf
+        return 1.0 - float(sims[0])
+
+    def expand_envelope(self, upper, lower):
+        """Widen the wedge by the time band ``delta`` and value band ``epsilon``."""
+        u, lo = sliding_envelope(upper, lower, self.delta)
+        return u + self.epsilon, lo - self.epsilon
+
+    def lower_bound(
+        self, q, upper, lower, r=math.inf, counter: StepCounter | None = None
+    ) -> float:
+        """``1 - (matchable points) / n`` lower-bounds the LCSS distance.
+
+        A point of the candidate that lies outside the expanded envelope can
+        never participate in a match with any enclosed query rotation, so
+        the count of in-envelope points upper-bounds the LCSS length.
+        Scanning abandons once the mismatch count alone already exceeds
+        ``r * n``.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        lower = np.asarray(lower, dtype=np.float64)
+        n = q.size
+        outside = (q > upper) | (q < lower)
+        if counter is not None:
+            counter.lb_calls += 1
+        if math.isfinite(r):
+            misses = np.cumsum(outside)
+            allowed = r * n
+            cut = int(np.searchsorted(misses, allowed, side="right"))
+            if cut < n:
+                if counter is not None:
+                    counter.add(cut + 1)
+                    counter.early_abandons += 1
+                return math.inf
+        if counter is not None:
+            counter.add(n)
+        return float(int(outside.sum())) / n
+
+    def pairwise_cost(self, n: int) -> int:
+        from repro.distances.dtw import band_cell_count
+
+        return band_cell_count(n, self.delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LCSSMeasure(delta={self.delta}, epsilon={self.epsilon})"

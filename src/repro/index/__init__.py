@@ -1,0 +1,19 @@
+"""Disk-resident indexing: signatures, VP-tree, filter-and-refine scan."""
+
+from repro.index.disk import DiskStore
+from repro.index.fourier import (
+    fourier_signature,
+    rotation_invariant_ed_lower_bound,
+    signature_distance,
+)
+from repro.index.linear_scan import IndexedSearchResult, SignatureFilteredScan
+from repro.index.paa import lb_paa, paa, paa_envelope, segment_lengths
+from repro.index.rtree import Rect, RTree
+from repro.index.vptree import VPTree
+
+__all__ = [
+    "DiskStore", "fourier_signature", "signature_distance",
+    "rotation_invariant_ed_lower_bound", "SignatureFilteredScan",
+    "IndexedSearchResult", "paa", "paa_envelope", "lb_paa", "segment_lengths",
+    "VPTree", "RTree", "Rect",
+]

@@ -1,0 +1,329 @@
+"""Disk-based rotation-invariant indexing: filter in memory, refine on disk.
+
+Section 5.4's argument: once CPU cost is solved by the wedge machinery, the
+bottleneck is disk.  The index keeps a ``D``-dimensional signature of every
+object in memory; a query (1) lower-bounds every object's rotation-invariant
+distance from the signatures alone, (2) fetches full objects from disk in
+ascending-bound order, refining each with the exact H-Merge, and (3) stops
+as soon as the next bound is no better than the best verified distance --
+the GEMINI filter-and-refine pattern with a no-false-dismissal guarantee.
+
+Signatures by measure:
+
+* **Euclidean** -- truncated Fourier magnitudes
+  (:mod:`repro.index.fourier`), optionally routed through the VP-tree of
+  Table 7 to also cut in-memory work.
+* **DTW** -- PAA of the candidate vs PAA of the query's all-rotations wedge
+  expanded by the Sakoe-Chiba band (:mod:`repro.index.paa`).
+
+Figure 24's metric -- the fraction of objects fetched -- is reported on the
+returned result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.counters import StepCounter
+from repro.core.hmerge import h_merge
+from repro.core.search import RotationQuery, SearchResult
+from repro.distances.base import Measure
+from repro.index.disk import DiskStore
+from repro.index.fourier import fourier_signature, signature_distance
+from repro.index.paa import lb_paa, paa, paa_envelope, segment_lengths
+from repro.index.rtree import Rect, RTree
+from repro.index.vptree import VPTree
+
+__all__ = ["IndexedSearchResult", "SignatureFilteredScan"]
+
+_STRUCTURES = ("flat", "vptree", "rtree")
+
+
+@dataclass
+class IndexedSearchResult:
+    """A disk-index query outcome: the match plus retrieval accounting."""
+
+    result: SearchResult
+    objects_retrieved: int
+    fraction_retrieved: float
+    signature_tests: int
+
+
+class SignatureFilteredScan:
+    """An exact rotation-invariant disk index over a fixed collection.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` collection to index.
+    n_coefficients:
+        Signature dimensionality ``D`` (Figure 24 sweeps {4, 8, 16, 32}).
+    use_vptree:
+        Back-compat alias for ``structure="vptree"``.
+    structure:
+        In-memory organisation of the signatures: ``"flat"`` scores all
+        ``m`` signatures per query; ``"vptree"`` routes Euclidean queries
+        through the metric tree of Table 7; ``"rtree"`` routes both
+        Euclidean (Fourier points) and DTW (weighted PAA points, queried
+        with the wedge set's envelope rectangles) through an STR-packed
+        R-tree -- the envelope-indexing structure of [16]/[37].
+    """
+
+    def __init__(
+        self,
+        database,
+        n_coefficients: int = 16,
+        use_vptree: bool = False,
+        structure: str | None = None,
+    ):
+        self._store = DiskStore(database)
+        data = self._store.peek_all()
+        if n_coefficients < 1:
+            raise ValueError(f"n_coefficients must be positive, got {n_coefficients}")
+        if structure is None:
+            structure = "vptree" if use_vptree else "flat"
+        if structure not in _STRUCTURES:
+            raise ValueError(f"unknown structure {structure!r}; choose from {_STRUCTURES}")
+        self.structure = structure
+        self.n_coefficients = min(n_coefficients, data.shape[1] // 2 + 1)
+        self._fourier = np.vstack(
+            [fourier_signature(row, self.n_coefficients) for row in data]
+        )
+        self._paa_segments = min(self.n_coefficients, data.shape[1])
+        self._paa = np.vstack([paa(row, self._paa_segments) for row in data])
+        self._paa_lengths = segment_lengths(data.shape[1], self._paa_segments)
+        self._build_structures()
+
+    def _build_structures(self) -> None:
+        """(Re)build the in-memory search structures for ``self.structure``."""
+        self._vptree = VPTree(self._fourier) if self.structure == "vptree" else None
+        self._fourier_rtree = None
+        self._paa_rtree = None
+        if self.structure == "rtree":
+            self._fourier_rtree = RTree(self._fourier)
+            # Pre-scale PAA points by sqrt(segment length) so plain L2
+            # MINDIST in tree space equals the weighted lb_paa bound.
+            self._paa_scale = np.sqrt(self._paa_lengths.astype(np.float64))
+            self._paa_rtree = RTree(self._paa * self._paa_scale[np.newaxis, :])
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def store(self) -> DiskStore:
+        return self._store
+
+    def query(
+        self,
+        query,
+        measure: Measure,
+        mirror: bool = False,
+        max_degrees: float | None = None,
+        k: int | None = None,
+        index_wedges: int | None = None,
+    ) -> IndexedSearchResult:
+        """Exact rotation-invariant 1-NN with minimal disk retrievals.
+
+        ``k`` fixes the H-Merge wedge-set size used for refinement of
+        fetched objects.  ``index_wedges`` controls the DTW index-space
+        bound: the envelope of *all* rotations is far too fat to prune
+        anything, so -- as Section 4.2 prescribes ("it would be necessary
+        to search for the best match to K envelopes in the wedge set W") --
+        the bound is the minimum of the PAA bounds against ``index_wedges``
+        wedges cut from the query's wedge tree.
+        """
+        if measure.name not in ("euclidean", "dtw"):
+            raise ValueError(f"index supports euclidean and dtw, got {measure.name!r}")
+        rq = query if isinstance(query, RotationQuery) else RotationQuery(
+            query, mirror=mirror, max_degrees=max_degrees
+        )
+        counter = StepCounter()
+        tree = rq.wedge_tree(counter)
+        frontier = tree.frontier(k if k is not None else min(4, tree.max_k))
+        self._store.reset()
+
+        best = math.inf
+        best_index, best_rotation = -1, -1
+
+        stream, eval_probe = self._candidate_stream(
+            rq, measure, counter, index_wedges, lambda: best
+        )
+        if stream is not None:
+            before = eval_probe()
+            for _lb, i in stream:
+                obj = self._store.fetch(i)
+                dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
+                if dist < best:
+                    best, best_index, best_rotation = dist, i, rotation
+            signature_tests = eval_probe() - before
+        else:
+            signature_tests = len(self)
+            bounds = self._bounds_for(rq, measure, counter, index_wedges)
+            order = np.argsort(bounds, kind="stable")
+            for i in order:
+                if bounds[i] >= best:
+                    break  # ascending bounds: nothing further can win
+                obj = self._store.fetch(int(i))
+                dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
+                if dist < best:
+                    best, best_index, best_rotation = dist, int(i), rotation
+
+        result = SearchResult(best_index, best, best_rotation, counter, "indexed")
+        return IndexedSearchResult(
+            result=result,
+            objects_retrieved=self._store.retrievals,
+            fraction_retrieved=self._store.fraction_retrieved,
+            signature_tests=signature_tests,
+        )
+
+    def query_knn(
+        self,
+        query,
+        measure: Measure,
+        k: int = 1,
+        mirror: bool = False,
+        max_degrees: float | None = None,
+        refine_wedges: int | None = None,
+        index_wedges: int | None = None,
+    ):
+        """Exact k-NN through the index: fetch until the bound passes the
+        k-th best verified distance.
+
+        Returns ``(neighbours, IndexedSearchResult)`` where ``neighbours``
+        is the ascending list of :class:`repro.mining.queries.Neighbor`
+        and the second element carries the retrieval accounting (its
+        ``result`` is the 1-NN).
+        """
+        import heapq
+
+        from repro.mining.queries import Neighbor
+
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if measure.name not in ("euclidean", "dtw"):
+            raise ValueError(f"index supports euclidean and dtw, got {measure.name!r}")
+        rq = query if isinstance(query, RotationQuery) else RotationQuery(
+            query, mirror=mirror, max_degrees=max_degrees
+        )
+        counter = StepCounter()
+        tree = rq.wedge_tree(counter)
+        frontier = tree.frontier(
+            refine_wedges if refine_wedges is not None else min(4, tree.max_k)
+        )
+        self._store.reset()
+
+        heap: list[tuple[float, int, int]] = []  # max-heap via negation
+
+        def radius() -> float:
+            return -heap[0][0] if len(heap) == k else math.inf
+
+        def refine(i: int) -> None:
+            obj = self._store.fetch(int(i))
+            dist, rotation = h_merge(obj, frontier, measure, r=radius(), counter=counter)
+            if math.isfinite(dist):
+                entry = (-dist, int(i), rotation)
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                else:
+                    heapq.heappushpop(heap, entry)
+
+        stream, eval_probe = self._candidate_stream(
+            rq, measure, counter, index_wedges, radius
+        )
+        if stream is not None:
+            before = eval_probe()
+            for _lb, i in stream:
+                refine(i)
+            signature_tests = eval_probe() - before
+        else:
+            signature_tests = len(self)
+            bounds = self._bounds_for(rq, measure, counter, index_wedges)
+            for i in np.argsort(bounds, kind="stable"):
+                if bounds[i] >= radius():
+                    break
+                refine(int(i))
+
+        neighbours = sorted(
+            (Neighbor(i, -negd, rot) for negd, i, rot in heap),
+            key=lambda nb: (nb.distance, nb.index),
+        )
+        top = neighbours[0] if neighbours else None
+        result = SearchResult(
+            top.index if top else -1,
+            top.distance if top else math.inf,
+            top.rotation if top else -1,
+            counter,
+            "indexed-knn",
+        )
+        accounting = IndexedSearchResult(
+            result=result,
+            objects_retrieved=self._store.retrievals,
+            fraction_retrieved=self._store.fraction_retrieved,
+            signature_tests=signature_tests,
+        )
+        return neighbours, accounting
+
+    def _candidate_stream(self, rq, measure, counter, index_wedges, radius_provider):
+        """An ascending-bound candidate generator for tree structures.
+
+        Returns ``(generator, evaluation_probe)`` or ``(None, None)`` when
+        the flat path should be used.  The probe reads the structure's
+        bound-evaluation counter so callers can report signature tests.
+        """
+        if measure.name == "euclidean" and self._vptree is not None:
+            stream = self._vptree.candidates_within(
+                rq.signature(self.n_coefficients), radius_provider
+            )
+            return stream, lambda: self._vptree.distance_evaluations
+        if measure.name == "euclidean" and self._fourier_rtree is not None:
+            stream = self._fourier_rtree.candidates_within(
+                rq.signature(self.n_coefficients), radius_provider
+            )
+            return stream, lambda: self._fourier_rtree.mindist_evaluations
+        if measure.name == "dtw" and self._paa_rtree is not None:
+            tree = rq.wedge_tree(counter)
+            k_idx = index_wedges if index_wedges is not None else min(32, tree.max_k)
+            rects = []
+            for wedge in tree.frontier(k_idx):
+                upper, lower = wedge.envelope_for(measure)
+                u_paa, l_paa = paa_envelope(upper, lower, self._paa_segments)
+                rects.append(
+                    Rect.from_bounds(l_paa * self._paa_scale, u_paa * self._paa_scale)
+                )
+            stream = self._paa_rtree.candidates_within(rects, radius_provider)
+            return stream, lambda: self._paa_rtree.mindist_evaluations
+        return None, None
+
+    def _bounds_for(
+        self,
+        rq: RotationQuery,
+        measure: Measure,
+        counter: StepCounter,
+        index_wedges: int | None = None,
+    ) -> np.ndarray:
+        """Per-object index-space lower bounds on the rotation-invariant distance."""
+        if measure.name == "euclidean":
+            q_sig = rq.signature(self.n_coefficients)
+            diff = self._fourier - q_sig[np.newaxis, :]
+            return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        # DTW: minimum over K wedge envelopes (each expanded by the band,
+        # then reduced to PAA).  An object's true distance to its best
+        # rotation is lower-bounded by its bound against the wedge
+        # containing that rotation, hence by the minimum over all wedges.
+        tree = rq.wedge_tree(counter)
+        k_idx = index_wedges if index_wedges is not None else min(32, tree.max_k)
+        lengths = self._paa_lengths.astype(np.float64)
+        best = np.full(len(self), np.inf)
+        for wedge in tree.frontier(k_idx):
+            upper, lower = wedge.envelope_for(measure)
+            u_paa, l_paa = paa_envelope(upper, lower, self._paa_segments)
+            violation = np.maximum(
+                np.maximum(self._paa - u_paa[np.newaxis, :], l_paa[np.newaxis, :] - self._paa),
+                0.0,
+            )
+            bound = np.sqrt(np.sum(lengths[np.newaxis, :] * violation**2, axis=1))
+            np.minimum(best, bound, out=best)
+        return best

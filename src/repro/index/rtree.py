@@ -1,0 +1,206 @@
+"""An R-tree over signature space (the envelope-indexing alternative).
+
+Section 4.2: "Recent years have seen dozens of papers on indexing time
+series envelopes that we could attempt to leverage off" -- the canonical
+one being Keogh's exact DTW indexing, which stores PAA points in an R-tree
+and queries it with the PAA envelope of the query.  This module supplies
+that structure:
+
+* :class:`Rect` -- axis-aligned rectangles with MINDIST computations;
+* :class:`RTree` -- Sort-Tile-Recursive (STR) bulk-loaded, so the packing
+  is deterministic and near-optimal for a static archive;
+* ascending-MINDIST candidate streaming against a *point* query (Fourier
+  signatures, Euclidean) or a *set of rectangle* queries (the PAA
+  envelopes of a wedge set, DTW).
+
+Admissibility: points are pre-scaled by ``sqrt(segment length)`` before
+insertion (see :class:`repro.index.linear_scan.SignatureFilteredScan`), so
+plain L2 MINDIST in tree space equals the weighted ``lb_paa`` bound, which
+lower-bounds DTW into the corresponding wedge (Proposition 2 + the PAA
+argument in :mod:`repro.index.paa`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Rect", "RTree"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (lows/highs per dimension)."""
+
+    lows: np.ndarray
+    highs: np.ndarray
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Rect":
+        """The minimum bounding rectangle of a point set."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError(f"need a non-empty (k, d) point set, got shape {pts.shape}")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def from_bounds(cls, lows, highs) -> "Rect":
+        """A rectangle from explicit per-dimension bounds."""
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape or lows.ndim != 1:
+            raise ValueError("lows and highs must be equal-length 1-D arrays")
+        if np.any(lows > highs):
+            raise ValueError("every low bound must not exceed its high bound")
+        return cls(lows, highs)
+
+    @property
+    def dimensions(self) -> int:
+        return self.lows.size
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle containing both."""
+        return Rect(np.minimum(self.lows, other.lows), np.maximum(self.highs, other.highs))
+
+    def mindist_point(self, point: np.ndarray) -> float:
+        """L2 distance from ``point`` to the nearest point of the rectangle."""
+        p = np.asarray(point, dtype=np.float64)
+        gaps = np.maximum(np.maximum(self.lows - p, p - self.highs), 0.0)
+        return float(math.sqrt(float(np.dot(gaps, gaps))))
+
+    def mindist_rect(self, other: "Rect") -> float:
+        """L2 distance between the closest points of two rectangles."""
+        gaps = np.maximum(
+            np.maximum(self.lows - other.highs, other.lows - self.highs), 0.0
+        )
+        return float(math.sqrt(float(np.dot(gaps, gaps))))
+
+    def contains_point(self, point) -> bool:
+        """True when the point lies inside (closed) bounds."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.lows - 1e-12) and np.all(p <= self.highs + 1e-12))
+
+
+@dataclass
+class _Node:
+    rect: Rect
+    children: list  # _Node list for internal nodes
+    entries: list[int] | None  # point ids for leaves
+
+
+class RTree:
+    """A static, STR bulk-loaded R-tree over a fixed point set.
+
+    Parameters
+    ----------
+    points:
+        ``(m, d)`` array.
+    leaf_capacity:
+        Maximum points per leaf (fan-out for internal nodes too).
+    """
+
+    def __init__(self, points, leaf_capacity: int = 16):
+        self._points = np.asarray(points, dtype=np.float64)
+        if self._points.ndim != 2 or self._points.shape[0] == 0:
+            raise ValueError(f"expected non-empty (m, d) points, got shape {self._points.shape}")
+        if leaf_capacity < 2:
+            raise ValueError(f"leaf_capacity must be at least 2, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self.mindist_evaluations = 0
+        self._root = self._bulk_load()
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = root is a leaf)."""
+        node, levels = self._root, 1
+        while node.entries is None:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def _bulk_load(self) -> _Node:
+        """Sort-Tile-Recursive packing: sort by x, tile into slabs, sort
+        each slab by y, cut into leaves; repeat on the leaf MBR centres."""
+        order = np.lexsort((self._points[:, 1 % self._points.shape[1]], self._points[:, 0]))
+        cap = self.leaf_capacity
+        n = len(order)
+        n_leaves = math.ceil(n / cap)
+        slab_count = max(1, math.ceil(math.sqrt(n_leaves)))
+        slab_size = math.ceil(n / slab_count)
+        leaves: list[_Node] = []
+        for s in range(0, n, slab_size):
+            slab = order[s : s + slab_size]
+            if self._points.shape[1] > 1:
+                slab = slab[np.argsort(self._points[slab, 1], kind="stable")]
+            for t in range(0, len(slab), cap):
+                ids = [int(i) for i in slab[t : t + cap]]
+                leaves.append(
+                    _Node(Rect.from_points(self._points[ids]), [], ids)
+                )
+        return self._pack_upward(leaves)
+
+    def _pack_upward(self, nodes: list[_Node]) -> _Node:
+        while len(nodes) > 1:
+            parents: list[_Node] = []
+            for s in range(0, len(nodes), self.leaf_capacity):
+                group = nodes[s : s + self.leaf_capacity]
+                rect = group[0].rect
+                for child in group[1:]:
+                    rect = rect.union(child.rect)
+                parents.append(_Node(rect, group, None))
+            nodes = parents
+        return nodes[0]
+
+    def _query_mindist(self, query, rect: Rect) -> float:
+        self.mindist_evaluations += 1
+        if isinstance(query, Rect):
+            return rect.mindist_rect(query)
+        queries = query if isinstance(query, list) else [query]
+        best = math.inf
+        for q in queries:
+            if isinstance(q, Rect):
+                d = rect.mindist_rect(q)
+            else:
+                d = rect.mindist_point(q)
+            if d < best:
+                best = d
+        return best
+
+    def candidates_within(self, query, radius_provider):
+        """Yield point ids in ascending lower-bound order.
+
+        ``query`` may be a point vector, a :class:`Rect`, or a *list* of
+        points/rects (a wedge set): the bound for a node or point is then
+        the minimum over the set, matching "the best match to K envelopes
+        in the wedge set W" (Section 4.2).  ``radius_provider()`` is read
+        on every expansion so a shrinking best-so-far prunes ever harder.
+        Exact: any point whose bound is below the final radius is yielded.
+        """
+        counter = 0
+        heap: list[tuple[float, int, object]] = [(0.0, counter, self._root)]
+        while heap:
+            bound, _, payload = heapq.heappop(heap)
+            if bound >= radius_provider():
+                return
+            if isinstance(payload, _Node):
+                node = payload
+                if node.entries is not None:
+                    for i in node.entries:
+                        d = self._query_mindist(query, Rect(self._points[i], self._points[i]))
+                        if d < radius_provider():
+                            counter += 1
+                            heapq.heappush(heap, (d, counter, int(i)))
+                    continue
+                for child in node.children:
+                    d = self._query_mindist(query, child.rect)
+                    if d < radius_provider():
+                        counter += 1
+                        heapq.heappush(heap, (d, counter, child))
+            else:
+                yield bound, int(payload)

@@ -1,0 +1,133 @@
+"""A vantage-point tree over signature space (Table 7's index structure).
+
+The paper indexes shapes by placing the (rotation-invariant) Fourier
+magnitude signatures in a VP-tree: a metric tree that partitions points by
+their distance to a chosen vantage point.  Because the signature metric
+lower-bounds the true rotation-invariant distance, the tree can prune whole
+subtrees with the triangle inequality while guaranteeing no false
+dismissals; surviving candidates are refined with the exact H-Merge.
+
+This module provides the generic metric tree; see
+:class:`repro.index.linear_scan.SignatureFilteredScan` for the flat
+filter-and-refine alternative used in the DTW experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VPTree"]
+
+
+@dataclass
+class _Node:
+    vantage: int
+    radius: float  # median distance splitting inside/outside
+    inside: "_Node | None"
+    outside: "_Node | None"
+    bucket: list[int] | None  # leaf payload
+
+
+class VPTree:
+    """Exact metric tree over a fixed set of vectors.
+
+    Parameters
+    ----------
+    points:
+        ``(m, d)`` array of signature vectors.
+    leaf_size:
+        Buckets smaller than this are stored flat.
+    seed:
+        Vantage points are chosen randomly; the seed fixes the layout.
+    """
+
+    def __init__(self, points, leaf_size: int = 8, seed: int = 0):
+        self._points = np.asarray(points, dtype=np.float64)
+        if self._points.ndim != 2 or self._points.shape[0] == 0:
+            raise ValueError(f"expected non-empty (m, d) points, got shape {self._points.shape}")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self._leaf_size = leaf_size
+        rng = np.random.default_rng(seed)
+        self.distance_evaluations = 0
+        self._root = self._build(list(range(len(self._points))), rng)
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def _metric(self, a: int, query: np.ndarray) -> float:
+        diff = self._points[a] - query
+        return float(math.sqrt(float(np.dot(diff, diff))))
+
+    def _build(self, indices: list[int], rng: np.random.Generator) -> _Node:
+        if len(indices) <= self._leaf_size:
+            return _Node(vantage=-1, radius=0.0, inside=None, outside=None, bucket=indices)
+        vp = indices[int(rng.integers(0, len(indices)))]
+        rest = [i for i in indices if i != vp]
+        dists = np.array([self._metric(i, self._points[vp]) for i in rest])
+        median = float(np.median(dists))
+        inner = [i for i, d in zip(rest, dists) if d <= median]
+        outer = [i for i, d in zip(rest, dists) if d > median]
+        if not inner or not outer:
+            # Degenerate split (many ties): fall back to a flat bucket.
+            return _Node(vantage=-1, radius=0.0, inside=None, outside=None, bucket=indices)
+        return _Node(
+            vantage=vp,
+            radius=median,
+            inside=self._build(inner, rng),
+            outside=self._build(outer, rng),
+            bucket=None,
+        )
+
+    def candidates_within(self, query, radius_provider):
+        """Yield point indices in ascending signature-distance order.
+
+        ``radius_provider()`` is consulted as the pruning radius on every
+        expansion, so a caller that shrinks its best-so-far while consuming
+        candidates prunes ever harder.  Yields ``(signature_distance,
+        index)`` pairs, each guaranteed ``signature_distance <`` the radius
+        at the time it was emitted.
+
+        The traversal is exact: any point whose signature distance is below
+        the final radius is guaranteed to have been yielded.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        # Heap entries: (optimistic lower bound on sig-distance, tiebreak, payload)
+        counter = 0
+        heap: list[tuple[float, int, object]] = [(0.0, counter, self._root)]
+        while heap:
+            bound, _, payload = heapq.heappop(heap)
+            if bound >= radius_provider():
+                return  # everything left is at least this far
+            if isinstance(payload, _Node):
+                node = payload
+                if node.bucket is not None:
+                    for i in node.bucket:
+                        d = self._metric(i, query)
+                        self.distance_evaluations += 1
+                        if d < radius_provider():
+                            counter += 1
+                            heapq.heappush(heap, (d, counter, int(i)))
+                    continue
+                d_vp = self._metric(node.vantage, query)
+                self.distance_evaluations += 1
+                if d_vp < radius_provider():
+                    counter += 1
+                    heapq.heappush(heap, (d_vp, counter, int(node.vantage)))
+                # Triangle-inequality bounds for the two shells: a point in
+                # the inside shell is at least d(q, vp) - radius away, one
+                # in the outside shell at least radius - d(q, vp).
+                inside_bound = max(bound, d_vp - node.radius)
+                outside_bound = max(bound, node.radius - d_vp)
+                if inside_bound < radius_provider():
+                    counter += 1
+                    heapq.heappush(heap, (inside_bound, counter, node.inside))
+                if outside_bound < radius_provider():
+                    counter += 1
+                    heapq.heappush(heap, (outside_bound, counter, node.outside))
+            else:
+                yield bound, int(payload)

@@ -1,0 +1,32 @@
+"""Data-mining applications built on the rotation-invariant engine.
+
+The paper's closing section promises to use the wedge search "as a
+subroutine in several data mining algorithms which attempt to cluster,
+classify and discover motifs"; this subpackage delivers the standard set:
+k-NN / range queries, motif (closest-pair) discovery, and discord
+(outlier) discovery -- the latter being exactly the "unusual light curve"
+application of Section 2.4.
+"""
+
+from repro.mining.discords import Discord, find_discords
+from repro.mining.motifs import Motif, find_motif
+from repro.mining.queries import Neighbor, knn_search, range_search
+from repro.mining.scaling import scaled_candidates, scaling_invariant_search
+from repro.mining.streaming import StreamMatch, StreamMonitor
+from repro.mining.trajectories import (
+    flatten_trajectory,
+    normalize_trajectory,
+    trajectory_dtw,
+    trajectory_rotations,
+    trajectory_search,
+)
+
+__all__ = [
+    "Neighbor", "knn_search", "range_search",
+    "Motif", "find_motif",
+    "Discord", "find_discords",
+    "StreamMatch", "StreamMonitor",
+    "scaled_candidates", "scaling_invariant_search",
+    "trajectory_search", "trajectory_dtw", "trajectory_rotations",
+    "flatten_trajectory", "normalize_trajectory",
+]

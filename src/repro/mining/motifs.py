@@ -1,0 +1,95 @@
+"""Rotation-invariant motif discovery (closest-pair mining).
+
+The paper's future work: "we have begun to use our algorithm as a
+subroutine in several data mining algorithms which attempt to cluster,
+classify and discover motifs".  The *motif* of a collection is its closest
+pair under the rotation-invariant distance -- e.g. the two most similar
+projectile points in an archive, whatever their excavation orientation.
+
+The search scans ordered pairs with a shared best-so-far: every pairwise
+comparison is an H-Merge against the first element's wedge tree,
+early-abandoning against the globally best pair found so far, so the vast
+majority of pairs cost a handful of steps.  Exact for all measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.counters import StepCounter
+from repro.core.hmerge import h_merge
+from repro.core.search import RotationQuery
+from repro.distances.base import Measure
+from repro.index.fourier import fourier_signature
+
+__all__ = ["Motif", "find_motif"]
+
+
+@dataclass(frozen=True)
+class Motif:
+    """The closest pair: positions, distance, and the aligning rotation."""
+
+    first: int
+    second: int
+    distance: float
+    rotation: int
+
+
+def find_motif(
+    collection: Sequence,
+    measure: Measure,
+    mirror: bool = False,
+    wedge_set_size: int = 8,
+    counter: StepCounter | None = None,
+) -> Motif:
+    """The closest rotation-invariant pair in ``collection``.
+
+    For Euclidean distance, candidate pairs are pre-ordered by the
+    Fourier-magnitude lower bound (Section 4.2): scanning likely-close
+    pairs first collapses the best-so-far immediately, and pairs whose
+    magnitude bound already exceeds it are skipped without touching the
+    raw series.  Other measures scan pairs in index order.
+    """
+    rows = [np.asarray(row, dtype=np.float64) for row in collection]
+    if len(rows) < 2:
+        raise ValueError("motif discovery needs at least two objects")
+    counter = counter if counter is not None else StepCounter()
+
+    queries: dict[int, tuple] = {}
+
+    def frontier_for(i: int):
+        if i not in queries:
+            rq = RotationQuery(rows[i], mirror=mirror)
+            tree = rq.wedge_tree(counter)
+            queries[i] = tree.frontier(min(wedge_set_size, tree.max_k))
+        return queries[i]
+
+    pairs = [(i, j) for i in range(len(rows)) for j in range(i + 1, len(rows))]
+    magnitude_bounds = None
+    if measure.name == "euclidean":
+        signatures = [fourier_signature(row) for row in rows]
+        magnitude_bounds = {
+            (i, j): float(np.linalg.norm(signatures[i] - signatures[j]))
+            for i, j in pairs
+        }
+        pairs.sort(key=magnitude_bounds.__getitem__)
+
+    best = math.inf
+    best_pair = (-1, -1)
+    best_rotation = -1
+    for i, j in pairs:
+        if magnitude_bounds is not None and magnitude_bounds[(i, j)] >= best:
+            counter.early_abandons += 1
+            continue
+        dist, rotation = h_merge(rows[j], frontier_for(i), measure, r=best, counter=counter)
+        if dist < best:
+            best = dist
+            best_pair = (i, j)
+            best_rotation = rotation
+    if best_pair == (-1, -1):
+        raise RuntimeError("no finite pair distance found")
+    return Motif(best_pair[0], best_pair[1], best, best_rotation)

@@ -1,0 +1,56 @@
+"""Shape substrate: contours, conversion to series, generators, transforms."""
+
+from repro.shapes.contour import flood_fill_components, largest_contour, moore_trace
+from repro.shapes.convert import (
+    contour_to_series,
+    polygon_centroid,
+    polygon_to_series,
+    resample_closed_curve,
+)
+from repro.shapes.generators import (
+    butterfly,
+    fourier_blob,
+    projectile_point,
+    regular_polygon,
+    rotate_polygon,
+    skull_profile,
+    star_polygon,
+)
+from repro.shapes.descriptors import (
+    convex_hull,
+    d2_histogram,
+    perimeter,
+    polygon_area,
+    shape_signature,
+    signature_classify_error,
+)
+from repro.shapes.image import rasterize_polygon, render_ascii
+from repro.shapes.landmarks import (
+    align_to_major_axis,
+    landmark_series,
+    major_axis_angle,
+    sharpest_corner_index,
+)
+from repro.shapes.transforms import (
+    add_vertex_noise,
+    articulate_polygon,
+    mirror_polygon,
+    occlude_polygon,
+    random_rotation,
+    scale_polygon,
+    translate_polygon,
+)
+
+__all__ = [
+    "moore_trace", "largest_contour", "flood_fill_components",
+    "polygon_to_series", "contour_to_series", "polygon_centroid", "resample_closed_curve",
+    "regular_polygon", "star_polygon", "fourier_blob", "projectile_point",
+    "skull_profile", "butterfly", "rotate_polygon",
+    "rasterize_polygon", "render_ascii",
+    "shape_signature", "d2_histogram", "signature_classify_error",
+    "perimeter", "polygon_area", "convex_hull",
+    "major_axis_angle", "align_to_major_axis", "sharpest_corner_index",
+    "landmark_series",
+    "scale_polygon", "translate_polygon", "mirror_polygon", "add_vertex_noise",
+    "occlude_polygon", "articulate_polygon", "random_rotation",
+]

@@ -1,0 +1,145 @@
+"""Extracting closed contours from binary images (Figure 2, step A -> B).
+
+The paper's pipeline starts from a bitmap of a shape, walks its outer
+boundary, and measures the distance from every boundary point to the shape's
+centroid.  This module provides the bitmap half of that pipeline:
+
+* :func:`moore_trace` -- Moore-neighbourhood boundary tracing with Jacob's
+  stopping criterion, the textbook contour-following algorithm;
+* :func:`largest_contour` -- convenience wrapper that finds a start pixel
+  and returns the traced outer boundary of the largest foreground blob.
+
+Shapes represented as polygons can skip rasterisation entirely via
+:mod:`repro.shapes.convert`; this module exists so the *full* image pipeline
+of the paper is exercised end-to-end (see ``tests/test_contour.py`` and the
+quickstart example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moore_trace", "largest_contour", "flood_fill_components"]
+
+# Moore neighbourhood in clockwise order, starting from west.
+_NEIGHBOURS = [(0, -1), (-1, -1), (-1, 0), (-1, 1), (0, 1), (1, 1), (1, 0), (1, -1)]
+
+
+def moore_trace(image: np.ndarray, start: tuple[int, int]) -> np.ndarray:
+    """Trace the boundary of the blob containing ``start``.
+
+    Parameters
+    ----------
+    image:
+        2-D boolean (or 0/1) array; True marks foreground.
+    start:
+        A boundary pixel of the blob -- conventionally the first foreground
+        pixel met by a left-to-right, top-to-bottom scan, which is always on
+        the boundary.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, 2)`` array of (row, col) boundary pixels in traversal order.
+        A single isolated pixel yields a length-1 contour.
+
+    Notes
+    -----
+    Implements Moore-neighbour tracing with Jacob's stopping criterion (stop
+    when the start pixel is re-entered from the original direction), which
+    is robust on one-pixel-wide appendages where the naive criterion stalls.
+    """
+    grid = np.asarray(image, dtype=bool)
+    rows, cols = grid.shape
+    r0, c0 = start
+    if not (0 <= r0 < rows and 0 <= c0 < cols) or not grid[r0, c0]:
+        raise ValueError(f"start {start} is not a foreground pixel")
+
+    def is_fg(r: int, c: int) -> bool:
+        return 0 <= r < rows and 0 <= c < cols and bool(grid[r, c])
+
+    contour = [(r0, c0)]
+    # The backtrack starts west of the start pixel (the scan direction
+    # guarantees the western neighbour is background for the first pixel of
+    # a row scan; if not, rotate until a background neighbour is found).
+    backtrack_dir = 0
+    if is_fg(r0 + _NEIGHBOURS[0][0], c0 + _NEIGHBOURS[0][1]):
+        for d, (dr, dc) in enumerate(_NEIGHBOURS):
+            if not is_fg(r0 + dr, c0 + dc):
+                backtrack_dir = d
+                break
+        else:
+            # Interior pixel of a filled region passed as start: no boundary
+            # from here.
+            raise ValueError(f"start {start} has no background neighbour")
+
+    current = (r0, c0)
+    entry_dir = backtrack_dir
+    first_move: tuple[tuple[int, int], int] | None = None
+    max_steps = 4 * rows * cols + 8
+    for _ in range(max_steps):
+        found = False
+        for step in range(1, 9):
+            d = (entry_dir + step) % 8
+            nr = current[0] + _NEIGHBOURS[d][0]
+            nc = current[1] + _NEIGHBOURS[d][1]
+            if is_fg(nr, nc):
+                # New search origin: the neighbour we came from, one step
+                # clockwise past the opposite of the found direction.
+                entry_dir = (d + 5) % 8
+                current = (nr, nc)
+                found = True
+                break
+        if not found:
+            # Isolated pixel: its contour is just itself.
+            return np.array(contour)
+        # Jacob's stopping criterion: stop when the start pixel is
+        # re-entered from the same direction as the very first move.
+        if first_move is None:
+            first_move = (current, entry_dir)
+        elif (current, entry_dir) == first_move:
+            break
+        contour.append(current)
+    # Drop the duplicated closing start pixel if present.
+    pts = np.array(contour)
+    if len(pts) > 1 and tuple(pts[-1]) == (r0, c0):
+        pts = pts[:-1]
+    return pts
+
+
+def flood_fill_components(image: np.ndarray) -> np.ndarray:
+    """4-connected component labelling; returns an int label image (0 = bg)."""
+    grid = np.asarray(image, dtype=bool)
+    labels = np.zeros(grid.shape, dtype=np.int64)
+    rows, cols = grid.shape
+    next_label = 0
+    for r in range(rows):
+        for c in range(cols):
+            if grid[r, c] and labels[r, c] == 0:
+                next_label += 1
+                stack = [(r, c)]
+                labels[r, c] = next_label
+                while stack:
+                    cr, cc = stack.pop()
+                    for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                        nr, nc = cr + dr, cc + dc
+                        if 0 <= nr < rows and 0 <= nc < cols and grid[nr, nc] and labels[nr, nc] == 0:
+                            labels[nr, nc] = next_label
+                            stack.append((nr, nc))
+    return labels
+
+
+def largest_contour(image: np.ndarray) -> np.ndarray:
+    """Boundary of the largest foreground component, in (row, col) order."""
+    grid = np.asarray(image, dtype=bool)
+    if not grid.any():
+        raise ValueError("image contains no foreground pixels")
+    labels = flood_fill_components(grid)
+    counts = np.bincount(labels.ravel())
+    counts[0] = 0
+    biggest = int(np.argmax(counts))
+    mask = labels == biggest
+    rs, cs = np.nonzero(mask)
+    order = np.lexsort((cs, rs))
+    start = (int(rs[order[0]]), int(cs[order[0]]))
+    return moore_trace(mask, start)

@@ -1,0 +1,124 @@
+"""Converting 2-D shapes to 1-D time series (Figure 2, step B -> C).
+
+"The distance from every point on the profile to the center is measured and
+treated as the Y-axis of a time series of length n."  This centroid-distance
+representation is the paper's workhorse: translation invariance comes from
+measuring relative to the centroid, scale invariance from normalising, and
+image rotation becomes circular shift.
+
+Two entry points:
+
+* :func:`polygon_to_series` -- vector path (arbitrary vertex list), sampled
+  uniformly by arc length; fast, exact, used by the synthetic dataset
+  generators.
+* :func:`contour_to_series` -- traced pixel boundary from
+  :mod:`repro.shapes.contour`; the full bitmap pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.ops import znormalize
+
+__all__ = [
+    "polygon_to_series",
+    "contour_to_series",
+    "resample_closed_curve",
+    "polygon_centroid",
+]
+
+
+def polygon_centroid(vertices: np.ndarray) -> np.ndarray:
+    """Area centroid of a closed polygon (shoelace formula).
+
+    Falls back to the vertex mean for degenerate (zero-area) polygons.
+    """
+    pts = np.asarray(vertices, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 3:
+        raise ValueError(f"need at least 3 (x, y) vertices, got shape {pts.shape}")
+    x, y = pts[:, 0], pts[:, 1]
+    x2, y2 = np.roll(x, -1), np.roll(y, -1)
+    cross = x * y2 - x2 * y
+    area = cross.sum() / 2.0
+    if abs(area) < 1e-12:
+        return pts.mean(axis=0)
+    cx = ((x + x2) * cross).sum() / (6.0 * area)
+    cy = ((y + y2) * cross).sum() / (6.0 * area)
+    return np.array([cx, cy])
+
+
+def resample_closed_curve(vertices: np.ndarray, n_points: int) -> np.ndarray:
+    """``n_points`` samples spaced uniformly by arc length around a closed curve.
+
+    The first sample coincides with the first vertex, so the (arbitrary)
+    starting point of the traversal maps to the (arbitrary) rotation of the
+    resulting series -- exactly the degree of freedom the rotation-invariant
+    machinery absorbs.
+    """
+    pts = np.asarray(vertices, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+        raise ValueError(f"need at least 2 (x, y) vertices, got shape {pts.shape}")
+    if n_points < 1:
+        raise ValueError(f"n_points must be positive, got {n_points}")
+    closed = np.vstack([pts, pts[:1]])
+    seg = np.diff(closed, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1])
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum[-1]
+    if total <= 0:
+        raise ValueError("curve has zero length")
+    targets = np.linspace(0.0, total, n_points, endpoint=False)
+    x = np.interp(targets, cum, closed[:, 0])
+    y = np.interp(targets, cum, closed[:, 1])
+    return np.column_stack([x, y])
+
+
+def polygon_to_series(
+    vertices,
+    n_points: int = 256,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Centroid-distance series of a closed polygon.
+
+    Parameters
+    ----------
+    vertices:
+        ``(k, 2)`` array of boundary vertices in traversal order.
+    n_points:
+        Length ``n`` of the resulting series (arc-length uniform samples).
+    normalize:
+        Z-normalise the series, giving scale and offset invariance.  Leave
+        False to keep raw centroid distances (useful for visualisation).
+    """
+    pts = np.asarray(vertices, dtype=np.float64)
+    samples = resample_closed_curve(pts, n_points)
+    centroid = polygon_centroid(pts)
+    series = np.hypot(samples[:, 0] - centroid[0], samples[:, 1] - centroid[1])
+    if normalize:
+        series = znormalize(series)
+    return series
+
+
+def contour_to_series(
+    contour_pixels,
+    n_points: int = 256,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Centroid-distance series of a traced pixel boundary.
+
+    ``contour_pixels`` is the ``(k, 2)`` (row, col) output of
+    :func:`repro.shapes.contour.moore_trace`; the centroid is the mean of
+    the boundary pixels (the paper's "center" of the profile).
+    """
+    pts = np.asarray(contour_pixels, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (k, 2) pixel array, got shape {pts.shape}")
+    if pts.shape[0] < 3:
+        raise ValueError("contour too short to form a closed boundary")
+    samples = resample_closed_curve(pts, n_points)
+    centroid = pts.mean(axis=0)
+    series = np.hypot(samples[:, 0] - centroid[0], samples[:, 1] - centroid[1])
+    if normalize:
+        series = znormalize(series)
+    return series

@@ -1,0 +1,178 @@
+"""Rotation-invariant feature baselines (Section 2.2 of the paper).
+
+The paper's second family of competitors achieves fast rotation invariance
+by reducing a shape to a vector of rotation-invariant features -- at the
+price of discrimination: "all information that contains rotation
+information must be discarded; inevitably, some useful information may
+also be discarded".  The canonical failure: the pairwise-distance
+histogram of Osada et al. [28] "cannot differentiate between the shapes of
+the lowercase letters 'd' and 'b'", because mirror images have identical
+histograms.
+
+These baselines are implemented here so the claim is *testable* (see
+``tests/test_descriptors.py``) and so the classification benchmarks can
+show the accuracy gap against the paper's approach:
+
+* :func:`shape_signature` -- a feature vector of the classic invariants
+  (circularity, eccentricity/elongation, convex-hull solidity, radial
+  statistics);
+* :func:`d2_histogram` -- Osada's D2 shape distribution (histogram of
+  distances between random boundary point pairs);
+* :func:`signature_classify_error` -- 1-NN leave-one-out error using a
+  feature vector, the drop-in comparison against Table 8's measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.shapes.convert import polygon_centroid, resample_closed_curve
+
+__all__ = [
+    "perimeter",
+    "polygon_area",
+    "convex_hull",
+    "shape_signature",
+    "d2_histogram",
+    "signature_classify_error",
+]
+
+
+def perimeter(vertices) -> float:
+    """Total boundary length of a closed polygon."""
+    pts = np.asarray(vertices, dtype=np.float64)
+    closed = np.vstack([pts, pts[:1]])
+    return float(np.hypot(*np.diff(closed, axis=0).T).sum())
+
+
+def polygon_area(vertices) -> float:
+    """Unsigned area by the shoelace formula."""
+    pts = np.asarray(vertices, dtype=np.float64)
+    x, y = pts[:, 0], pts[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def convex_hull(vertices) -> np.ndarray:
+    """Convex hull by Andrew's monotone chain, counter-clockwise."""
+    pts = np.unique(np.asarray(vertices, dtype=np.float64), axis=0)
+    if pts.shape[0] < 3:
+        return pts
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return np.vstack(lower[:-1] + upper[:-1])
+
+
+def shape_signature(vertices, n_samples: int = 256) -> np.ndarray:
+    """The classic rotation-invariant feature vector of Section 2.2.
+
+    Components (each invariant to rotation, translation, and scale):
+
+    0. circularity ``4 pi A / P^2`` (1 for a disk),
+    1. eccentricity of the boundary's covariance ellipse (elongatedness),
+    2. solidity ``A / A_hull``,
+    3. hull-perimeter ratio ``P_hull / P`` (convexity),
+    4. coefficient of variation of the centroid distance,
+    5. skewness of the centroid-distance distribution,
+    6. normalised min/max centroid-distance ratio.
+    """
+    pts = resample_closed_curve(np.asarray(vertices, dtype=np.float64), n_samples)
+    area = polygon_area(pts)
+    boundary = perimeter(pts)
+    hull = convex_hull(pts)
+    hull_area = polygon_area(hull) if hull.shape[0] >= 3 else area
+    hull_perimeter = perimeter(hull) if hull.shape[0] >= 3 else boundary
+
+    centroid = polygon_centroid(pts)
+    radii = np.hypot(pts[:, 0] - centroid[0], pts[:, 1] - centroid[1])
+    mean_r = radii.mean()
+    std_r = radii.std()
+
+    centred = pts - pts.mean(axis=0)
+    cov = centred.T @ centred / pts.shape[0]
+    eigenvalues = np.sort(np.linalg.eigvalsh(cov))
+    eccentricity = math.sqrt(max(0.0, 1.0 - eigenvalues[0] / max(eigenvalues[1], 1e-12)))
+
+    skew = 0.0
+    if std_r > 1e-12:
+        skew = float(np.mean(((radii - mean_r) / std_r) ** 3))
+
+    return np.array(
+        [
+            4.0 * math.pi * area / max(boundary**2, 1e-12),
+            eccentricity,
+            area / max(hull_area, 1e-12),
+            hull_perimeter / max(boundary, 1e-12),
+            std_r / max(mean_r, 1e-12),
+            skew,
+            radii.min() / max(radii.max(), 1e-12),
+        ]
+    )
+
+
+def d2_histogram(
+    vertices,
+    rng: np.random.Generator,
+    n_pairs: int = 4096,
+    n_bins: int = 32,
+) -> np.ndarray:
+    """Osada et al.'s D2 shape distribution [28].
+
+    The histogram of Euclidean distances between random pairs of boundary
+    points, normalised by the maximum distance (scale invariance) and to
+    unit mass.  Fast and fully rotation invariant -- and provably blind to
+    mirror reflection, since reflections preserve all pairwise distances.
+    """
+    pts = resample_closed_curve(np.asarray(vertices, dtype=np.float64), 512)
+    i = rng.integers(0, pts.shape[0], n_pairs)
+    j = rng.integers(0, pts.shape[0], n_pairs)
+    dists = np.hypot(pts[i, 0] - pts[j, 0], pts[i, 1] - pts[j, 1])
+    top = dists.max()
+    if top <= 0:
+        return np.full(n_bins, 1.0 / n_bins)
+    hist, _edges = np.histogram(dists / top, bins=n_bins, range=(0.0, 1.0))
+    return hist / n_pairs
+
+
+def signature_classify_error(features: np.ndarray, labels) -> float:
+    """1-NN leave-one-out error (percent) on any feature-vector table.
+
+    The drop-in comparison against Table 8: feed it shape signatures or D2
+    histograms and compare with the rotation-invariant ED/DTW errors.
+    Features are standardised per dimension before the Euclidean 1-NN.
+    """
+    table = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels)
+    if table.ndim != 2 or table.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"features {table.shape} do not match {labels.shape[0]} labels"
+        )
+    if table.shape[0] < 2:
+        raise ValueError("need at least two instances")
+    std = table.std(axis=0)
+    std[std < 1e-12] = 1.0
+    normed = (table - table.mean(axis=0)) / std
+    errors = 0
+    for i in range(normed.shape[0]):
+        diff = normed - normed[i]
+        dists = np.einsum("ij,ij->i", diff, diff)
+        dists[i] = np.inf
+        nearest = int(np.argmin(dists))
+        if labels[nearest] != labels[i]:
+            errors += 1
+    return 100.0 * errors / normed.shape[0]

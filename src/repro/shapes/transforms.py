@@ -1,0 +1,128 @@
+"""Shape distortions: the invariances of Figure 1, made testable.
+
+Each transform perturbs either the polygon or its centroid-distance series
+in a way the matching pipeline is supposed to absorb (scale, offset,
+rotation, mirroring) or tolerate (noise, articulation, occlusion).  The
+test-suite invariance properties and the articulation sanity check
+(Figure 18) are built on these.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "scale_polygon",
+    "translate_polygon",
+    "mirror_polygon",
+    "add_vertex_noise",
+    "occlude_polygon",
+    "articulate_polygon",
+    "random_rotation",
+]
+
+
+def scale_polygon(vertices, factor: float) -> np.ndarray:
+    """Uniformly scale about the vertex mean (resize invariance)."""
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    pts = np.asarray(vertices, dtype=np.float64)
+    center = pts.mean(axis=0)
+    return (pts - center) * factor + center
+
+
+def translate_polygon(vertices, dx: float, dy: float) -> np.ndarray:
+    """Shift the whole shape (offset invariance)."""
+    pts = np.asarray(vertices, dtype=np.float64)
+    return pts + np.array([dx, dy])
+
+
+def mirror_polygon(vertices, axis: str = "x") -> np.ndarray:
+    """Reflect about a vertical (``axis="x"``) or horizontal axis.
+
+    The vertex order is reversed so the polygon stays consistently
+    oriented; on the series side this corresponds to reversing the
+    traversal, which is exactly the mirror augmentation of Section 3.
+    """
+    pts = np.asarray(vertices, dtype=np.float64)
+    center = pts.mean(axis=0)
+    flipped = pts - center
+    if axis == "x":
+        flipped[:, 0] = -flipped[:, 0]
+    elif axis == "y":
+        flipped[:, 1] = -flipped[:, 1]
+    else:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    return (flipped + center)[::-1].copy()
+
+
+def add_vertex_noise(vertices, rng: np.random.Generator, sigma: float) -> np.ndarray:
+    """Perturb every vertex with Gaussian noise (sensor / rasterisation noise)."""
+    pts = np.asarray(vertices, dtype=np.float64)
+    scale = float(np.ptp(pts, axis=0).mean())
+    return pts + rng.normal(0.0, sigma * scale, pts.shape)
+
+
+def occlude_polygon(vertices, start_fraction: float, length_fraction: float) -> np.ndarray:
+    """Cut away a run of boundary vertices (partial occlusion / broken part).
+
+    The gap is closed with a straight chord, mimicking a broken wing or a
+    snapped projectile-point tip.
+    """
+    if not 0 <= start_fraction < 1:
+        raise ValueError(f"start_fraction must be in [0, 1), got {start_fraction}")
+    if not 0 < length_fraction < 1:
+        raise ValueError(f"length_fraction must be in (0, 1), got {length_fraction}")
+    pts = np.asarray(vertices, dtype=np.float64)
+    k = pts.shape[0]
+    start = int(start_fraction * k)
+    cut = max(1, int(length_fraction * k))
+    if cut >= k - 2:
+        raise ValueError("occlusion would remove the whole boundary")
+    keep = np.concatenate([np.arange(0, start), np.arange(start + cut, k)]) % k
+    return pts[keep]
+
+
+def articulate_polygon(
+    vertices,
+    center_fraction: float,
+    width_fraction: float,
+    degrees: float,
+) -> np.ndarray:
+    """Bend a local region of the boundary (articulation, Figure 18).
+
+    Vertices within the window are rotated about the window's own centroid
+    by up to ``degrees``, tapering to zero at the window edges so the
+    boundary stays continuous -- the "bent hindwing" of the paper's
+    articulation experiment.
+    """
+    pts = np.asarray(vertices, dtype=np.float64).copy()
+    k = pts.shape[0]
+    center = int(center_fraction * k) % k
+    half = max(1, int(width_fraction * k / 2))
+    idx = (np.arange(center - half, center + half + 1)) % k
+    region = pts[idx]
+    pivot = region.mean(axis=0)
+    # Taper: full rotation at the window centre, zero at the edges.
+    taper = 1.0 - np.abs(np.linspace(-1.0, 1.0, idx.size))
+    for offset, point_index in enumerate(idx):
+        theta = math.radians(degrees) * taper[offset]
+        c, s = math.cos(theta), math.sin(theta)
+        rel = pts[point_index] - pivot
+        pts[point_index] = pivot + np.array([c * rel[0] - s * rel[1], s * rel[0] + c * rel[1]])
+    return pts
+
+
+def random_rotation(vertices, rng: np.random.Generator) -> tuple[np.ndarray, float]:
+    """Rotate by a uniformly random angle; returns ``(polygon, degrees)``.
+
+    Dataset builders use this to destroy any accidental alignment, exactly
+    as the paper did for the Face and Leaf datasets ("We removed this
+    information by randomly rotating the images").
+    """
+    from repro.shapes.generators import rotate_polygon
+
+    degrees = float(rng.uniform(0.0, 360.0))
+    return rotate_polygon(vertices, degrees), degrees

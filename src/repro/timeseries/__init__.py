@@ -1,0 +1,19 @@
+"""Time-series operations and the star light-curve simulator."""
+
+from repro.timeseries.lightcurves import LIGHT_CURVE_CLASSES, light_curve, light_curve_dataset
+from repro.timeseries.ops import (
+    all_rotations,
+    as_series,
+    circular_shift,
+    resample,
+    running_extrema,
+    sliding_envelope,
+    smooth_time_warp,
+    znormalize,
+)
+
+__all__ = [
+    "as_series", "znormalize", "circular_shift", "all_rotations", "resample",
+    "running_extrema", "sliding_envelope", "smooth_time_warp",
+    "LIGHT_CURVE_CLASSES", "light_curve", "light_curve_dataset",
+]

@@ -1,0 +1,174 @@
+"""Elementary time-series operations shared across the library.
+
+These are the building blocks the paper takes for granted: z-normalisation
+(offset and scale invariance), circular shifting (the 1-D equivalent of image
+rotation, Section 3), resampling to a common length, and envelope
+computations used by the wedge machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_series",
+    "znormalize",
+    "circular_shift",
+    "all_rotations",
+    "resample",
+    "running_extrema",
+    "sliding_envelope",
+    "smooth_time_warp",
+]
+
+
+def as_series(values, dtype=np.float64) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float array, validating shape and finiteness.
+
+    Raises
+    ------
+    ValueError
+        If the input is not 1-dimensional, is empty, or contains NaN/inf.
+    """
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("series must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("series contains non-finite values")
+    return arr
+
+
+def znormalize(series, epsilon: float = 1e-12) -> np.ndarray:
+    """Return ``series`` shifted to mean 0 and scaled to standard deviation 1.
+
+    A constant series (standard deviation below ``epsilon``) is returned as
+    all zeros rather than dividing by ~0; this matches the common convention
+    in the time-series indexing literature.
+    """
+    arr = as_series(series)
+    centered = arr - arr.mean()
+    std = centered.std()
+    if std < epsilon:
+        return np.zeros_like(centered)
+    return centered / std
+
+
+def circular_shift(series, k: int) -> np.ndarray:
+    """Rotate ``series`` left by ``k`` positions (``k`` may be negative).
+
+    ``circular_shift(C, 1)`` yields ``c2, c3, ..., cn, c1`` -- the second row
+    of the paper's rotation matrix **C** (Section 3).
+    """
+    arr = as_series(series)
+    k = int(k) % arr.size
+    if k == 0:
+        return arr.copy()
+    return np.concatenate([arr[k:], arr[:k]])
+
+
+def all_rotations(series) -> np.ndarray:
+    """Return the full rotation matrix **C**: one circular shift per row.
+
+    Row ``j`` is ``series`` shifted left by ``j``; row 0 is the original.
+    The result has shape ``(n, n)`` for a length-``n`` input, exactly the
+    matrix defined in Section 3 of the paper.
+    """
+    arr = as_series(series)
+    n = arr.size
+    doubled = np.concatenate([arr, arr])
+    # Stride trick: row j is doubled[j : j + n]; copy to decouple from input.
+    strides = (doubled.strides[0], doubled.strides[0])
+    view = np.lib.stride_tricks.as_strided(doubled, shape=(n, n), strides=strides)
+    return view.copy()
+
+
+def resample(series, length: int) -> np.ndarray:
+    """Linearly interpolate ``series`` onto ``length`` evenly spaced points.
+
+    Used to bring shape boundaries and light curves of different raw lengths
+    onto a common length ``n`` before comparison.
+    """
+    arr = as_series(series)
+    if length < 1:
+        raise ValueError(f"target length must be positive, got {length}")
+    if arr.size == length:
+        return arr.copy()
+    old_x = np.linspace(0.0, 1.0, arr.size)
+    new_x = np.linspace(0.0, 1.0, length)
+    return np.interp(new_x, old_x, arr)
+
+
+def smooth_time_warp(
+    series,
+    rng: np.random.Generator,
+    strength: float = 0.1,
+    n_knots: int = 6,
+) -> np.ndarray:
+    """Locally stretch/compress the time axis with a smooth circular warp.
+
+    Dataset builders use this to create the within-class "local distortions"
+    the paper attributes to proportion differences between specimens
+    (Figure 11) -- the variation DTW absorbs and Euclidean distance cannot.
+
+    The warp is a monotone perturbation of the circular domain: knot
+    displacements bounded by ``strength`` of a knot interval guarantee the
+    warped sampling positions stay ordered.
+    """
+    arr = as_series(series)
+    if not 0 <= strength < 1:
+        raise ValueError(f"strength must be in [0, 1), got {strength}")
+    if n_knots < 2:
+        raise ValueError(f"n_knots must be at least 2, got {n_knots}")
+    n = arr.size
+    knots = np.linspace(0.0, n, n_knots + 1)
+    interval = n / n_knots
+    displaced = knots + rng.uniform(-strength * interval / 2, strength * interval / 2, n_knots + 1)
+    displaced[0] = knots[0]
+    displaced[-1] = knots[-1]
+    positions = np.interp(np.arange(n), knots, displaced)
+    # Sample the series at the warped (fractional, circular) positions.
+    base = np.floor(positions).astype(int) % n
+    frac = positions - np.floor(positions)
+    nxt = (base + 1) % n
+    return (1.0 - frac) * arr[base] + frac * arr[nxt]
+
+
+def running_extrema(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pointwise max and min over the rows of ``matrix``.
+
+    This is the wedge construction of Section 4.1:
+    ``U_i = max(C1_i, ..., Ck_i)`` and ``L_i = min(C1_i, ..., Ck_i)``.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[0] == 0:
+        raise ValueError(f"expected a non-empty 2-D matrix, got shape {mat.shape}")
+    return mat.max(axis=0), mat.min(axis=0)
+
+
+def sliding_envelope(upper, lower, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Expand an envelope by a sliding window of ``radius`` on each side.
+
+    Implements the DTW envelope of Section 4.3:
+    ``DTW_U_i = max(U_{i-R} : U_{i+R})`` and
+    ``DTW_L_i = min(L_{i-R} : L_{i+R})``,
+    with the window clipped at the series boundaries.  ``radius=0`` returns
+    copies of the inputs.
+    """
+    u = as_series(upper)
+    lo = as_series(lower)
+    if u.size != lo.size:
+        raise ValueError(f"envelope arms differ in length: {u.size} vs {lo.size}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    n = u.size
+    if radius == 0:
+        return u.copy(), lo.copy()
+    radius = min(radius, n - 1)
+    width = 2 * radius + 1
+    padded_u = np.concatenate([np.full(radius, -np.inf), u, np.full(radius, -np.inf)])
+    padded_l = np.concatenate([np.full(radius, np.inf), lo, np.full(radius, np.inf)])
+    windows_u = np.lib.stride_tricks.sliding_window_view(padded_u, width)
+    windows_l = np.lib.stride_tricks.sliding_window_view(padded_l, width)
+    return windows_u.max(axis=1), windows_l.min(axis=1)

@@ -1,0 +1,117 @@
+"""Terminal visualisation: series, wedges, and warping paths as ASCII art.
+
+A library about envelopes and alignments should let you *see* them without
+a plotting stack.  These renderers are used by the examples and are handy
+in a REPL::
+
+    >>> from repro import star_polygon, polygon_to_series
+    >>> from repro.viz import plot_series
+    >>> print(plot_series(polygon_to_series(star_polygon(5), 80), height=8))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.ops import as_series
+
+__all__ = ["plot_series", "plot_wedge", "plot_warping_matrix"]
+
+
+def _scale_to_rows(values: np.ndarray, lo: float, hi: float, height: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.full(values.shape, height // 2, dtype=int)
+    rows = ((values - lo) / span * (height - 1)).round().astype(int)
+    return np.clip(rows, 0, height - 1)
+
+
+def plot_series(series, height: int = 12, width: int | None = None, marker: str = "*") -> str:
+    """Render one series as an ASCII scatter, highest values on top."""
+    arr = as_series(series)
+    if height < 2:
+        raise ValueError(f"height must be at least 2, got {height}")
+    if width is not None and width < 2:
+        raise ValueError(f"width must be at least 2, got {width}")
+    if width is not None and arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    rows = _scale_to_rows(arr, float(arr.min()), float(arr.max()), height)
+    grid = [[" "] * arr.size for _ in range(height)]
+    for col, row in enumerate(rows):
+        grid[height - 1 - row][col] = marker
+    return "\n".join("".join(line) for line in grid)
+
+
+def plot_wedge(wedge_or_upper, lower=None, candidate=None, height: int = 12, width: int = 72) -> str:
+    """Render a wedge's envelope band, optionally with a candidate overlaid.
+
+    Accepts either a :class:`~repro.core.wedge.Wedge` or explicit
+    ``(upper, lower)`` arms.  The band is drawn with ``:`` between the
+    arms (``-`` on the arms themselves); the candidate, if given, with
+    ``*`` -- so out-of-envelope excursions (the LB_Keogh contributions)
+    are immediately visible.
+    """
+    if lower is None:
+        upper_arr = np.asarray(wedge_or_upper.upper, dtype=np.float64)
+        lower_arr = np.asarray(wedge_or_upper.lower, dtype=np.float64)
+    else:
+        upper_arr = as_series(wedge_or_upper)
+        lower_arr = as_series(lower)
+    if upper_arr.size != lower_arr.size:
+        raise ValueError("envelope arms differ in length")
+    cand = as_series(candidate) if candidate is not None else None
+    if cand is not None and cand.size != upper_arr.size:
+        raise ValueError("candidate length does not match the envelope")
+
+    n = upper_arr.size
+    if n > width:
+        idx = np.linspace(0, n - 1, width).round().astype(int)
+        upper_arr, lower_arr = upper_arr[idx], lower_arr[idx]
+        if cand is not None:
+            cand = cand[idx]
+        n = width
+
+    stack = [upper_arr, lower_arr] + ([cand] if cand is not None else [])
+    lo = float(min(a.min() for a in stack))
+    hi = float(max(a.max() for a in stack))
+    up_rows = _scale_to_rows(upper_arr, lo, hi, height)
+    lo_rows = _scale_to_rows(lower_arr, lo, hi, height)
+    grid = [[" "] * n for _ in range(height)]
+    for col in range(n):
+        for row in range(lo_rows[col], up_rows[col] + 1):
+            grid[height - 1 - row][col] = ":"
+        grid[height - 1 - up_rows[col]][col] = "-"
+        grid[height - 1 - lo_rows[col]][col] = "-"
+    if cand is not None:
+        c_rows = _scale_to_rows(cand, lo, hi, height)
+        for col in range(n):
+            grid[height - 1 - c_rows[col]][col] = "*"
+    return "\n".join("".join(line) for line in grid)
+
+
+def plot_warping_matrix(path, n: int, radius: int | None = None, max_size: int = 40) -> str:
+    """Render a DTW warping path (and optionally its band) in matrix space.
+
+    ``path`` is the list of (i, j) cells from
+    :func:`repro.distances.dtw.warping_path`; the diagonal is dotted, the
+    band (if ``radius`` given) shaded, the path starred.
+    """
+    if n < 1:
+        raise ValueError(f"matrix size must be positive, got {n}")
+    size = min(n, max_size)
+
+    def shrink(value: int) -> int:
+        return min(size - 1, int(value * size / n))
+
+    grid = [[" "] * size for _ in range(size)]
+    if radius is not None:
+        for i in range(n):
+            for j in (max(0, i - radius), min(n - 1, i + radius)):
+                grid[shrink(i)][shrink(j)] = "."
+    for d in range(n):
+        if grid[shrink(d)][shrink(d)] == " ":
+            grid[shrink(d)][shrink(d)] = "."
+    for i, j in path:
+        grid[shrink(i)][shrink(j)] = "*"
+    return "\n".join("".join(line) for line in grid)

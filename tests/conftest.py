@@ -1,0 +1,100 @@
+"""Shared fixtures and naive reference implementations.
+
+The reference implementations here are deliberately simple O(n^2)/O(n^3)
+loops -- slow but obviously correct -- against which the library's
+vectorised kernels are validated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20060912)  # VLDB 2006
+
+
+@pytest.fixture
+def random_walk(rng):
+    """A z-normalised random-walk series factory."""
+
+    def make(n: int = 32) -> np.ndarray:
+        walk = rng.normal(size=n).cumsum()
+        centred = walk - walk.mean()
+        return centred / (centred.std() + 1e-12)
+
+    return make
+
+
+@pytest.fixture
+def small_database(random_walk):
+    return [random_walk(24) for _ in range(12)]
+
+
+def naive_euclidean(q, c) -> float:
+    return math.sqrt(sum((float(a) - float(b)) ** 2 for a, b in zip(q, c)))
+
+
+def naive_dtw(q, c, radius: int) -> float:
+    """Textbook banded DTW: full matrix, no vectorisation."""
+    n = len(q)
+    radius = min(radius, n - 1)
+    cost = np.full((n, n), np.inf)
+    for i in range(n):
+        for j in range(max(0, i - radius), min(n - 1, i + radius) + 1):
+            d = (q[i] - c[j]) ** 2
+            if i == 0 and j == 0:
+                cost[i, j] = d
+            else:
+                prev = min(
+                    cost[i - 1, j] if i > 0 else np.inf,
+                    cost[i, j - 1] if j > 0 else np.inf,
+                    cost[i - 1, j - 1] if i > 0 and j > 0 else np.inf,
+                )
+                cost[i, j] = d + prev
+    return math.sqrt(cost[n - 1, n - 1])
+
+
+def naive_lcss_similarity(q, c, delta: int, epsilon: float) -> float:
+    """Textbook LCSS DP with a time band on matches."""
+    n = len(q)
+    delta = min(delta, n - 1)
+    table = np.zeros((n + 1, n + 1))
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            if abs(i - j) <= delta and abs(q[i - 1] - c[j - 1]) <= epsilon:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return table[n, n] / n
+
+
+def naive_rotation_min(q, c, distance) -> tuple[float, int]:
+    """Best circular shift of ``c`` against ``q`` under ``distance``."""
+    n = len(c)
+    best, best_j = math.inf, -1
+    doubled = np.concatenate([np.asarray(c, dtype=float)] * 2)
+    for j in range(n):
+        d = distance(q, doubled[j : j + n])
+        if d < best:
+            best, best_j = d, j
+    return best, best_j
+
+
+def naive_envelope(rows) -> tuple[np.ndarray, np.ndarray]:
+    mat = np.asarray(rows, dtype=float)
+    return mat.max(axis=0), mat.min(axis=0)
+
+
+def naive_lb_keogh(q, upper, lower) -> float:
+    total = 0.0
+    for qi, ui, li in zip(q, upper, lower):
+        if qi > ui:
+            total += (qi - ui) ** 2
+        elif qi < li:
+            total += (li - qi) ** 2
+    return math.sqrt(total)

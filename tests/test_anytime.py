@@ -1,0 +1,85 @@
+"""Tests for the budgeted (anytime) wedge search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.search import anytime_wedge_search, wedge_search
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.timeseries.ops import circular_shift
+
+
+@pytest.fixture
+def database(random_walk):
+    return [random_walk(24) for _ in range(20)]
+
+
+@pytest.fixture
+def query(random_walk):
+    return random_walk(24)
+
+
+class TestAnytimeSearch:
+    def test_generous_budget_is_exact(self, database, query):
+        measure = EuclideanMeasure()
+        reference = wedge_search(database, query, measure)
+        answer = anytime_wedge_search(database, query, measure, step_budget=10**9)
+        assert answer.exact
+        assert answer.objects_scanned == len(database)
+        assert answer.result.index == reference.index
+        assert math.isclose(answer.result.distance, reference.distance, rel_tol=1e-9)
+
+    def test_tiny_budget_stops_early(self, database, query):
+        # Just above the wedge build cost: barely any scanning happens.
+        n = len(query)
+        answer = anytime_wedge_search(
+            database, query, EuclideanMeasure(), step_budget=(n - 1) * n + 1,
+            order_by_signature=False,
+        )
+        assert not answer.exact
+        assert answer.objects_scanned < len(database)
+
+    def test_quality_monotone_in_budget(self, database, query):
+        measure = EuclideanMeasure()
+        distances = []
+        for budget in (2_000, 20_000, 10**8):
+            answer = anytime_wedge_search(
+                database, query, measure, step_budget=budget, order_by_signature=False
+            )
+            distances.append(answer.result.distance)
+        assert distances[0] >= distances[1] >= distances[2]
+
+    def test_signature_ordering_finds_planted_match_fast(self, database, random_walk):
+        """With signature ordering, the true NN is verified first, so even
+        a small post-setup budget returns the planted exact match."""
+        query = random_walk(24)
+        planted = list(database)
+        planted[15] = circular_shift(query, 9)
+        n = 24
+        from repro.core.counters import fft_step_cost
+
+        setup = (n - 1) * n + len(planted) * fft_step_cost(n)
+        answer = anytime_wedge_search(
+            planted, query, EuclideanMeasure(), step_budget=setup + 30 * n
+        )
+        assert answer.result.index == 15
+        assert answer.result.distance < 1e-9
+
+    def test_works_with_dtw(self, database, query):
+        measure = DTWMeasure(radius=2)
+        reference = wedge_search(database, query, measure)
+        answer = anytime_wedge_search(database, query, measure, step_budget=10**9)
+        assert answer.exact
+        assert answer.result.index == reference.index
+
+    def test_empty_database(self, query):
+        answer = anytime_wedge_search([], query, EuclideanMeasure(), step_budget=10**6)
+        assert answer.exact
+        assert answer.objects_scanned == 0
+        assert not answer.result.found
+
+    def test_rejects_non_positive_budget(self, database, query):
+        with pytest.raises(ValueError):
+            anytime_wedge_search(database, query, EuclideanMeasure(), step_budget=0)

@@ -1,0 +1,90 @@
+"""Tests for the page/buffer-pool disk model."""
+
+import numpy as np
+import pytest
+
+from repro.index.disk import DiskStore
+
+
+@pytest.fixture
+def data(rng):
+    return rng.normal(size=(20, 8))
+
+
+class TestPaging:
+    def test_default_is_one_object_per_page_no_pool(self, data):
+        store = DiskStore(data)
+        store.fetch(3)
+        store.fetch(3)
+        assert store.retrievals == 2
+        assert store.page_faults == 2  # no pool: every fetch faults
+
+    def test_n_pages(self, data):
+        assert DiskStore(data, page_size=4).n_pages == 5
+        assert DiskStore(data, page_size=7).n_pages == 3
+
+    def test_pool_absorbs_rereads(self, data):
+        store = DiskStore(data, page_size=1, buffer_pages=4)
+        store.fetch(3)
+        store.fetch(3)
+        store.fetch(3)
+        assert store.retrievals == 3
+        assert store.page_faults == 1
+
+    def test_page_locality(self, data):
+        """Objects on the same page share a fault."""
+        store = DiskStore(data, page_size=4, buffer_pages=2)
+        store.fetch(0)
+        store.fetch(1)
+        store.fetch(2)
+        store.fetch(3)  # all on page 0
+        assert store.page_faults == 1
+        store.fetch(4)  # page 1
+        assert store.page_faults == 2
+
+    def test_lru_eviction(self, data):
+        store = DiskStore(data, page_size=1, buffer_pages=2)
+        store.fetch(0)  # pool: {0}
+        store.fetch(1)  # pool: {0, 1}
+        store.fetch(2)  # evicts 0; pool: {1, 2}
+        store.fetch(0)  # faults again
+        assert store.page_faults == 4
+
+    def test_lru_touch_order(self, data):
+        store = DiskStore(data, page_size=1, buffer_pages=2)
+        store.fetch(0)
+        store.fetch(1)
+        store.fetch(0)  # touch 0: now 1 is the LRU victim
+        store.fetch(2)  # evicts 1
+        store.fetch(0)  # hit
+        assert store.page_faults == 3
+
+    def test_reset_keeps_pool_warm(self, data):
+        store = DiskStore(data, page_size=1, buffer_pages=4)
+        store.fetch(5)
+        store.reset()
+        store.fetch(5)
+        assert store.page_faults == 0  # warm hit after reset
+
+    def test_flush_cools_pool(self, data):
+        store = DiskStore(data, page_size=1, buffer_pages=4)
+        store.fetch(5)
+        store.reset()
+        store.flush()
+        store.fetch(5)
+        assert store.page_faults == 1
+
+    def test_repeated_query_workload_benefits(self, data):
+        """Warm-cache repeat queries: the paper's main-memory point."""
+        store = DiskStore(data, page_size=2, buffer_pages=100)
+        workload = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        for i in workload:
+            store.fetch(i)
+        assert store.retrievals == 9
+        assert store.page_faults == 2  # pages {0, 1} read once each
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            DiskStore(data, page_size=0)
+        with pytest.raises(ValueError):
+            DiskStore(data, buffer_pages=-1)

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.collection == "points"
+        assert args.strategy == "wedge"
+        assert args.measure == "euclidean"
+        assert not args.mirror
+
+    def test_rejects_unknown_collection(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--collection", "mnist"])
+
+
+class TestDatasetsCommand:
+    def test_lists_all_rows(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Face", "OSULeaves", "Yoga", "LightCurve"):
+            assert name in out
+
+
+class TestSearchCommand:
+    def test_wedge_search_runs(self, capsys):
+        code = main(
+            ["search", "--collection", "lightcurves", "--size", "20",
+             "--length", "48", "--query-index", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best match" in out
+        assert "of brute force" in out
+
+    def test_strategies_agree(self, capsys):
+        answers = {}
+        for strategy in ("wedge", "brute", "early-abandon", "fft"):
+            main(["search", "--collection", "points", "--size", "15", "--length",
+                  "32", "--query-index", "2", "--strategy", strategy])
+            out = capsys.readouterr().out
+            answers[strategy] = [line for line in out.splitlines() if "best match" in line][0]
+        assert len(set(answers.values())) == 1
+
+    def test_dtw_and_options(self, capsys):
+        code = main(
+            ["search", "--collection", "points", "--size", "12", "--length", "32",
+             "--measure", "dtw", "--radius", "2", "--mirror", "--max-degrees", "90"]
+        )
+        assert code == 0
+        assert "best match" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_runs_one_dataset(self, capsys):
+        code = main(
+            ["classify", "--dataset", "Yoga", "--per-class", "3", "--length", "32",
+             "--max-instances", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Yoga" in out
+        assert "ED=" in out and "DTW=" in out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "--dataset", "MNIST"])
+
+
+class TestMiningCommands:
+    def test_discords(self, capsys):
+        code = main(
+            ["discords", "--collection", "lightcurves", "--size", "15",
+             "--length", "48", "--top", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NN distance" in out
+        assert out.count("\n") >= 3
+
+    def test_motif(self, capsys):
+        code = main(["motif", "--collection", "points", "--size", "12", "--length", "32"])
+        assert code == 0
+        assert "distance" in capsys.readouterr().out

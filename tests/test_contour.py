@@ -1,0 +1,130 @@
+"""Tests for boundary tracing and component labelling (Figure 2, A -> B)."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.contour import flood_fill_components, largest_contour, moore_trace
+
+
+def image_from_strings(rows):
+    return np.array([[c == "#" for c in row] for row in rows])
+
+
+class TestMooreTrace:
+    def test_single_pixel(self):
+        img = image_from_strings([".#.", "...", "..."])
+        contour = moore_trace(img, (0, 1))
+        assert contour.tolist() == [[0, 1]]
+
+    def test_square_block(self):
+        img = image_from_strings(["####", "####", "####", "####"])
+        contour = moore_trace(img, (0, 0))
+        pts = {tuple(p) for p in contour}
+        # All 12 border pixels, no interior pixels.
+        assert (1, 1) not in pts
+        assert (1, 2) not in pts
+        border = {(r, c) for r in range(4) for c in range(4) if r in (0, 3) or c in (0, 3)}
+        assert pts == border
+
+    def test_line_is_traced_both_sides(self):
+        img = image_from_strings(["#####"])
+        contour = moore_trace(img, (0, 0))
+        pts = [tuple(p) for p in contour]
+        assert set(pts) == {(0, c) for c in range(5)}
+        # A 1-pixel line is walked out and back.
+        assert len(pts) >= 5
+
+    def test_l_shape_connectivity(self):
+        img = image_from_strings(
+            [
+                "##...",
+                "##...",
+                "#####",
+                "#####",
+            ]
+        )
+        contour = moore_trace(img, (0, 0))
+        pts = {tuple(p) for p in contour}
+        assert (0, 0) in pts and (3, 4) in pts and (0, 1) in pts
+        assert (3, 1) in pts  # bottom edge
+        # The inner corner pixel (1, 1)... (1,1) is on the boundary of the L.
+        assert all(img[r, c] for r, c in pts)
+
+    def test_contour_pixels_are_8_connected(self):
+        img = image_from_strings(
+            [
+                "..###..",
+                ".#####.",
+                "#######",
+                ".#####.",
+                "..###..",
+            ]
+        )
+        contour = moore_trace(img, (0, 2))
+        for (r1, c1), (r2, c2) in zip(contour, np.roll(contour, -1, axis=0)):
+            assert max(abs(r1 - r2), abs(c1 - c2)) <= 1
+
+    def test_rejects_background_start(self):
+        img = image_from_strings(["#.", ".."])
+        with pytest.raises(ValueError):
+            moore_trace(img, (1, 1))
+
+    def test_rejects_out_of_bounds_start(self):
+        img = image_from_strings(["#"])
+        with pytest.raises(ValueError):
+            moore_trace(img, (5, 5))
+
+
+class TestFloodFill:
+    def test_labels_two_components(self):
+        img = image_from_strings(["##..", "....", "..##"])
+        labels = flood_fill_components(img)
+        assert labels.max() == 2
+        assert labels[0, 0] == labels[0, 1]
+        assert labels[2, 2] == labels[2, 3]
+        assert labels[0, 0] != labels[2, 2]
+        assert labels[1, 1] == 0
+
+    def test_diagonal_pixels_are_separate_components(self):
+        img = image_from_strings(["#.", ".#"])
+        labels = flood_fill_components(img)
+        assert labels.max() == 2
+
+    def test_empty_image(self):
+        labels = flood_fill_components(np.zeros((3, 3), dtype=bool))
+        assert labels.max() == 0
+
+
+class TestLargestContour:
+    def test_picks_biggest_blob(self):
+        img = image_from_strings(
+            [
+                "#....",
+                ".....",
+                ".####",
+                ".####",
+            ]
+        )
+        contour = largest_contour(img)
+        pts = {tuple(p) for p in contour}
+        assert (0, 0) not in pts
+        assert all(r >= 2 for r, _c in pts)
+
+    def test_rejects_empty_image(self):
+        with pytest.raises(ValueError):
+            largest_contour(np.zeros((4, 4), dtype=bool))
+
+    def test_roundtrip_with_rasterizer(self):
+        """Rasterise a disk, trace it, and sanity-check the boundary."""
+        from repro.shapes.generators import regular_polygon
+        from repro.shapes.image import rasterize_polygon
+
+        img = rasterize_polygon(regular_polygon(36), resolution=48)
+        contour = largest_contour(img)
+        assert len(contour) > 40
+        # Every contour pixel is foreground and touches background.
+        padded = np.pad(img, 1)
+        for r, c in contour:
+            assert img[r, c]
+            neighbourhood = padded[r : r + 3, c : c + 3]
+            assert not neighbourhood.all()

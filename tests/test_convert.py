@@ -1,0 +1,124 @@
+"""Tests for shape -> time-series conversion (Figure 2, B -> C)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.shapes.convert import (
+    contour_to_series,
+    polygon_centroid,
+    polygon_to_series,
+    resample_closed_curve,
+)
+from repro.shapes.generators import regular_polygon, rotate_polygon, star_polygon
+from repro.shapes.transforms import scale_polygon, translate_polygon
+
+
+class TestPolygonCentroid:
+    def test_square_centroid(self):
+        square = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+        assert np.allclose(polygon_centroid(square), [1.0, 1.0])
+
+    def test_translation_covariance(self, rng):
+        poly = star_polygon(5)
+        shifted = translate_polygon(poly, 3.0, -7.0)
+        assert np.allclose(polygon_centroid(shifted), polygon_centroid(poly) + [3.0, -7.0])
+
+    def test_centroid_weighted_by_area_not_vertices(self):
+        """Extra collinear vertices must not move the area centroid."""
+        square = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+        dense = np.array(
+            [[0.0, 0.0], [0.5, 0.0], [1.0, 0.0], [1.5, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]]
+        )
+        assert np.allclose(polygon_centroid(dense), polygon_centroid(square))
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            polygon_centroid(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+
+class TestResampleClosedCurve:
+    def test_sample_count_and_start(self):
+        poly = regular_polygon(6)
+        samples = resample_closed_curve(poly, 60)
+        assert samples.shape == (60, 2)
+        assert np.allclose(samples[0], poly[0])
+
+    def test_uniform_arc_spacing(self):
+        samples = resample_closed_curve(regular_polygon(4), 40)
+        closed = np.vstack([samples, samples[:1]])
+        gaps = np.hypot(*np.diff(closed, axis=0).T)
+        assert gaps.max() / gaps.min() < 1.2
+
+    def test_rejects_zero_length_curve(self):
+        with pytest.raises(ValueError):
+            resample_closed_curve(np.zeros((3, 2)), 10)
+
+
+class TestPolygonToSeries:
+    def test_circle_is_flat(self):
+        series = polygon_to_series(regular_polygon(180), 64, normalize=False)
+        assert series.std() / series.mean() < 0.01
+
+    def test_star_has_peaks_per_point(self):
+        series = polygon_to_series(star_polygon(5), 200, normalize=False)
+        # Autocorrelation at lag n/5 should be strong (5-fold symmetry).
+        z = series - series.mean()
+        autocorr = np.correlate(np.concatenate([z, z]), z, mode="valid")[:200]
+        assert autocorr[40] > 0.8 * autocorr[0]
+
+    def test_scale_invariance_when_normalized(self):
+        poly = star_polygon(7)
+        a = polygon_to_series(poly, 90)
+        b = polygon_to_series(scale_polygon(poly, 13.0), 90)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_offset_invariance(self):
+        poly = star_polygon(7)
+        a = polygon_to_series(poly, 90)
+        b = polygon_to_series(translate_polygon(poly, 100.0, -50.0), 90)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_rigid_rotation_leaves_series_unchanged(self):
+        """Rotating coordinates does not move the traversal start: the
+        series is identical.  (Image rotation enters as a *shift* of the
+        trace start; see the rotation tests.)"""
+        poly = star_polygon(5)
+        a = polygon_to_series(poly, 100)
+        b = polygon_to_series(rotate_polygon(poly, 72.0), 100)
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_vertex_roll_becomes_circular_shift(self):
+        """Starting the traversal k vertices later shifts the series."""
+        poly = star_polygon(4, outer=1.0, inner=0.5)  # 8 vertices
+        n = 160  # 20 samples per vertex gap
+        a = polygon_to_series(poly, n)
+        b = polygon_to_series(np.roll(poly, -2, axis=0), n)
+        shifted = np.roll(a, -2 * n // 8)
+        assert np.allclose(b, shifted, atol=1e-6)
+
+
+class TestContourToSeries:
+    def test_matches_polygon_path_for_smooth_shape(self):
+        """Bitmap pipeline and vector pipeline agree up to rasterisation."""
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure
+        from repro.shapes.contour import largest_contour
+        from repro.shapes.image import rasterize_polygon
+
+        poly = star_polygon(5)
+        vector_series = polygon_to_series(poly, 128)
+        img = rasterize_polygon(poly, resolution=96)
+        pixel_series = contour_to_series(largest_contour(img), 128)
+        # Compare rotation-invariantly: the trace start is arbitrary.
+        result = brute_force_search([vector_series], pixel_series, EuclideanMeasure())
+        assert result.distance < 0.2 * math.sqrt(128)
+
+    def test_rejects_short_contours(self):
+        with pytest.raises(ValueError):
+            contour_to_series(np.array([[0, 0], [1, 1]]), 16)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            contour_to_series(np.zeros((5, 3)), 16)

@@ -1,0 +1,97 @@
+"""Unit tests for the step-count instrumentation."""
+
+import math
+
+import pytest
+
+from repro.core.counters import StepCounter, fft_step_cost
+
+
+class TestStepCounter:
+    def test_starts_at_zero(self):
+        counter = StepCounter()
+        assert counter.steps == 0
+        assert counter.distance_calls == 0
+        assert counter.lb_calls == 0
+        assert counter.early_abandons == 0
+        assert counter.disk_accesses == 0
+
+    def test_add_accumulates(self):
+        counter = StepCounter()
+        counter.add(10)
+        counter.add(5)
+        assert counter.steps == 15
+
+    def test_add_coerces_to_int(self):
+        counter = StepCounter()
+        counter.add(3.0)
+        assert counter.steps == 3
+        assert isinstance(counter.steps, int)
+
+    def test_merge_folds_all_fields(self):
+        a = StepCounter(steps=5, distance_calls=1, lb_calls=2, early_abandons=3, disk_accesses=4)
+        b = StepCounter(steps=7, distance_calls=10, lb_calls=20, early_abandons=30, disk_accesses=40)
+        a.merge(b)
+        assert a.steps == 12
+        assert a.distance_calls == 11
+        assert a.lb_calls == 22
+        assert a.early_abandons == 33
+        assert a.disk_accesses == 44
+
+    def test_reset(self):
+        counter = StepCounter(steps=5, distance_calls=1)
+        counter.checkpoint()
+        counter.reset()
+        assert counter.steps == 0
+        assert counter.distance_calls == 0
+        with pytest.raises(IndexError):
+            counter.since_checkpoint()
+
+    def test_checkpoint_measures_delta(self):
+        counter = StepCounter()
+        counter.add(100)
+        counter.checkpoint()
+        counter.add(42)
+        assert counter.since_checkpoint() == 42
+
+    def test_checkpoints_nest_like_a_stack(self):
+        counter = StepCounter()
+        counter.checkpoint()
+        counter.add(10)
+        counter.checkpoint()
+        counter.add(5)
+        assert counter.since_checkpoint() == 5
+        counter.add(1)
+        assert counter.since_checkpoint() == 16
+
+    def test_since_checkpoint_without_checkpoint_raises(self):
+        with pytest.raises(IndexError):
+            StepCounter().since_checkpoint()
+
+    def test_snapshot_is_plain_dict(self):
+        counter = StepCounter(steps=3, lb_calls=1)
+        snap = counter.snapshot()
+        assert snap == {
+            "steps": 3,
+            "distance_calls": 0,
+            "lb_calls": 1,
+            "early_abandons": 0,
+            "disk_accesses": 0,
+        }
+
+
+class TestFFTStepCost:
+    def test_matches_nlogn(self):
+        assert fft_step_cost(1024) == 1024 * 10
+
+    def test_rounds_up_non_powers(self):
+        n = 100
+        assert fft_step_cost(n) == math.ceil(n * math.log2(n))
+
+    def test_floor_of_n(self):
+        assert fft_step_cost(1) == 1
+        assert fft_step_cost(2) >= 2
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fft_step_cost(0)

@@ -1,0 +1,156 @@
+"""Tests for the dataset registry and synthetic dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.lightcurve_data import light_curve_collection, light_curve_labelled_dataset
+from repro.datasets.registry import (
+    TABLE_EIGHT,
+    env_scale,
+    heterogeneous_collection,
+    load_dataset,
+)
+from repro.datasets.shapes_data import (
+    Dataset,
+    make_archetype_dataset,
+    projectile_point_collection,
+    projectile_point_dataset,
+)
+
+
+class TestDatasetContainer:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros(4), np.zeros(4))
+
+    def test_basic_accessors(self, rng):
+        ds = Dataset("demo", rng.normal(size=(6, 10)), np.array([0, 0, 1, 1, 2, 2]))
+        assert len(ds) == 6
+        assert ds.length == 10
+        assert ds.n_classes == 3
+
+    def test_subset_preserves_order(self, rng):
+        ds = Dataset("demo", rng.normal(size=(5, 8)), np.arange(5))
+        sub = ds.subset([3, 1])
+        assert sub.labels.tolist() == [3, 1]
+        assert np.array_equal(sub.series[0], ds.series[3])
+
+
+class TestTableEightRegistry:
+    def test_has_all_ten_rows(self):
+        assert len(TABLE_EIGHT) == 10
+        assert set(TABLE_EIGHT) == {
+            "Face", "SwedishLeaves", "Chicken", "MixedBag", "OSULeaves",
+            "Diatoms", "Aircraft", "Fish", "LightCurve", "Yoga",
+        }
+
+    def test_class_counts_match_paper(self):
+        assert TABLE_EIGHT["Face"].n_classes == 16
+        assert TABLE_EIGHT["Diatoms"].n_classes == 37
+        assert TABLE_EIGHT["Yoga"].n_classes == 2
+        assert TABLE_EIGHT["LightCurve"].n_classes == 3
+
+    def test_paper_errors_recorded(self):
+        assert TABLE_EIGHT["OSULeaves"].paper_ed_error == 33.71
+        assert TABLE_EIGHT["Aircraft"].paper_dtw_error == 0.0
+
+    @pytest.mark.parametrize("name", sorted(TABLE_EIGHT))
+    def test_load_dataset_shape(self, name):
+        ds = load_dataset(name, per_class=3, length=32)
+        spec = TABLE_EIGHT[name]
+        assert len(ds) == 3 * spec.n_classes
+        assert ds.length >= 32
+        assert ds.n_classes == spec.n_classes
+        # Series are z-normalised.
+        assert np.allclose(ds.series.mean(axis=1), 0.0, atol=1e-6)
+
+    def test_load_dataset_reproducible(self):
+        a = load_dataset("Fish", seed=5, per_class=3, length=32)
+        b = load_dataset("Fish", seed=5, per_class=3, length=32)
+        assert np.array_equal(a.series, b.series)
+        c = load_dataset("Fish", seed=6, per_class=3, length=32)
+        assert not np.array_equal(a.series, c.series)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("MNIST")
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert env_scale() == 2.5
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            env_scale()
+
+
+class TestArchetypeDatasets:
+    def test_classes_are_learnable(self):
+        """Within-class NN distance must usually beat between-class."""
+        from repro.core.search import wedge_search
+        from repro.distances.euclidean import EuclideanMeasure
+
+        rng = np.random.default_rng(0)
+        ds = make_archetype_dataset("probe", rng, n_classes=4, per_class=5, length=48,
+                                    jitter=0.08, warp_strength=0.1, noise=0.01)
+        measure = EuclideanMeasure()
+        hits = 0
+        for i in range(len(ds)):
+            rest = [j for j in range(len(ds)) if j != i]
+            result = wedge_search(ds.series[rest], ds.series[i], measure)
+            hits += ds.labels[rest[result.index]] == ds.labels[i]
+        assert hits / len(ds) > 0.7
+
+    def test_warp_strength_increases_ed_dtw_gap(self):
+        """More warping hurts Euclidean 1-NN more than DTW 1-NN."""
+        from repro.classify.knn import leave_one_out_error
+        from repro.distances.dtw import DTWMeasure
+        from repro.distances.euclidean import EuclideanMeasure
+
+        rng = np.random.default_rng(7)
+        warped = make_archetype_dataset("warped", rng, n_classes=3, per_class=6,
+                                        length=40, jitter=0.05, warp_strength=0.9, noise=0.01)
+        ed = leave_one_out_error(warped, EuclideanMeasure())
+        dtw = leave_one_out_error(warped, DTWMeasure(radius=3))
+        assert dtw <= ed
+
+
+class TestProjectilePoints:
+    def test_labelled_dataset_has_four_styles(self, rng):
+        ds = projectile_point_dataset(rng, per_class=3, length=64)
+        assert ds.n_classes == 4
+        assert len(ds) == 12
+        assert ds.length == 64
+
+    def test_collection_shape_and_length_default(self, rng):
+        archive = projectile_point_collection(rng, 10)
+        assert archive.shape == (10, 251)
+
+    def test_collection_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            projectile_point_collection(rng, 0)
+
+
+class TestHeterogeneousCollection:
+    def test_mixed_archive(self, rng):
+        archive = heterogeneous_collection(rng, 30, length=128)
+        assert archive.shape == (30, 128)
+        assert np.allclose(archive.mean(axis=1), 0.0, atol=1e-6)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            heterogeneous_collection(rng, 0)
+
+
+class TestLightCurveData:
+    def test_labelled(self, rng):
+        ds = light_curve_labelled_dataset(rng, per_class=4, length=64)
+        assert len(ds) == 12
+        assert ds.n_classes == 3
+
+    def test_collection(self, rng):
+        archive = light_curve_collection(rng, 7, length=64)
+        assert archive.shape == (7, 64)

@@ -1,0 +1,109 @@
+"""Tests for the dendrogram tree and its K-cuts (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.linkage import Merge, linkage
+
+
+def simple_dendrogram():
+    """Five observations mirroring the paper's Figure 9 layout."""
+    dist = np.array(
+        [
+            # C1   C2   C3   C4   C5
+            [0.0, 9.0, 8.0, 2.0, 9.5],
+            [9.0, 0.0, 7.0, 9.2, 1.0],
+            [8.0, 7.0, 0.0, 8.5, 7.2],
+            [2.0, 9.2, 8.5, 0.0, 9.9],
+            [9.5, 1.0, 7.2, 9.9, 0.0],
+        ]
+    )
+    merges = linkage(dist, "average")
+    return Dendrogram(merges, 5, labels=["C1", "C2", "C3", "C4", "C5"])
+
+
+class TestConstruction:
+    def test_root_holds_all_members(self):
+        dendro = simple_dendrogram()
+        assert dendro.root.members == (0, 1, 2, 3, 4)
+
+    def test_single_observation(self):
+        dendro = Dendrogram([], 1)
+        assert dendro.root.is_leaf
+        assert dendro.cut(1) == [dendro.root]
+
+    def test_label_count_validated(self):
+        with pytest.raises(ValueError):
+            Dendrogram([], 1, labels=["a", "b"])
+
+    def test_merge_count_validated(self):
+        with pytest.raises(ValueError):
+            Dendrogram([Merge(0, 1, 1.0, 2)], 5)
+
+    def test_iteration_visits_all_nodes(self):
+        dendro = simple_dendrogram()
+        nodes = list(dendro.root)
+        assert sum(node.is_leaf for node in nodes) == 5
+        assert len(nodes) == 9  # 5 leaves + 4 internal
+
+
+class TestCut:
+    def test_cut_1_is_root(self):
+        dendro = simple_dendrogram()
+        assert dendro.cut(1) == [dendro.root]
+
+    def test_cut_k_gives_k_clusters_partitioning(self):
+        dendro = simple_dendrogram()
+        for k in range(1, 6):
+            clusters = dendro.cut(k)
+            assert len(clusters) == k
+            members = sorted(m for node in clusters for m in node.members)
+            assert members == [0, 1, 2, 3, 4]
+
+    def test_expected_figure9_structure(self):
+        """C1 pairs with C4, C2 with C5, C3 joins {C2, C5}."""
+        dendro = simple_dendrogram()
+        two = dendro.cut(2)
+        member_sets = sorted(tuple(node.members) for node in two)
+        assert member_sets == [(0, 3), (1, 2, 4)]
+        three = dendro.cut(3)
+        member_sets = sorted(tuple(node.members) for node in three)
+        assert member_sets == [(0, 3), (1, 4), (2,)]
+
+    def test_cluster_assignments(self):
+        dendro = simple_dendrogram()
+        labels = dendro.cluster_assignments(2)
+        assert labels[0] == labels[3]
+        assert labels[1] == labels[4]
+        assert labels[0] != labels[1]
+
+    def test_out_of_range(self):
+        dendro = simple_dendrogram()
+        with pytest.raises(ValueError):
+            dendro.cut(0)
+        with pytest.raises(ValueError):
+            dendro.cut(6)
+
+
+class TestRenderAndCophenetic:
+    def test_render_contains_all_labels(self):
+        text = simple_dendrogram().render()
+        for label in ("C1", "C2", "C3", "C4", "C5"):
+            assert label in text
+
+    def test_cophenetic_of_siblings_is_merge_height(self):
+        dendro = simple_dendrogram()
+        assert dendro.cophenetic_distance(1, 4) == 1.0
+        assert dendro.cophenetic_distance(0, 3) == 2.0
+
+    def test_cophenetic_symmetric_and_zero_on_diagonal(self):
+        dendro = simple_dendrogram()
+        assert dendro.cophenetic_distance(2, 2) == 0.0
+        assert dendro.cophenetic_distance(0, 2) == dendro.cophenetic_distance(2, 0)
+
+    def test_cophenetic_dominates_sibling_heights(self):
+        """Cophenetic distance of cross-cluster pairs is the root height."""
+        dendro = simple_dendrogram()
+        root_height = dendro.root.height
+        assert dendro.cophenetic_distance(0, 1) == root_height

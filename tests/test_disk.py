@@ -1,0 +1,60 @@
+"""Tests for the simulated disk store."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import StepCounter
+from repro.index.disk import DiskStore
+
+
+class TestDiskStore:
+    def test_fetch_counts(self, rng):
+        store = DiskStore(rng.normal(size=(5, 8)))
+        assert store.retrievals == 0
+        store.fetch(0)
+        store.fetch(3)
+        store.fetch(0)  # re-fetch counts again (no buffer pool)
+        assert store.retrievals == 3
+        assert store.fraction_retrieved == 0.6
+
+    def test_fetch_returns_correct_row(self, rng):
+        data = rng.normal(size=(4, 6))
+        store = DiskStore(data)
+        assert np.array_equal(store.fetch(2), data[2])
+
+    def test_out_of_range(self, rng):
+        store = DiskStore(rng.normal(size=(3, 4)))
+        with pytest.raises(IndexError):
+            store.fetch(3)
+        with pytest.raises(IndexError):
+            store.fetch(-1)
+
+    def test_shared_counter(self, rng):
+        counter = StepCounter()
+        store = DiskStore(rng.normal(size=(3, 4)), counter=counter)
+        store.fetch(1)
+        store.fetch(2)
+        assert counter.disk_accesses == 2
+
+    def test_peek_all_uncounted(self, rng):
+        data = rng.normal(size=(3, 4))
+        store = DiskStore(data)
+        assert np.array_equal(store.peek_all(), data)
+        assert store.retrievals == 0
+
+    def test_reset(self, rng):
+        store = DiskStore(rng.normal(size=(3, 4)))
+        store.fetch(0)
+        store.reset()
+        assert store.retrievals == 0
+
+    def test_rejects_empty_or_1d(self):
+        with pytest.raises(ValueError):
+            DiskStore(np.zeros((0, 4)))
+        with pytest.raises(ValueError):
+            DiskStore(np.zeros(4))
+
+    def test_len_and_length(self, rng):
+        store = DiskStore(rng.normal(size=(7, 11)))
+        assert len(store) == 7
+        assert store.length == 11

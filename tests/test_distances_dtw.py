@@ -1,0 +1,209 @@
+"""Tests for constrained DTW with early abandoning (Section 4.3, Figure 12)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.counters import StepCounter
+from repro.distances.dtw import (
+    DTWMeasure,
+    band_cell_count,
+    dtw_batch,
+    dtw_distance,
+    warping_path,
+)
+from repro.distances.euclidean import euclidean_distance
+from tests.conftest import naive_dtw
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+pair_strategy = st.integers(2, 25).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=floats),
+        arrays(np.float64, n, elements=floats),
+        st.integers(0, n),
+    )
+)
+
+
+class TestBandCellCount:
+    def test_radius_zero_is_diagonal(self):
+        assert band_cell_count(10, 0) == 10
+
+    def test_full_band_is_whole_matrix(self):
+        assert band_cell_count(10, 9) == 100
+        assert band_cell_count(10, 100) == 100
+
+    def test_matches_enumeration(self):
+        for n in (1, 2, 5, 13):
+            for radius in range(0, n + 2):
+                r = min(radius, n - 1)
+                expected = sum(
+                    min(n - 1, i + r) - max(0, i - r) + 1 for i in range(n)
+                )
+                assert band_cell_count(n, radius) == expected
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            band_cell_count(0, 1)
+
+
+class TestDTWDistance:
+    @given(pair_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive(self, triple):
+        q, c, radius = triple
+        got = dtw_distance(q, c, radius)
+        want = naive_dtw(q, c, min(radius, q.size - 1))
+        assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_radius_zero_equals_euclidean(self, rng):
+        for _ in range(10):
+            q, c = rng.normal(size=17), rng.normal(size=17)
+            assert math.isclose(
+                dtw_distance(q, c, 0), euclidean_distance(q, c), rel_tol=1e-9
+            )
+
+    def test_identity(self, random_walk):
+        series = random_walk(30)
+        assert dtw_distance(series, series, 3) == 0.0
+
+    def test_symmetry(self, rng):
+        q, c = rng.normal(size=14), rng.normal(size=14)
+        assert math.isclose(dtw_distance(q, c, 4), dtw_distance(c, q, 4), rel_tol=1e-9)
+
+    def test_wider_band_never_increases_distance(self, rng):
+        q, c = rng.normal(size=20), rng.normal(size=20)
+        distances = [dtw_distance(q, c, radius) for radius in (0, 1, 3, 7, 19)]
+        for tighter, wider in zip(distances, distances[1:]):
+            assert wider <= tighter + 1e-12
+
+    def test_dtw_never_exceeds_euclidean(self, rng):
+        """The diagonal path is always available inside the band."""
+        for _ in range(10):
+            q, c = rng.normal(size=15), rng.normal(size=15)
+            assert dtw_distance(q, c, 3) <= euclidean_distance(q, c) + 1e-12
+
+    def test_absorbs_shift_distortion(self, rng):
+        base = np.sin(np.linspace(0, 4 * np.pi, 64))
+        shifted = np.roll(base, 2)
+        assert dtw_distance(base, shifted, 3) < 0.3 * euclidean_distance(base, shifted) + 1e-9
+
+    def test_single_point(self):
+        assert dtw_distance([3.0], [5.0], 0) == 2.0
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0], [1.0], -1)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0, 2.0], [1.0], 1)
+
+
+class TestEarlyAbandoningDTW:
+    @given(pair_strategy, st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=100, deadline=None)
+    def test_never_false_abandons(self, triple, r):
+        q, c, radius = triple
+        true = naive_dtw(q, c, min(radius, q.size - 1))
+        got = dtw_distance(q, c, radius, r=r)
+        if math.isinf(got):
+            assert true > r - 1e-9
+        else:
+            assert math.isclose(got, true, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_abandoning_saves_cells(self, rng):
+        q = rng.normal(size=60)
+        c = q + 50.0  # hopeless candidate
+        eager, lazy = StepCounter(), StepCounter()
+        dtw_distance(q, c, 5, r=1.0, counter=eager)
+        dtw_distance(q, c, 5, counter=lazy)
+        assert eager.early_abandons == 1
+        assert eager.steps < lazy.steps
+        assert lazy.steps == band_cell_count(60, 5)
+
+
+class TestDTWBatch:
+    def test_batch_matches_individual(self, rng):
+        q = rng.normal(size=18)
+        rows = rng.normal(size=(7, 18))
+        dists, _steps, abandoned = dtw_batch(q, rows, radius=3)
+        assert not abandoned.any()
+        for row, got in zip(rows, dists):
+            assert math.isclose(got, naive_dtw(q, row, 3), rel_tol=1e-9)
+
+    def test_per_candidate_abandoning(self, rng):
+        q = rng.normal(size=20)
+        near = q + 0.01
+        far = q + 50.0
+        dists, _steps, abandoned = dtw_batch(q, np.vstack([near, far]), radius=2, r=1.0)
+        assert math.isfinite(dists[0])
+        assert math.isinf(dists[1])
+        assert abandoned.tolist() == [False, True]
+
+    def test_empty_threshold_abandons_all(self, rng):
+        q = rng.normal(size=10)
+        rows = rng.normal(size=(3, 10)) + 100
+        dists, _steps, abandoned = dtw_batch(q, rows, radius=1, r=0.5)
+        assert abandoned.all()
+        assert np.isinf(dists).all()
+
+
+class TestWarpingPath:
+    def test_path_endpoints_and_monotonicity(self, rng):
+        q, c = rng.normal(size=12), rng.normal(size=12)
+        dist, path = warping_path(q, c, 3)
+        assert path[0] == (0, 0)
+        assert path[-1] == (11, 11)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert (i2 - i1, j2 - j1) in {(0, 1), (1, 0), (1, 1)}
+            assert abs(i2 - j2) <= 3
+
+    def test_distance_matches_dtw(self, rng):
+        q, c = rng.normal(size=15), rng.normal(size=15)
+        dist, _path = warping_path(q, c, 4)
+        assert math.isclose(dist, dtw_distance(q, c, 4), rel_tol=1e-9)
+
+    def test_path_cost_equals_distance(self, rng):
+        q, c = rng.normal(size=10), rng.normal(size=10)
+        dist, path = warping_path(q, c, 9)
+        total = sum((q[i] - c[j]) ** 2 for i, j in path)
+        assert math.isclose(math.sqrt(total), dist, rel_tol=1e-9)
+
+
+class TestDTWMeasure:
+    def test_envelope_expansion_widens(self, rng):
+        measure = DTWMeasure(radius=2)
+        series = rng.normal(size=20)
+        u, lo = measure.expand_envelope(series, series)
+        assert np.all(u >= series - 1e-12)
+        assert np.all(lo <= series + 1e-12)
+
+    def test_lb_not_exact_for_singleton(self):
+        assert not DTWMeasure(1).lb_exact_for_singleton
+
+    def test_cache_key_includes_radius(self):
+        assert DTWMeasure(1).cache_key() != DTWMeasure(2).cache_key()
+        assert DTWMeasure(3).cache_key() == DTWMeasure(3).cache_key()
+
+    def test_batch_min_matches_naive(self, rng):
+        measure = DTWMeasure(radius=2, chunk_size=3)
+        q = rng.normal(size=12)
+        rows = rng.normal(size=(10, 12))
+        best, idx = measure.batch_min_distance(q, rows)
+        naive = [naive_dtw(q, row, 2) for row in rows]
+        assert idx == int(np.argmin(naive))
+        assert math.isclose(best, min(naive), rel_tol=1e-9)
+
+    def test_pairwise_cost_is_band_cells(self):
+        assert DTWMeasure(5).pairwise_cost(100) == band_cell_count(100, 5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DTWMeasure(-1)
+        with pytest.raises(ValueError):
+            DTWMeasure(1, chunk_size=0)

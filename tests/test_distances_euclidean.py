@@ -1,0 +1,165 @@
+"""Tests for Euclidean distance with early abandoning (Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.counters import StepCounter
+from repro.distances.euclidean import (
+    EuclideanMeasure,
+    ea_euclidean_distance,
+    euclidean_distance,
+)
+from tests.conftest import naive_euclidean
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+pair_strategy = st.integers(2, 40).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=floats), arrays(np.float64, n, elements=floats)
+    )
+)
+
+
+class TestEuclideanDistance:
+    def test_matches_naive(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 30))
+            q, c = rng.normal(size=n), rng.normal(size=n)
+            assert math.isclose(euclidean_distance(q, c), naive_euclidean(q, c), abs_tol=1e-9)
+
+    def test_identity(self, random_walk):
+        series = random_walk(20)
+        assert euclidean_distance(series, series) == 0.0
+
+    def test_symmetry(self, rng):
+        q, c = rng.normal(size=10), rng.normal(size=10)
+        assert euclidean_distance(q, c) == euclidean_distance(c, q)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance([1.0], [1.0, 2.0])
+
+
+class TestEarlyAbandoning:
+    @given(pair_strategy, st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_never_lies(self, pair, r):
+        """EA returns the exact distance or proves it exceeds r -- never both wrong."""
+        q, c = pair
+        true = euclidean_distance(q, c)
+        dist, steps = ea_euclidean_distance(q, c, r)
+        if math.isinf(dist):
+            assert true > r or math.isclose(true, r, rel_tol=1e-12)
+            assert steps <= q.size
+        else:
+            assert math.isclose(dist, true, rel_tol=1e-9, abs_tol=1e-12)
+            assert steps == q.size
+
+    def test_infinite_threshold_never_abandons(self, rng):
+        q, c = rng.normal(size=15), rng.normal(size=15)
+        dist, steps = ea_euclidean_distance(q, c, math.inf)
+        assert math.isfinite(dist)
+        assert steps == 15
+
+    def test_abandons_at_first_element_when_possible(self):
+        q = np.array([100.0, 0.0, 0.0])
+        c = np.zeros(3)
+        dist, steps = ea_euclidean_distance(q, c, 1.0)
+        assert math.isinf(dist)
+        assert steps == 1
+
+    def test_exact_match_below_threshold(self):
+        q = np.array([1.0, 2.0])
+        dist, steps = ea_euclidean_distance(q, q, 0.5)
+        assert dist == 0.0
+        assert steps == 2
+
+    def test_step_count_matches_scalar_semantics(self):
+        """Abandon at the element whose contribution pushed past r^2."""
+        q = np.array([1.0, 1.0, 1.0, 1.0])
+        c = np.zeros(4)
+        # r = 1.5 -> r^2 = 2.25; prefix sums 1, 2, 3 -> abandons at element 3.
+        dist, steps = ea_euclidean_distance(q, c, 1.5)
+        assert math.isinf(dist)
+        assert steps == 3
+
+
+class TestEuclideanMeasure:
+    def test_distance_counts_steps(self, rng):
+        measure = EuclideanMeasure()
+        counter = StepCounter()
+        q, c = rng.normal(size=12), rng.normal(size=12)
+        measure.distance(q, c, counter=counter)
+        assert counter.steps == 12
+        assert counter.distance_calls == 1
+        assert counter.early_abandons == 0
+
+    def test_distance_counts_abandons(self):
+        measure = EuclideanMeasure()
+        counter = StepCounter()
+        measure.distance(np.array([10.0, 0.0]), np.zeros(2), r=1.0, counter=counter)
+        assert counter.early_abandons == 1
+
+    def test_envelope_expansion_is_identity(self, rng):
+        measure = EuclideanMeasure()
+        u, lo = rng.normal(size=8), rng.normal(size=8) - 5
+        u2, l2 = measure.expand_envelope(u, lo)
+        assert np.array_equal(u2, u)
+        assert np.array_equal(l2, lo)
+
+    def test_lb_is_exact_for_singleton(self, rng):
+        measure = EuclideanMeasure()
+        assert measure.lb_exact_for_singleton
+        q, c = rng.normal(size=10), rng.normal(size=10)
+        lb = measure.lower_bound(q, c, c)
+        assert math.isclose(lb, euclidean_distance(q, c), rel_tol=1e-12)
+
+    def test_cache_key_stable(self):
+        assert EuclideanMeasure().cache_key() == EuclideanMeasure().cache_key()
+
+    def test_pairwise_cost(self):
+        assert EuclideanMeasure().pairwise_cost(251) == 251
+
+
+class TestBatchMinDistance:
+    def test_matches_sequential_loop(self, rng):
+        measure = EuclideanMeasure()
+        for _ in range(10):
+            n, k = int(rng.integers(3, 20)), int(rng.integers(1, 15))
+            q = rng.normal(size=n)
+            rows = rng.normal(size=(k, n))
+            best, idx = measure.batch_min_distance(q, rows)
+            dists = [euclidean_distance(q, row) for row in rows]
+            assert idx == int(np.argmin(dists))
+            assert math.isclose(best, min(dists), rel_tol=1e-9)
+
+    def test_early_abandon_and_full_scan_agree(self, rng):
+        measure = EuclideanMeasure()
+        q = rng.normal(size=16)
+        rows = rng.normal(size=(20, 16))
+        fast = measure.batch_min_distance(q, rows, early_abandon=True)
+        slow = measure.batch_min_distance(q, rows, early_abandon=False)
+        assert fast[1] == slow[1]
+        assert math.isclose(fast[0], slow[0], rel_tol=1e-12)
+
+    def test_threshold_filters_everything(self, rng):
+        measure = EuclideanMeasure()
+        q = rng.normal(size=8)
+        rows = q[np.newaxis, :] + 100.0
+        best, idx = measure.batch_min_distance(q, rows, r=1.0)
+        assert math.isinf(best)
+        assert idx == -1
+
+    def test_early_abandon_is_cheaper(self, rng):
+        measure = EuclideanMeasure()
+        q = rng.normal(size=64)
+        rows = np.vstack([q + rng.normal(0, 0.01, 64)] + [rng.normal(size=64) * 10 for _ in range(30)])
+        fast, slow = StepCounter(), StepCounter()
+        measure.batch_min_distance(q, rows, counter=fast, early_abandon=True)
+        measure.batch_min_distance(q, rows, counter=slow, early_abandon=False)
+        assert fast.steps < slow.steps
+        assert slow.steps == rows.shape[0] * 64

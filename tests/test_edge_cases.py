@@ -1,0 +1,207 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate lengths, constant series, duplicate databases, threshold
+boundaries, and the FFT bound under mirroring -- the inputs most likely to
+expose off-by-one or division-by-zero behaviour.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.counters import StepCounter
+from repro.core.rotation import RotationSet
+from repro.core.search import (
+    RotationQuery,
+    brute_force_search,
+    early_abandon_search,
+    fft_search,
+    wedge_search,
+)
+from repro.core.wedge_builder import build_wedge_tree, wedge_tree_from_series
+from repro.distances.dtw import DTWMeasure, dtw_distance
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+from repro.distances.lcss import LCSSMeasure
+from repro.index.fourier import fourier_signature, signature_distance
+from repro.timeseries.ops import circular_shift
+
+
+class TestDegenerateLengths:
+    def test_length_one_series_end_to_end(self):
+        db = [np.array([1.0]), np.array([5.0]), np.array([2.5])]
+        query = np.array([2.4])
+        for search in (brute_force_search, early_abandon_search, wedge_search):
+            result = search(db, query, EuclideanMeasure())
+            assert result.index == 2
+            assert math.isclose(result.distance, 0.1, rel_tol=1e-9)
+
+    def test_length_two_series_all_measures(self):
+        db = [np.array([0.0, 1.0]), np.array([5.0, 5.0])]
+        query = np.array([1.0, 0.0])  # rotation of db[0]
+        for measure in (EuclideanMeasure(), DTWMeasure(1), LCSSMeasure(1, 0.1)):
+            result = wedge_search(db, query, measure)
+            assert result.index == 0
+            assert result.distance < 1e-9
+
+    def test_dtw_length_one(self):
+        assert dtw_distance([2.0], [5.0], 0) == 3.0
+        assert dtw_distance([2.0], [5.0], 10) == 3.0
+
+    def test_single_object_database(self, random_walk):
+        db = [random_walk(10)]
+        query = random_walk(10)
+        a = brute_force_search(db, query, EuclideanMeasure())
+        b = wedge_search(db, query, EuclideanMeasure())
+        assert a.index == b.index == 0
+        assert math.isclose(a.distance, b.distance, rel_tol=1e-9)
+
+
+class TestConstantSeries:
+    def test_constant_database_entries(self):
+        db = [np.zeros(8), np.ones(8) * 3]
+        query = np.full(8, 3.0)
+        result = wedge_search(db, query, EuclideanMeasure())
+        assert result.index == 1
+        assert result.distance == 0.0
+
+    def test_constant_query_rotations_all_identical(self):
+        rs = RotationSet.full(np.full(6, 2.0))
+        assert np.allclose(rs.distance_matrix(), 0.0)
+        tree = build_wedge_tree(rs)
+        assert tree.max_k == 6
+        assert tree.root.area() == 0.0
+
+    def test_wedge_search_with_constant_query(self, random_walk):
+        db = [random_walk(12) for _ in range(5)]
+        query = np.full(12, 1.5)
+        a = brute_force_search(db, query, EuclideanMeasure())
+        b = wedge_search(db, query, EuclideanMeasure())
+        assert a.index == b.index
+
+
+class TestDuplicatesAndTies:
+    def test_database_of_identical_objects(self, random_walk):
+        obj = random_walk(10)
+        db = [obj.copy() for _ in range(6)]
+        result = wedge_search(db, obj, EuclideanMeasure())
+        assert result.distance == 0.0
+        assert 0 <= result.index < 6
+
+    def test_two_exact_matches_returns_first_found_by_bruteforce_too(self, random_walk):
+        query = random_walk(10)
+        db = [random_walk(10), circular_shift(query, 3), circular_shift(query, 7)]
+        brute = brute_force_search(db, query, EuclideanMeasure())
+        assert brute.distance == 0.0
+        # Exactness contract is on distance, not on tie-broken index.
+        wedge = wedge_search(db, query, EuclideanMeasure())
+        assert wedge.distance == 0.0
+
+
+class TestThresholdBoundaries:
+    def test_wedge_search_with_all_objects_beyond_any_match(self, random_walk):
+        """Queries far from everything still return the true (large) NN."""
+        db = [random_walk(10) * 0.1 for _ in range(4)]
+        query = random_walk(10) * 100
+        a = brute_force_search(db, query, EuclideanMeasure())
+        b = wedge_search(db, query, EuclideanMeasure())
+        assert a.index == b.index
+        assert math.isclose(a.distance, b.distance, rel_tol=1e-9)
+
+    def test_early_abandon_distance_exactly_threshold(self):
+        q = np.array([3.0, 4.0])  # distance 5 from origin
+        measure = EuclideanMeasure()
+        c = np.zeros(2)
+        # r exactly the distance: Table 1 abandons only on strict excess.
+        assert math.isclose(measure.distance(q, c, r=5.0), 5.0, rel_tol=1e-12)
+        assert math.isinf(measure.distance(q, c, r=5.0 - 1e-9))
+
+
+class TestFourierMirror:
+    def test_magnitudes_invariant_to_reversal(self, random_walk):
+        """|FFT| of a reversed series equals |FFT| of the original, so the
+        FFT bound is also admissible for mirror-augmented queries."""
+        series = random_walk(20)
+        a = fourier_signature(series)
+        b = fourier_signature(series[::-1].copy())
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_fft_search_with_mirror(self, random_walk):
+        db = [random_walk(14) for _ in range(6)]
+        query = random_walk(14)
+        db[3] = circular_shift(query[::-1].copy(), 4)
+        reference = brute_force_search(db, query, EuclideanMeasure(), mirror=True)
+        result = fft_search(db, query, mirror=True)
+        assert result.index == reference.index == 3
+        assert result.distance < 1e-9
+
+
+class TestCombinedInvariances:
+    def test_mirror_plus_rotation_limit(self, random_walk):
+        query = random_walk(24)
+        db = [random_walk(24) for _ in range(5)]
+        db[2] = circular_shift(query[::-1].copy(), 2)
+        reference = brute_force_search(
+            db, query, EuclideanMeasure(), mirror=True, max_degrees=45.0
+        )
+        result = wedge_search(db, query, EuclideanMeasure(), mirror=True, max_degrees=45.0)
+        assert result.index == reference.index
+        assert math.isclose(result.distance, reference.distance, rel_tol=1e-9)
+
+
+class TestGenericWedgeTree:
+    def test_tree_over_arbitrary_series(self, rng):
+        rows = rng.normal(size=(7, 12))
+        tree = wedge_tree_from_series(rows)
+        assert tree.max_k == 7
+        for row in rows:
+            assert tree.root.encloses(row)
+
+    def test_single_series(self, rng):
+        tree = wedge_tree_from_series(rng.normal(size=(1, 6)))
+        assert tree.root.is_leaf
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            wedge_tree_from_series(np.zeros(5))
+        with pytest.raises(ValueError):
+            wedge_tree_from_series(np.zeros((0, 5)))
+
+    def test_counter_charged(self, rng):
+        counter = StepCounter()
+        wedge_tree_from_series(rng.normal(size=(5, 9)), counter=counter)
+        assert counter.steps == 4 * 9
+
+
+class TestMeasureBaseFallback:
+    def test_base_batch_min_matches_loop(self, rng):
+        """LCSS uses the base-class batch loop; sanity-check it directly."""
+        measure = LCSSMeasure(delta=1, epsilon=0.4)
+        q = rng.normal(size=10)
+        rows = rng.normal(size=(5, 10))
+        best, idx = measure.batch_min_distance(q, rows)
+        dists = [measure.distance(q, row) for row in rows]
+        assert idx == int(np.argmin(dists))
+        assert math.isclose(best, min(dists), abs_tol=1e-12)
+
+    def test_base_batch_threshold_excludes_all(self, rng):
+        measure = LCSSMeasure(delta=1, epsilon=0.01)
+        q = rng.normal(size=10)
+        rows = rng.normal(size=(3, 10)) + 50
+        best, idx = measure.batch_min_distance(q, rows, r=0.0)
+        assert math.isinf(best)
+        assert idx == -1
+
+
+class TestSignatureEdge:
+    def test_signature_of_constant_series(self):
+        sig = fourier_signature(np.full(8, 4.0))
+        assert sig[0] > 0  # DC carries everything
+        assert np.allclose(sig[1:], 0.0, atol=1e-9)
+
+    def test_signature_distance_bounds_on_constants(self):
+        a = np.full(8, 1.0)
+        b = np.full(8, 3.0)
+        bound = signature_distance(fourier_signature(a), fourier_signature(b))
+        assert bound <= euclidean_distance(a, b) + 1e-9
+        assert bound > 0

@@ -1,0 +1,80 @@
+"""Tests for warping-window training and the Table-8 evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.classify.evaluation import (
+    TableEightRow,
+    evaluate_dataset,
+    holdout_error,
+    train_warping_window,
+)
+from repro.datasets.shapes_data import Dataset, make_archetype_dataset
+from repro.distances.euclidean import EuclideanMeasure
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(3)
+    return make_archetype_dataset(
+        "probe", rng, n_classes=3, per_class=5, length=32, jitter=0.08,
+        warp_strength=0.4, noise=0.02,
+    )
+
+
+class TestTrainWarpingWindow:
+    def test_returns_candidate(self, dataset):
+        r = train_warping_window(dataset, candidate_radii=(1, 2, 3))
+        assert r in (1, 2, 3)
+
+    def test_single_candidate(self, dataset):
+        assert train_warping_window(dataset, candidate_radii=(2,)) == 2
+
+    def test_rejects_empty(self, dataset):
+        with pytest.raises(ValueError):
+            train_warping_window(dataset, candidate_radii=())
+
+
+class TestHoldoutError:
+    def test_zero_on_identical_split(self, dataset):
+        error = holdout_error(dataset, dataset, EuclideanMeasure())
+        assert error == 0.0  # every test instance is its own training twin
+
+    def test_range(self, dataset):
+        half = len(dataset) // 2
+        train = dataset.subset(range(half))
+        test = dataset.subset(range(half, len(dataset)))
+        error = holdout_error(train, test, EuclideanMeasure())
+        assert 0.0 <= error <= 100.0
+
+    def test_rejects_empty_test(self, dataset, rng):
+        empty = Dataset("e", np.zeros((0, dataset.length)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            holdout_error(dataset, empty, EuclideanMeasure())
+
+
+class TestEvaluateDataset:
+    def test_full_protocol(self, dataset):
+        row = evaluate_dataset(dataset, candidate_radii=(1, 2), max_instances=8)
+        assert row.name == "probe"
+        assert row.n_classes == 3
+        assert row.n_instances == 15
+        assert 0.0 <= row.euclidean_error <= 100.0
+        assert 0.0 <= row.dtw_error <= 100.0
+        assert row.dtw_radius in (1, 2)
+
+    def test_row_formatting(self):
+        row = TableEightRow(
+            name="Fish", n_classes=7, n_instances=50, euclidean_error=11.4,
+            dtw_error=9.7, dtw_radius=1, paper_euclidean_error=11.43,
+            paper_dtw_error=9.71,
+        )
+        text = row.format()
+        assert "Fish" in text
+        assert "11.40%" in text
+        assert "{R=1}" in text
+        assert "9.71" in text
+
+    def test_row_formatting_without_paper_numbers(self):
+        row = TableEightRow("X", 2, 10, 1.0, 2.0, 3)
+        assert "paper -%" in row.format()

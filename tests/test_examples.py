@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own assertions (clustering purities, retrieval
+semantics, accuracy orderings), so "runs without error" is a meaningful
+check.  Scripts execute in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(EXAMPLE_SCRIPTS) >= 9
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples import repro from the installed package; no path games
+    # needed, but guard argv in case a script ever parses it.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates its result

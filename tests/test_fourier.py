@@ -1,0 +1,99 @@
+"""Tests for the Fourier-magnitude rotation-invariant lower bound (Section 4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distances.euclidean import euclidean_distance
+from repro.index.fourier import (
+    fourier_signature,
+    rotation_invariant_ed_lower_bound,
+    signature_distance,
+)
+from repro.timeseries.ops import circular_shift
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+pair_strategy = st.integers(2, 30).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, n, elements=floats), arrays(np.float64, n, elements=floats)
+    )
+)
+
+
+class TestSignature:
+    def test_rotation_invariant(self, random_walk):
+        series = random_walk(40)
+        base = fourier_signature(series)
+        for k in (1, 7, 20, 39):
+            assert np.allclose(fourier_signature(circular_shift(series, k)), base, atol=1e-9)
+
+    def test_truncation_prefixes(self, random_walk):
+        series = random_walk(32)
+        full = fourier_signature(series)
+        assert np.allclose(fourier_signature(series, 8), full[:8])
+        assert fourier_signature(series, 4).size == 4
+
+    def test_full_signature_distance_is_parseval_exact_for_self(self, random_walk):
+        series = random_walk(20)
+        assert signature_distance(fourier_signature(series), fourier_signature(series)) == 0.0
+
+    def test_signature_norm_equals_series_norm(self, random_walk):
+        """Parseval: ||signature||_2 == ||series||_2."""
+        series = random_walk(25)
+        sig = fourier_signature(series)
+        assert math.isclose(
+            float(np.linalg.norm(sig)), float(np.linalg.norm(series)), rel_tol=1e-9
+        )
+
+    def test_rejects_bad_coefficient_count(self, random_walk):
+        with pytest.raises(ValueError):
+            fourier_signature(random_walk(10), 0)
+
+    def test_signature_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            signature_distance(np.zeros(3), np.zeros(4))
+
+
+class TestLowerBound:
+    @given(pair_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_every_rotation(self, pair):
+        a, b = pair
+        bound = rotation_invariant_ed_lower_bound(a, b)
+        for lag in range(a.size):
+            assert bound <= euclidean_distance(a, circular_shift(b, lag)) + 1e-6
+
+    @given(pair_strategy, st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_bound_is_weaker(self, pair, d):
+        a, b = pair
+        full = rotation_invariant_ed_lower_bound(a, b)
+        truncated = rotation_invariant_ed_lower_bound(a, b, min(d, a.size // 2 + 1))
+        assert truncated <= full + 1e-9
+
+    def test_symmetric(self, rng):
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        assert math.isclose(
+            rotation_invariant_ed_lower_bound(a, b),
+            rotation_invariant_ed_lower_bound(b, a),
+            rel_tol=1e-12,
+        )
+
+    def test_invariant_to_rotating_either_argument(self, rng):
+        a, b = rng.normal(size=18), rng.normal(size=18)
+        base = rotation_invariant_ed_lower_bound(a, b)
+        assert math.isclose(
+            base, rotation_invariant_ed_lower_bound(circular_shift(a, 5), b), rel_tol=1e-9
+        )
+        assert math.isclose(
+            base, rotation_invariant_ed_lower_bound(a, circular_shift(b, 11)), rel_tol=1e-9
+        )
+
+    def test_tightness_on_pure_rotations(self, random_walk):
+        """For an exact rotation the bound reaches the true distance (0)."""
+        series = random_walk(24)
+        assert rotation_invariant_ed_lower_bound(series, circular_shift(series, 9)) < 1e-9

@@ -1,0 +1,132 @@
+"""Tests for the synthetic shape generators."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.convert import polygon_to_series
+from repro.shapes.generators import (
+    butterfly,
+    fourier_blob,
+    projectile_point,
+    regular_polygon,
+    rotate_polygon,
+    skull_profile,
+    star_polygon,
+)
+
+
+def polygon_is_closed_and_finite(poly):
+    assert poly.ndim == 2 and poly.shape[1] == 2
+    assert poly.shape[0] >= 3
+    assert np.all(np.isfinite(poly))
+
+
+class TestGeometricShapes:
+    def test_regular_polygon_vertices_on_circle(self):
+        poly = regular_polygon(8, radius=2.0)
+        assert poly.shape == (8, 2)
+        assert np.allclose(np.hypot(poly[:, 0], poly[:, 1]), 2.0)
+
+    def test_star_alternates_radii(self):
+        star = star_polygon(5, outer=1.0, inner=0.4)
+        radii = np.hypot(star[:, 0], star[:, 1])
+        assert np.allclose(radii[::2], 1.0)
+        assert np.allclose(radii[1::2], 0.4)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            regular_polygon(2)
+        with pytest.raises(ValueError):
+            star_polygon(1)
+        with pytest.raises(ValueError):
+            star_polygon(5, outer=1.0, inner=1.5)
+
+    def test_rotate_polygon_preserves_distances_to_center(self):
+        poly = star_polygon(6)
+        rotated = rotate_polygon(poly, 37.0)
+        center = poly.mean(axis=0)
+        r_before = np.hypot(*(poly - center).T)
+        r_after = np.hypot(*(rotated - rotated.mean(axis=0)).T)
+        assert np.allclose(r_before, r_after, atol=1e-9)
+
+
+class TestFourierBlob:
+    def test_deterministic_without_jitter(self, rng):
+        h = [(2, 0.2, 0.5), (4, 0.1, 1.0)]
+        a = fourier_blob(np.random.default_rng(1), h, jitter=0.0)
+        b = fourier_blob(np.random.default_rng(2), h, jitter=0.0)
+        assert np.allclose(a, b)
+
+    def test_jitter_produces_variation(self):
+        h = [(2, 0.2, 0.5)]
+        a = fourier_blob(np.random.default_rng(1), h, jitter=0.2)
+        b = fourier_blob(np.random.default_rng(2), h, jitter=0.2)
+        assert not np.allclose(a, b)
+
+    def test_radius_stays_positive(self, rng):
+        for _ in range(10):
+            poly = fourier_blob(rng, [(2, 0.9, 0.0), (3, 0.9, 1.0)], jitter=0.3)
+            assert np.all(np.hypot(poly[:, 0], poly[:, 1]) >= 0.049)
+
+
+class TestProjectilePoint:
+    @pytest.mark.parametrize("style", ["stemmed", "side-notched", "lanceolate", "triangular"])
+    def test_styles_produce_valid_outlines(self, rng, style):
+        poly = projectile_point(rng, style)
+        polygon_is_closed_and_finite(poly)
+        # Bilateral symmetry about x=0 (up to jitter).
+        assert abs(poly[:, 0].mean()) < 0.05
+
+    def test_broken_tip_is_shorter(self, rng):
+        whole = projectile_point(np.random.default_rng(5), "lanceolate", jitter=0.0)
+        broken = projectile_point(np.random.default_rng(5), "lanceolate", jitter=0.0, broken_tip=True)
+        assert broken[:, 1].max() < whole[:, 1].max()
+        assert broken.shape[0] < whole.shape[0]
+
+    def test_unknown_style_rejected(self, rng):
+        with pytest.raises(ValueError):
+            projectile_point(rng, "clovis-fluted-mystery")
+
+    def test_styles_are_distinguishable(self, rng):
+        """Different styles must be farther apart than same-style jitter."""
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure
+
+        measure = EuclideanMeasure()
+        a1 = polygon_to_series(projectile_point(rng, "stemmed"), 128)
+        a2 = polygon_to_series(projectile_point(rng, "stemmed"), 128)
+        b = polygon_to_series(projectile_point(rng, "triangular"), 128)
+        within = brute_force_search([a2], a1, measure).distance
+        between = brute_force_search([b], a1, measure).distance
+        assert within < between
+
+
+class TestSkullAndButterfly:
+    def test_skull_profile_valid(self, rng):
+        polygon_is_closed_and_finite(skull_profile(rng))
+
+    def test_braincase_changes_shape(self, rng):
+        small = skull_profile(np.random.default_rng(1), braincase=0.7, jitter=0.0)
+        large = skull_profile(np.random.default_rng(1), braincase=1.4, jitter=0.0)
+        assert not np.allclose(small, large)
+
+    def test_butterfly_valid_and_symmetric(self):
+        poly = butterfly(np.random.default_rng(3), jitter=0.0)
+        polygon_is_closed_and_finite(poly)
+        # Mirror symmetry about the x axis when unbent.
+        series = polygon_to_series(poly, 120, normalize=False)
+        assert np.allclose(series[1:], series[1:][::-1], atol=0.05)
+
+    def test_hindwing_articulation_changes_less_than_species(self):
+        """The Figure 18 premise: articulation << species difference."""
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure
+
+        measure = EuclideanMeasure()
+        a = butterfly(np.random.default_rng(1), hindwing=0.8, jitter=0.0)
+        a_bent = butterfly(np.random.default_rng(1), hindwing=0.8, hindwing_angle=10.0, jitter=0.0)
+        b = butterfly(np.random.default_rng(1), forewing=0.6, hindwing=1.2, jitter=0.0)
+        sa = polygon_to_series(a, 128)
+        articulation = brute_force_search([polygon_to_series(a_bent, 128)], sa, measure).distance
+        species = brute_force_search([polygon_to_series(b, 128)], sa, measure).distance
+        assert articulation < species

@@ -1,0 +1,115 @@
+"""Tests for the benchmark harness (benchmarks/harness.py).
+
+The harness is the part of the reproduction that *defines* what the
+figures mean -- worth testing like library code.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from harness import (  # noqa: E402
+    SpeedupResult,
+    brute_force_steps,
+    ea_strategy,
+    run_speedup_experiment,
+    size_grid,
+    wedge_strategy,
+)
+from repro.distances.euclidean import EuclideanMeasure  # noqa: E402
+
+
+class TestSizeGrid:
+    def test_doubles_from_minimum(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert size_grid(256) == [32, 64, 128, 256]
+
+    def test_non_power_maximum_appended(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert size_grid(300) == [32, 64, 128, 256, 300]
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        grid = size_grid(100)
+        assert grid[-1] == 200
+
+
+class TestBruteForceSteps:
+    def test_formula(self):
+        assert brute_force_steps(10, 64, 64) == 10 * 64 * 64
+
+
+class TestSpeedupResult:
+    def test_format_contains_all_series(self):
+        result = SpeedupResult("Demo", [32, 64])
+        result.fractions["brute-force"] = [1.0, 1.0]
+        result.fractions["wedge"] = [0.5, 0.25]
+        text = result.format()
+        assert "Demo" in text
+        assert "brute-force" in text and "wedge" in text
+        assert "0.25000" in text
+
+
+class TestRunSpeedupExperiment:
+    @pytest.fixture
+    def archive(self, rng):
+        walks = rng.normal(size=(40, 16)).cumsum(axis=1)
+        return (walks - walks.mean(axis=1, keepdims=True)) / walks.std(
+            axis=1, keepdims=True
+        )
+
+    def test_fractions_in_unit_interval(self, archive):
+        result = run_speedup_experiment(
+            "demo",
+            archive,
+            EuclideanMeasure(),
+            strategies={"early-abandon": ea_strategy, "wedge": wedge_strategy},
+            m_values=[8, 20, 40],
+            n_queries=2,
+        )
+        assert result.m_values == [8, 20, 40]
+        for name in ("early-abandon", "wedge"):
+            assert len(result.fractions[name]) == 3
+            assert all(0 < f < 5 for f in result.fractions[name])
+        assert result.fractions["brute-force"] == [1.0, 1.0, 1.0]
+
+    def test_m_values_clipped_to_archive(self, archive):
+        result = run_speedup_experiment(
+            "demo",
+            archive,
+            EuclideanMeasure(),
+            strategies={"early-abandon": ea_strategy},
+            m_values=[8, 9999],
+            n_queries=1,
+        )
+        assert result.m_values == [8]
+
+    def test_extra_brute_lines_are_constant_ratio(self, archive):
+        result = run_speedup_experiment(
+            "demo",
+            archive,
+            EuclideanMeasure(),
+            strategies={"early-abandon": ea_strategy},
+            m_values=[8, 16],
+            n_queries=1,
+            brute_pairwise_cost=16 * 16,
+            extra_brute_lines={"banded": 16 * 5},
+        )
+        expected = (16 * 5) / (16 * 16)
+        assert result.fractions["banded"] == [expected, expected]
+
+    def test_deterministic_for_fixed_seed(self, archive):
+        kwargs = dict(
+            measure=EuclideanMeasure(),
+            strategies={"wedge": wedge_strategy},
+            m_values=[10],
+            n_queries=2,
+            seed=5,
+        )
+        a = run_speedup_experiment("a", archive, **kwargs)
+        b = run_speedup_experiment("b", archive, **kwargs)
+        assert a.fractions["wedge"] == b.fractions["wedge"]

@@ -1,0 +1,135 @@
+"""Tests for the H-Merge traversal (Table 6) and the K policies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.counters import StepCounter
+from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
+from repro.core.rotation import RotationSet
+from repro.core.wedge_builder import build_wedge_tree
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.distances.lcss import LCSSMeasure
+from tests.conftest import naive_dtw, naive_euclidean, naive_lcss_similarity
+
+
+@pytest.fixture
+def query_tree(random_walk):
+    series = random_walk(20)
+    rs = RotationSet.full(series)
+    return rs, build_wedge_tree(rs)
+
+
+MEASURES = [
+    (EuclideanMeasure(), lambda q, c: naive_euclidean(q, c)),
+    (DTWMeasure(radius=2), lambda q, c: naive_dtw(q, c, 2)),
+    (LCSSMeasure(delta=2, epsilon=0.5), lambda q, c: 1 - naive_lcss_similarity(q, c, 2, 0.5)),
+]
+
+
+class TestHMergeExactness:
+    @pytest.mark.parametrize("measure,reference", MEASURES, ids=["ed", "dtw", "lcss"])
+    @pytest.mark.parametrize("order", ["dfs", "best-first"])
+    @pytest.mark.parametrize("k", [1, 3, 20])
+    def test_matches_bruteforce_over_rotations(self, query_tree, random_walk, measure, reference, order, k):
+        rs, tree = query_tree
+        candidate = random_walk(20)
+        dist, rotation = h_merge(candidate, tree.frontier(k), measure, order=order)
+        naive = [reference(candidate, row) for row in rs.rotations]
+        assert math.isclose(dist, min(naive), rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(naive[rotation], min(naive), rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_threshold_prunes_everything(self, query_tree, random_walk):
+        _rs, tree = query_tree
+        candidate = random_walk(20) + 100.0
+        dist, rotation = h_merge(candidate, tree.frontier(2), EuclideanMeasure(), r=0.1)
+        assert math.isinf(dist)
+        assert rotation == -1
+
+    def test_exact_threshold_boundary(self, query_tree):
+        """A candidate at exactly distance r must not be returned (< r wins)."""
+        rs, tree = query_tree
+        candidate = rs.rotations[5]
+        dist, rotation = h_merge(candidate, tree.frontier(4), EuclideanMeasure(), r=0.0)
+        assert math.isinf(dist)
+
+    def test_candidate_equal_to_some_rotation(self, query_tree):
+        rs, tree = query_tree
+        dist, rotation = h_merge(rs.rotations[7], tree.frontier(3), EuclideanMeasure())
+        assert dist == 0.0
+        assert rotation == 7
+
+
+class TestHMergeEfficiency:
+    def test_pruning_beats_leaf_scan(self, random_walk):
+        """With a tight threshold, coarse wedges should cost fewer steps."""
+        series = np.sin(np.linspace(0, 2 * np.pi, 64))  # smooth -> thin wedges
+        rs = RotationSet.full(series)
+        tree = build_wedge_tree(rs)
+        candidate = -3.0 * np.ones(64)
+        measure = EuclideanMeasure()
+        coarse, fine = StepCounter(), StepCounter()
+        h_merge(candidate, tree.frontier(2), measure, r=0.5, counter=coarse)
+        h_merge(candidate, tree.frontier(64), measure, r=0.5, counter=fine)
+        assert coarse.steps < fine.steps
+
+    def test_counts_lb_and_distance_calls(self, query_tree, random_walk):
+        _rs, tree = query_tree
+        counter = StepCounter()
+        h_merge(random_walk(20), tree.frontier(2), DTWMeasure(2), counter=counter)
+        assert counter.lb_calls > 0
+        assert counter.steps > 0
+
+    def test_invalid_order_rejected(self, query_tree):
+        _rs, tree = query_tree
+        with pytest.raises(ValueError):
+            h_merge(np.zeros(20), tree.frontier(1), EuclideanMeasure(), order="random")
+
+
+class TestFixedKPolicy:
+    def test_constant(self):
+        policy = FixedKPolicy(5)
+        assert policy.current_k(100) == 5
+        assert policy.candidates_after_improvement(100) == []
+
+    def test_clamped_to_max(self):
+        assert FixedKPolicy(500).current_k(10) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            FixedKPolicy(0)
+
+
+class TestDynamicKPolicy:
+    def test_starts_at_two(self):
+        assert DynamicKPolicy().current_k(100) == 2
+
+    def test_candidates_span_both_ranges(self):
+        policy = DynamicKPolicy(intervals=5)
+        policy.current_k(100)
+        candidates = policy.candidates_after_improvement(100)
+        assert 1 in candidates
+        assert 100 in candidates
+        assert all(1 <= c <= 100 for c in candidates)
+        assert candidates == sorted(set(candidates))
+
+    def test_adopts_cheapest_probe(self):
+        policy = DynamicKPolicy()
+        policy.current_k(50)
+        policy.candidates_after_improvement(50)
+        policy.observe_probe(4, 1000)
+        policy.observe_probe(9, 100)
+        policy.observe_probe(25, 5000)
+        assert policy.current_k(50) == 9
+
+    def test_candidates_respect_small_max_k(self):
+        policy = DynamicKPolicy()
+        policy.current_k(3)
+        candidates = policy.candidates_after_improvement(3)
+        assert all(1 <= c <= 3 for c in candidates)
+
+    def test_rejects_silly_intervals(self):
+        with pytest.raises(ValueError):
+            DynamicKPolicy(intervals=1)

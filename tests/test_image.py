@@ -1,0 +1,63 @@
+"""Tests for polygon rasterisation."""
+
+import numpy as np
+import pytest
+
+from repro.shapes.generators import regular_polygon, star_polygon
+from repro.shapes.image import rasterize_polygon, render_ascii
+
+
+class TestRasterizePolygon:
+    def test_fills_a_square(self):
+        square = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        img = rasterize_polygon(square, resolution=20, padding=0.1)
+        filled = img.mean()
+        # The square occupies (1/1.2)^2 ~ 69% of the padded frame.
+        assert 0.55 < filled < 0.8
+
+    def test_disk_area_close_to_pi_r_squared(self):
+        disk = regular_polygon(180)
+        img = rasterize_polygon(disk, resolution=100, padding=0.0)
+        # Inscribed in the full frame: area ratio = pi/4 ~ 0.785.
+        assert abs(img.mean() - np.pi / 4) < 0.03
+
+    def test_star_less_filled_than_disk(self):
+        res = 64
+        disk = rasterize_polygon(regular_polygon(60), res)
+        star = rasterize_polygon(star_polygon(5, inner=0.3), res)
+        assert star.sum() < disk.sum()
+
+    def test_concavities_are_empty(self):
+        star = star_polygon(4, outer=1.0, inner=0.2)
+        img = rasterize_polygon(star, resolution=41, padding=0.0)
+        # Point midway between two arms (diagonal, outside inner radius)
+        # must be background.
+        r = 41 // 2
+        offset = int(0.35 * 41 / 2)
+        assert not img[r + offset, r + offset]
+        assert img[r, r]  # centre is foreground
+
+    def test_resolution_validated(self):
+        with pytest.raises(ValueError):
+            rasterize_polygon(regular_polygon(3), resolution=2)
+
+    def test_vertex_shape_validated(self):
+        with pytest.raises(ValueError):
+            rasterize_polygon(np.zeros((2, 2)), resolution=16)
+
+    def test_degenerate_polygon_does_not_crash(self):
+        """A zero-area polygon rasterises to (almost) nothing."""
+        flat = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        img = rasterize_polygon(flat, resolution=16)
+        assert img.sum() <= 16
+
+
+class TestRenderAscii:
+    def test_round_trip_characters(self):
+        img = np.array([[True, False], [False, True]])
+        text = render_ascii(img)
+        assert text == "#.\n.#"
+
+    def test_custom_glyphs(self):
+        img = np.array([[True]])
+        assert render_ascii(img, fg="@", bg=" ") == "@"

@@ -1,0 +1,102 @@
+"""Tests for the Chamfer / Hausdorff image-space baselines (Section 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances.imagespace import (
+    chamfer_distance,
+    directed_hausdorff,
+    hausdorff_distance,
+    rotation_invariant_pointset_distance,
+)
+from repro.shapes.generators import butterfly, regular_polygon, rotate_polygon, star_polygon
+from repro.shapes.transforms import articulate_polygon
+
+
+class TestPointSetDistances:
+    def test_identical_sets_distance_zero(self, rng):
+        pts = rng.normal(size=(20, 2))
+        assert hausdorff_distance(pts, pts) == 0.0
+        assert chamfer_distance(pts, pts) == 0.0
+
+    def test_directed_hausdorff_asymmetric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert directed_hausdorff(a, b) == 0.0
+        assert directed_hausdorff(b, a) == 10.0
+
+    def test_symmetric_hausdorff_is_max_of_directed(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.5], [5.0, 0.0]])
+        expected = max(directed_hausdorff(a, b), directed_hausdorff(b, a))
+        assert hausdorff_distance(a, b) == expected
+
+    def test_chamfer_below_hausdorff(self, rng):
+        a = rng.normal(size=(15, 2))
+        b = rng.normal(size=(15, 2))
+        assert chamfer_distance(a, b) <= hausdorff_distance(a, b) + 1e-12
+
+    def test_single_outlier_dominates_hausdorff_not_chamfer(self):
+        """The paper's bent-antenna thought experiment."""
+        base = np.column_stack([np.linspace(0, 1, 50), np.zeros(50)])
+        bent = base.copy()
+        bent[-1] = [1.0, 1.0]  # one point swings away
+        h = hausdorff_distance(base, bent)
+        c = chamfer_distance(base, bent)
+        assert h > 0.9
+        assert c < 0.1 * h
+
+
+class TestRotationInvariantPointset:
+    def test_recovers_rotated_copy(self):
+        star = star_polygon(5)
+        rotated = rotate_polygon(star, 36.0)
+        d = rotation_invariant_pointset_distance(star, rotated, "chamfer", n_rotations=72)
+        assert d < 0.02
+
+    def test_separates_different_shapes(self):
+        star = star_polygon(5, inner=0.3)
+        disk = regular_polygon(32)
+        d = rotation_invariant_pointset_distance(star, disk, "chamfer", n_rotations=32)
+        assert d > 0.1
+
+    def test_hausdorff_variant(self):
+        star = star_polygon(4)
+        d_same = rotation_invariant_pointset_distance(star, rotate_polygon(star, 45.0), "hausdorff")
+        d_diff = rotation_invariant_pointset_distance(star, regular_polygon(16), "hausdorff")
+        assert d_same < d_diff
+
+    def test_articulation_hurts_hausdorff_more_than_centroid_series(self):
+        """Figure 18's comparison, quantified: bending a wing moves the
+        Hausdorff distance by a large fraction of the inter-shape scale,
+        while the rotation-invariant series distance barely moves."""
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure
+        from repro.shapes.convert import polygon_to_series
+
+        moth = butterfly(np.random.default_rng(2), jitter=0.0)
+        bent = articulate_polygon(moth, center_fraction=2 / 3, width_fraction=0.18, degrees=25)
+        other = butterfly(np.random.default_rng(2), forewing=0.6, hindwing=1.1, jitter=0.0)
+
+        h_bend = rotation_invariant_pointset_distance(moth, bent, "hausdorff", n_rotations=36)
+        h_species = rotation_invariant_pointset_distance(moth, other, "hausdorff", n_rotations=36)
+
+        measure = EuclideanMeasure()
+        s_moth = polygon_to_series(moth, 96)
+        s_bend = brute_force_search([polygon_to_series(bent, 96)], s_moth, measure).distance
+        s_species = brute_force_search([polygon_to_series(other, 96)], s_moth, measure).distance
+
+        # Articulation-to-species ratio: much smaller for the 1-D method.
+        assert s_bend / s_species < h_bend / h_species
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rotation_invariant_pointset_distance(
+                regular_polygon(4), regular_polygon(4), metric="manhattan"
+            )
+        with pytest.raises(ValueError):
+            rotation_invariant_pointset_distance(
+                regular_polygon(4), regular_polygon(4), n_rotations=0
+            )

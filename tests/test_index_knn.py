@@ -1,0 +1,101 @@
+"""Tests for k-NN through the disk index and dataset splitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes_data import projectile_point_collection, projectile_point_dataset
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.index.linear_scan import SignatureFilteredScan
+from repro.mining.queries import knn_search
+
+
+@pytest.fixture
+def archive(rng):
+    return projectile_point_collection(rng, 35, length=64)
+
+
+class TestIndexKNN:
+    @pytest.mark.parametrize("structure", ["flat", "vptree", "rtree"])
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_wedge_knn_euclidean(self, archive, rng, structure, k):
+        measure = EuclideanMeasure()
+        index = SignatureFilteredScan(archive, n_coefficients=8, structure=structure)
+        query = archive[9] + rng.normal(0, 0.1, 64)
+        got, accounting = index.query_knn(query, measure, k=k)
+        want = knn_search(list(archive), query, measure, k=k)
+        assert [nb.index for nb in got] == [nb.index for nb in want]
+        for a, b in zip(got, want):
+            assert math.isclose(a.distance, b.distance, rel_tol=1e-9)
+        assert accounting.result.index == want[0].index
+
+    def test_matches_wedge_knn_dtw(self, archive, rng):
+        measure = DTWMeasure(radius=2)
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        query = archive[4] + rng.normal(0, 0.1, 64)
+        got, _acc = index.query_knn(query, measure, k=3)
+        want = knn_search(list(archive), query, measure, k=3)
+        assert [nb.index for nb in got] == [nb.index for nb in want]
+
+    def test_k1_matches_query(self, archive, rng):
+        measure = EuclideanMeasure()
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        query = archive[2] + rng.normal(0, 0.05, 64)
+        neighbours, knn_acc = index.query_knn(query, measure, k=1)
+        single = index.query(query, measure)
+        assert neighbours[0].index == single.result.index
+        assert math.isclose(neighbours[0].distance, single.result.distance, rel_tol=1e-9)
+
+    def test_larger_k_fetches_more(self, archive, rng):
+        measure = EuclideanMeasure()
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        query = archive[7] + rng.normal(0, 0.02, 64)
+        _n1, acc1 = index.query_knn(query, measure, k=1)
+        _n5, acc5 = index.query_knn(query, measure, k=5)
+        assert acc5.objects_retrieved >= acc1.objects_retrieved
+        assert acc5.objects_retrieved < len(archive)
+
+    def test_k_exceeding_size(self, archive):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        neighbours, _acc = index.query_knn(archive[0], EuclideanMeasure(), k=100)
+        assert len(neighbours) == len(archive)
+
+    def test_validation(self, archive):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        with pytest.raises(ValueError):
+            index.query_knn(archive[0], EuclideanMeasure(), k=0)
+
+
+class TestTrainTestSplit:
+    @pytest.fixture
+    def dataset(self, rng):
+        return projectile_point_dataset(rng, per_class=6, length=32)
+
+    def test_partition(self, dataset, rng):
+        train, test = dataset.train_test_split(rng, test_fraction=0.3)
+        assert len(train) + len(test) == len(dataset)
+        # No overlap: every original row appears exactly once.
+        combined = np.vstack([train.series, test.series])
+        assert combined.shape[0] == len(dataset)
+
+    def test_stratified_covers_every_class(self, dataset, rng):
+        train, test = dataset.train_test_split(rng, test_fraction=0.3)
+        assert set(train.labels.tolist()) == set(dataset.labels.tolist())
+        assert set(test.labels.tolist()) == set(dataset.labels.tolist())
+
+    def test_fraction_respected(self, dataset, rng):
+        train, test = dataset.train_test_split(rng, test_fraction=0.5)
+        assert abs(len(test) - len(dataset) / 2) <= dataset.n_classes
+
+    def test_unstratified(self, dataset, rng):
+        train, test = dataset.train_test_split(rng, test_fraction=0.25, stratified=False)
+        assert len(train) + len(test) == len(dataset)
+        assert len(test) >= 1
+
+    def test_validation(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.train_test_split(rng, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            dataset.train_test_split(rng, test_fraction=1.0)

@@ -1,0 +1,131 @@
+"""End-to-end integration tests across the full pipeline.
+
+Each test exercises a complete user journey: bitmap to answer, dataset to
+classification table, archive to disk-indexed query -- the paths the
+examples and benchmarks rely on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTWMeasure,
+    Dendrogram,
+    EuclideanMeasure,
+    NearestNeighborClassifier,
+    SignatureFilteredScan,
+    brute_force_search,
+    circular_shift,
+    contour_to_series,
+    largest_contour,
+    linkage,
+    load_dataset,
+    polygon_to_series,
+    projectile_point_collection,
+    rasterize_polygon,
+    star_polygon,
+    wedge_search,
+)
+from repro.classify.evaluation import evaluate_dataset
+from repro.timeseries.lightcurves import light_curve
+
+
+class TestBitmapToAnswer:
+    def test_full_figure2_pipeline_retrieval(self, rng):
+        """Rasterise shapes, trace them, index them, query them."""
+        database, names = [], []
+        for points in range(3, 8):
+            poly = star_polygon(points)
+            img = rasterize_polygon(poly, resolution=96)
+            series = contour_to_series(largest_contour(img), 128)
+            database.append(circular_shift(series, int(rng.integers(128))))
+            names.append(points)
+        query = polygon_to_series(star_polygon(5), 128)  # vector path
+        result = wedge_search(database, query, EuclideanMeasure())
+        assert names[result.index] == 5
+
+    def test_rotated_bitmap_matches_unrotated(self, rng):
+        """Rotating the *image* (not just the vertices) is still absorbed."""
+        from repro.shapes.generators import rotate_polygon
+
+        poly = star_polygon(6)
+        img_a = rasterize_polygon(poly, resolution=96)
+        img_b = rasterize_polygon(rotate_polygon(poly, 25.0), resolution=96)
+        a = contour_to_series(largest_contour(img_a), 128)
+        b = contour_to_series(largest_contour(img_b), 128)
+        dist = brute_force_search([b], a, EuclideanMeasure()).distance
+        assert dist < 0.15 * math.sqrt(128)  # rasterisation noise only
+
+
+class TestDatasetToTable:
+    def test_table8_protocol_on_one_dataset(self):
+        dataset = load_dataset("Aircraft", per_class=4, length=32)
+        row = evaluate_dataset(dataset, candidate_radii=(1, 2), max_instances=10)
+        assert row.n_classes == 7
+        assert 0 <= row.euclidean_error <= 100
+        assert 0 <= row.dtw_error <= 100
+
+    def test_classifier_generalises_across_rotation(self, rng):
+        dataset = load_dataset("Fish", per_class=5, length=48)
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        clf.fit(dataset.series, dataset.labels)
+        correct = 0
+        probes = 10
+        for i in range(probes):
+            rotated = circular_shift(dataset.series[i], int(rng.integers(48)))
+            correct += clf.predict_one(rotated) == dataset.labels[i]
+        assert correct == probes  # own rotated copy is distance ~0
+
+
+class TestArchiveToDisk:
+    def test_disk_index_agrees_with_cpu_search(self, rng):
+        archive = projectile_point_collection(rng, 50, length=64)
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        for measure in (EuclideanMeasure(), DTWMeasure(radius=3)):
+            query = archive[13] + rng.normal(0, 0.05, 64)
+            cpu = wedge_search(archive, query, measure)
+            disk = index.query(query, measure)
+            assert disk.result.index == cpu.index
+            assert math.isclose(disk.result.distance, cpu.distance, rel_tol=1e-9)
+            assert disk.fraction_retrieved < 1.0
+
+
+class TestAstronomyPath:
+    def test_light_curves_index_without_modification(self, rng):
+        """The paper's closing claim: same machinery, star data."""
+        archive = [light_curve(rng, kind, length=128) for kind in
+                   ("cepheid", "rr_lyrae", "eclipsing_binary") for _ in range(6)]
+        query = circular_shift(archive[4], 37)  # re-phased copy of an rr_lyrae
+        result = wedge_search(archive, query, EuclideanMeasure())
+        assert result.index == 4
+        assert result.distance < 1e-9
+
+
+class TestClusteringPath:
+    def test_rotation_invariant_dendrogram_recovers_taxa(self, rng):
+        """The Figure 16 sanity check, miniaturised."""
+        from repro.shapes.generators import skull_profile
+
+        taxa = [(0.6, 0.04, 0.10), (1.0, 0.15, 0.35), (1.5, 0.35, 0.65)]
+        series, labels = [], []
+        for t, (braincase, brow, jaw) in enumerate(taxa):
+            for _ in range(2):
+                poly = skull_profile(rng, braincase=braincase, brow=brow, jaw=jaw, jitter=0.003)
+                raw = polygon_to_series(poly, 96)
+                series.append(circular_shift(raw, int(rng.integers(96))))
+                labels.append(t)
+        k = len(series)
+        measure = EuclideanMeasure()
+        matrix = np.zeros((k, k))
+        for i in range(k):
+            for j in range(i + 1, k):
+                d = brute_force_search([series[j]], series[i], measure).distance
+                matrix[i, j] = matrix[j, i] = d
+        dendro = Dendrogram(linkage(matrix, "average"), k)
+        assignments = dendro.cluster_assignments(3)
+        # Each taxon's two specimens share a cluster.
+        for t in range(3):
+            members = [assignments[i] for i in range(k) if labels[i] == t]
+            assert members[0] == members[1]

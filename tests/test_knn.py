@@ -1,0 +1,106 @@
+"""Tests for rotation-invariant 1-NN classification."""
+
+import numpy as np
+import pytest
+
+from repro.classify.knn import NearestNeighborClassifier, leave_one_out_error
+from repro.datasets.shapes_data import Dataset, projectile_point_dataset
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.timeseries.ops import circular_shift
+
+
+@pytest.fixture
+def tiny_dataset(rng):
+    return projectile_point_dataset(rng, per_class=4, length=48)
+
+
+class TestClassifier:
+    def test_requires_fit(self, tiny_dataset):
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        with pytest.raises(RuntimeError):
+            clf.nearest(tiny_dataset.series[0])
+
+    def test_fit_validates(self, rng):
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        with pytest.raises(ValueError):
+            clf.fit(rng.normal(size=(3, 4)), [0, 1])
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((0, 4)), [])
+        with pytest.raises(ValueError):
+            clf.fit(rng.normal(size=4), [0])
+
+    def test_predicts_planted_rotated_copy(self, tiny_dataset, rng):
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        clf.fit(tiny_dataset.series, tiny_dataset.labels)
+        for i in (0, 5, 11):
+            rotated = circular_shift(tiny_dataset.series[i], int(rng.integers(48)))
+            assert clf.predict_one(rotated) == tiny_dataset.labels[i]
+
+    def test_predict_batch(self, tiny_dataset):
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        clf.fit(tiny_dataset.series, tiny_dataset.labels)
+        predictions = clf.predict(tiny_dataset.series[:4])
+        assert predictions.shape == (4,)
+        assert np.array_equal(predictions, tiny_dataset.labels[:4])
+
+    def test_string_labels_work(self, rng):
+        series = rng.normal(size=(4, 16))
+        labels = np.array(["cat", "cat", "dog", "dog"])
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        clf.fit(series, labels)
+        assert clf.predict_one(series[2] + 0.001) == "dog"
+
+    def test_nearest_reports_rotation(self, tiny_dataset):
+        clf = NearestNeighborClassifier(EuclideanMeasure())
+        clf.fit(tiny_dataset.series, tiny_dataset.labels)
+        shifted = circular_shift(tiny_dataset.series[3], 10)
+        result = clf.nearest(shifted)
+        assert result.index == 3
+        assert result.rotation in (10, 48 - 10, 38)
+
+
+class TestLeaveOneOut:
+    def test_zero_error_on_well_separated_classes(self, rng):
+        base_a = np.sin(np.linspace(0, 2 * np.pi, 32))
+        base_b = np.sign(base_a) * 1.0
+        rows, labels = [], []
+        for i in range(5):
+            rows.append(circular_shift(base_a + rng.normal(0, 0.05, 32), int(rng.integers(32))))
+            labels.append(0)
+            rows.append(circular_shift(base_b + rng.normal(0, 0.05, 32), int(rng.integers(32))))
+            labels.append(1)
+        ds = Dataset("sep", np.vstack(rows), np.asarray(labels))
+        assert leave_one_out_error(ds, EuclideanMeasure()) == 0.0
+
+    def test_error_is_percentage(self, tiny_dataset):
+        error = leave_one_out_error(tiny_dataset, EuclideanMeasure())
+        assert 0.0 <= error <= 100.0
+
+    def test_subsampled_evaluation(self, tiny_dataset, rng):
+        error = leave_one_out_error(
+            tiny_dataset, EuclideanMeasure(), max_instances=5, rng=rng
+        )
+        assert 0.0 <= error <= 100.0
+
+    def test_requires_two_instances(self, rng):
+        ds = Dataset("one", rng.normal(size=(1, 8)), np.zeros(1, dtype=int))
+        with pytest.raises(ValueError):
+            leave_one_out_error(ds, EuclideanMeasure())
+
+    def test_dtw_not_worse_on_warped_classes(self, rng):
+        """Classes distinguished through warping: DTW must not lose to ED."""
+        from repro.timeseries.ops import smooth_time_warp
+
+        base_a = np.sin(np.linspace(0, 4 * np.pi, 40))
+        base_b = np.abs(np.sin(np.linspace(0, 4 * np.pi, 40))) * 2 - 1
+        rows, labels = [], []
+        for i in range(6):
+            for label, base in ((0, base_a), (1, base_b)):
+                warped = smooth_time_warp(base, rng, strength=0.8, n_knots=5)
+                rows.append(circular_shift(warped + rng.normal(0, 0.05, 40), int(rng.integers(40))))
+                labels.append(label)
+        ds = Dataset("warped", np.vstack(rows), np.asarray(labels))
+        ed_error = leave_one_out_error(ds, EuclideanMeasure())
+        dtw_error = leave_one_out_error(ds, DTWMeasure(radius=4))
+        assert dtw_error <= ed_error

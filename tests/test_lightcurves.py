@@ -1,0 +1,72 @@
+"""Tests for the star light-curve simulator (Section 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.lightcurves import (
+    LIGHT_CURVE_CLASSES,
+    light_curve,
+    light_curve_dataset,
+)
+
+
+class TestLightCurve:
+    @pytest.mark.parametrize("kind", LIGHT_CURVE_CLASSES)
+    def test_basic_properties(self, rng, kind):
+        curve = light_curve(rng, kind, length=128)
+        assert curve.shape == (128,)
+        assert np.all(np.isfinite(curve))
+        assert abs(curve.mean()) < 1e-9  # z-normalised
+
+    def test_unknown_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            light_curve(rng, "quasar")
+
+    def test_length_validated(self, rng):
+        with pytest.raises(ValueError):
+            light_curve(rng, "cepheid", length=2)
+
+    def test_unnormalized_option(self, rng):
+        curve = light_curve(rng, "cepheid", length=64, noise=0.0, normalize=False)
+        assert curve.min() >= -0.5  # template is non-negative modulo stretch noise
+
+    def test_random_phase_makes_raw_distance_large(self):
+        """Same class, same seed family, different phases: raw ED is large
+        but rotation-invariant ED is small."""
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+
+        a = light_curve(np.random.default_rng(1), "eclipsing_binary", length=128, noise=0.01)
+        b = light_curve(np.random.default_rng(2), "eclipsing_binary", length=128, noise=0.01)
+        raw = euclidean_distance(a, b)
+        invariant = brute_force_search([b], a, EuclideanMeasure()).distance
+        assert invariant < raw
+
+    def test_classes_differ_under_rotation_invariance(self):
+        from repro.core.search import brute_force_search
+        from repro.distances.euclidean import EuclideanMeasure
+
+        measure = EuclideanMeasure()
+        a1 = light_curve(np.random.default_rng(1), "cepheid", length=128, noise=0.01)
+        a2 = light_curve(np.random.default_rng(2), "cepheid", length=128, noise=0.01)
+        b = light_curve(np.random.default_rng(3), "eclipsing_binary", length=128, noise=0.01)
+        within = brute_force_search([a2], a1, measure).distance
+        between = brute_force_search([b], a1, measure).distance
+        assert within < between
+
+    def test_reproducible_with_seed(self):
+        a = light_curve(np.random.default_rng(9), "rr_lyrae")
+        b = light_curve(np.random.default_rng(9), "rr_lyrae")
+        assert np.array_equal(a, b)
+
+
+class TestLightCurveDataset:
+    def test_interleaved_classes(self, rng):
+        curves, labels = light_curve_dataset(rng, per_class=4, length=64)
+        assert len(curves) == 12
+        assert labels[:3] == list(LIGHT_CURVE_CLASSES)
+        assert all(c.shape == (64,) for c in curves)
+
+    def test_rejects_non_positive(self, rng):
+        with pytest.raises(ValueError):
+            light_curve_dataset(rng, per_class=0)

@@ -1,0 +1,130 @@
+"""Tests for the disk-based filter-and-refine index (Section 5.4, Figure 24)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.search import brute_force_search
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.distances.lcss import LCSSMeasure
+from repro.index.linear_scan import SignatureFilteredScan
+
+
+@pytest.fixture
+def archive(rng):
+    from repro.datasets.shapes_data import projectile_point_collection
+
+    return projectile_point_collection(rng, 40, length=64)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("measure", [EuclideanMeasure(), DTWMeasure(radius=3)], ids=["ed", "dtw"])
+    @pytest.mark.parametrize("n_coefficients", [4, 16])
+    def test_same_answer_as_bruteforce(self, archive, rng, measure, n_coefficients):
+        index = SignatureFilteredScan(archive, n_coefficients=n_coefficients)
+        for _ in range(4):
+            query = archive[int(rng.integers(len(archive)))] + rng.normal(0, 0.1, 64)
+            reference = brute_force_search(archive, query, measure)
+            answer = index.query(query, measure)
+            assert answer.result.index == reference.index
+            assert math.isclose(answer.result.distance, reference.distance, rel_tol=1e-9)
+
+    def test_vptree_route_same_answer(self, archive, rng):
+        flat = SignatureFilteredScan(archive, n_coefficients=8)
+        treed = SignatureFilteredScan(archive, n_coefficients=8, use_vptree=True)
+        measure = EuclideanMeasure()
+        for _ in range(4):
+            query = archive[int(rng.integers(len(archive)))] + rng.normal(0, 0.1, 64)
+            a = flat.query(query, measure)
+            b = treed.query(query, measure)
+            assert a.result.index == b.result.index
+            assert math.isclose(a.result.distance, b.result.distance, rel_tol=1e-9)
+
+    @pytest.mark.parametrize("measure", [EuclideanMeasure(), DTWMeasure(radius=2)], ids=["ed", "dtw"])
+    def test_rtree_route_same_answer(self, archive, rng, measure):
+        flat = SignatureFilteredScan(archive, n_coefficients=8)
+        rtree = SignatureFilteredScan(archive, n_coefficients=8, structure="rtree")
+        for _ in range(4):
+            query = archive[int(rng.integers(len(archive)))] + rng.normal(0, 0.1, 64)
+            a = flat.query(query, measure)
+            b = rtree.query(query, measure)
+            assert a.result.index == b.result.index
+            assert math.isclose(a.result.distance, b.result.distance, rel_tol=1e-9)
+
+    def test_rtree_dtw_matches_bruteforce(self, archive, rng):
+        measure = DTWMeasure(radius=3)
+        index = SignatureFilteredScan(archive, n_coefficients=16, structure="rtree")
+        for _ in range(3):
+            query = archive[int(rng.integers(len(archive)))] + rng.normal(0, 0.1, 64)
+            reference = brute_force_search(archive, query, measure)
+            answer = index.query(query, measure)
+            assert answer.result.index == reference.index
+            assert math.isclose(answer.result.distance, reference.distance, rel_tol=1e-9)
+
+    def test_unknown_structure_rejected(self, archive):
+        with pytest.raises(ValueError, match="structure"):
+            SignatureFilteredScan(archive, structure="btree")
+
+    def test_mirror_queries_supported(self, archive, rng):
+        measure = EuclideanMeasure()
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        query = archive[5][::-1].copy()
+        reference = brute_force_search(archive, query, measure, mirror=True)
+        answer = index.query(query, measure, mirror=True)
+        assert answer.result.index == reference.index
+
+
+class TestRetrievalAccounting:
+    def test_fraction_between_zero_and_one(self, archive, rng):
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        query = archive[3] + rng.normal(0, 0.05, 64)
+        answer = index.query(query, EuclideanMeasure())
+        assert 0.0 < answer.fraction_retrieved <= 1.0
+        assert answer.objects_retrieved == round(answer.fraction_retrieved * len(archive))
+
+    def test_close_queries_retrieve_little(self, archive, rng):
+        """A near-duplicate query should fetch only a handful of objects."""
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        query = archive[7] + rng.normal(0, 0.01, 64)
+        answer = index.query(query, EuclideanMeasure())
+        assert answer.fraction_retrieved <= 0.25
+
+    def test_more_coefficients_never_hurt_much(self, archive, rng):
+        """Higher D tightens the ED filter (Figure 24's trend)."""
+        query = archive[11] + rng.normal(0, 0.05, 64)
+        fractions = []
+        for d in (4, 8, 16, 32):
+            index = SignatureFilteredScan(archive, n_coefficients=d)
+            fractions.append(index.query(query, EuclideanMeasure()).fraction_retrieved)
+        assert fractions[-1] <= fractions[0] + 1e-9
+
+    def test_dtw_index_wedge_granularity(self, archive, rng):
+        """More index wedges can only tighten the DTW filter."""
+        query = archive[2] + rng.normal(0, 0.05, 64)
+        measure = DTWMeasure(radius=2)
+        index = SignatureFilteredScan(archive, n_coefficients=16)
+        coarse = index.query(query, measure, index_wedges=2).fraction_retrieved
+        fine = index.query(query, measure, index_wedges=32).fraction_retrieved
+        assert fine <= coarse + 1e-9
+
+    def test_signature_tests_reported(self, archive, rng):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        answer = index.query(archive[0], EuclideanMeasure())
+        assert answer.signature_tests == len(archive)
+
+
+class TestValidation:
+    def test_rejects_lcss(self, archive):
+        index = SignatureFilteredScan(archive)
+        with pytest.raises(ValueError):
+            index.query(archive[0], LCSSMeasure(1, 0.5))
+
+    def test_rejects_bad_coefficients(self, archive):
+        with pytest.raises(ValueError):
+            SignatureFilteredScan(archive, n_coefficients=0)
+
+    def test_coefficients_capped_at_spectrum(self, archive):
+        index = SignatureFilteredScan(archive, n_coefficients=10_000)
+        assert index.n_coefficients == 64 // 2 + 1

@@ -1,0 +1,127 @@
+"""Tests for the from-scratch agglomerative clustering (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.linkage import LINKAGES, Merge, linkage
+
+
+def points_to_distance_matrix(points):
+    pts = np.asarray(points, dtype=float)
+    diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestLinkageBasics:
+    def test_single_observation(self):
+        assert linkage(np.zeros((1, 1))) == []
+
+    def test_two_observations(self):
+        dist = np.array([[0.0, 3.0], [3.0, 0.0]])
+        merges = linkage(dist)
+        assert len(merges) == 1
+        assert merges[0].height == 3.0
+        assert {merges[0].left, merges[0].right} == {0, 1}
+        assert merges[0].size == 2
+
+    def test_produces_k_minus_one_merges(self, rng):
+        for k in (2, 5, 11):
+            pts = rng.normal(size=(k, 2))
+            merges = linkage(points_to_distance_matrix(pts))
+            assert len(merges) == k - 1
+            assert merges[-1].size == k
+
+    def test_heights_non_decreasing(self, rng):
+        for method in LINKAGES:
+            pts = rng.normal(size=(20, 2))
+            merges = linkage(points_to_distance_matrix(pts), method)
+            heights = [m.height for m in merges]
+            assert heights == sorted(heights)
+
+    def test_children_exist_before_parents(self, rng):
+        pts = rng.normal(size=(15, 3))
+        merges = linkage(points_to_distance_matrix(pts))
+        k = 15
+        created = set(range(k))
+        for t, merge in enumerate(merges):
+            assert merge.left in created
+            assert merge.right in created
+            created.add(k + t)
+
+    def test_every_observation_merged_exactly_once_per_level(self, rng):
+        pts = rng.normal(size=(9, 2))
+        merges = linkage(points_to_distance_matrix(pts))
+        used = set()
+        for merge in merges:
+            assert merge.left not in used
+            assert merge.right not in used
+            used.add(merge.left)
+            used.add(merge.right)
+
+    def test_rejects_bad_matrices(self):
+        with pytest.raises(ValueError):
+            linkage(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            linkage([[0.0, 1.0], [2.0, 0.0]])  # asymmetric
+        with pytest.raises(ValueError):
+            linkage(np.zeros((2, 2)), method="median")
+
+
+class TestLinkageSemantics:
+    def test_single_linkage_matches_mst_heights(self, rng):
+        """Single-linkage merge heights are the MST edge weights, sorted."""
+        import networkx as nx
+
+        pts = rng.normal(size=(12, 2))
+        dist = points_to_distance_matrix(pts)
+        merges = linkage(dist, "single")
+        graph = nx.Graph()
+        for i in range(12):
+            for j in range(i + 1, 12):
+                graph.add_edge(i, j, weight=dist[i, j])
+        mst_weights = sorted(
+            d["weight"] for _u, _v, d in nx.minimum_spanning_tree(graph).edges(data=True)
+        )
+        got = [m.height for m in merges]
+        assert np.allclose(got, mst_weights, atol=1e-9)
+
+    def test_two_obvious_clusters_split_last(self, rng):
+        """Two well-separated blobs: the final merge joins the blobs."""
+        left = rng.normal(size=(6, 2)) * 0.1
+        right = rng.normal(size=(6, 2)) * 0.1 + 100.0
+        pts = np.vstack([left, right])
+        for method in LINKAGES:
+            merges = linkage(points_to_distance_matrix(pts), method)
+            assert merges[-1].height > 90.0
+            assert all(m.height < 10.0 for m in merges[:-1])
+
+    def test_average_linkage_height_formula(self):
+        """Three points where the group-average height is hand-checkable."""
+        # d(0,1)=1; d(0,2)=4, d(1,2)=6 -> merge (0,1) at 1, then the
+        # average distance of 2 to {0,1} is (4+6)/2 = 5.
+        dist = np.array([[0.0, 1.0, 4.0], [1.0, 0.0, 6.0], [4.0, 6.0, 0.0]])
+        merges = linkage(dist, "average")
+        assert merges[0].height == 1.0
+        assert merges[1].height == 5.0
+
+    def test_complete_linkage_height_formula(self):
+        dist = np.array([[0.0, 1.0, 4.0], [1.0, 0.0, 6.0], [4.0, 6.0, 0.0]])
+        merges = linkage(dist, "complete")
+        assert merges[1].height == 6.0
+
+    def test_handles_massive_ties(self):
+        """A perfectly uniform matrix (all pairs tie) must terminate."""
+        k = 12
+        dist = np.ones((k, k)) - np.eye(k)
+        merges = linkage(dist, "average")
+        assert len(merges) == k - 1
+        assert all(abs(m.height - 1.0) < 1e-9 for m in merges)
+
+    def test_handles_near_tie_noise(self, rng):
+        """Distances differing by ~1e-14 (circulant rotation matrices) must terminate."""
+        from repro.core.rotation import RotationSet
+
+        series = rng.normal(size=64).cumsum()
+        matrix = RotationSet.full(series).distance_matrix()
+        merges = linkage(matrix, "average")
+        assert len(merges) == 63

@@ -1,0 +1,213 @@
+"""Unit and property tests for the elementary time-series operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries.ops import (
+    all_rotations,
+    as_series,
+    circular_shift,
+    resample,
+    running_extrema,
+    sliding_envelope,
+    smooth_time_warp,
+    znormalize,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+series_strategy = arrays(np.float64, st.integers(2, 40), elements=finite_floats)
+
+
+class TestAsSeries:
+    def test_accepts_lists(self):
+        out = as_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_series(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            as_series([])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_series([1.0, np.nan])
+        with pytest.raises(ValueError, match="finite"):
+            as_series([1.0, np.inf])
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self, random_walk):
+        z = znormalize(random_walk(50) * 7 + 3)
+        assert abs(z.mean()) < 1e-9
+        assert abs(z.std() - 1.0) < 1e-9
+
+    def test_constant_series_becomes_zeros(self):
+        assert np.all(znormalize([5.0, 5.0, 5.0]) == 0.0)
+
+    @given(series_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, series):
+        once = znormalize(series)
+        twice = znormalize(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    def test_scale_and_offset_invariance(self, random_walk):
+        base = random_walk(30)
+        assert np.allclose(znormalize(base), znormalize(base * 13.7 - 4.2), atol=1e-9)
+
+
+class TestCircularShift:
+    def test_zero_shift_is_copy(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        out = circular_shift(arr, 0)
+        assert np.array_equal(out, arr)
+        out[0] = 99
+        assert arr[0] == 1.0  # no aliasing
+
+    def test_shift_left_by_one(self):
+        assert circular_shift([1, 2, 3, 4], 1).tolist() == [2, 3, 4, 1]
+
+    def test_negative_shift(self):
+        assert circular_shift([1, 2, 3, 4], -1).tolist() == [4, 1, 2, 3]
+
+    def test_wraps_modulo_length(self):
+        arr = [1, 2, 3]
+        assert np.array_equal(circular_shift(arr, 4), circular_shift(arr, 1))
+
+    @given(series_strategy, st.integers(-100, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, series, k):
+        assert np.allclose(circular_shift(circular_shift(series, k), -k), series)
+
+
+class TestAllRotations:
+    def test_shape_and_rows(self):
+        arr = np.array([1.0, 2.0, 3.0, 4.0])
+        matrix = all_rotations(arr)
+        assert matrix.shape == (4, 4)
+        for j in range(4):
+            assert np.array_equal(matrix[j], circular_shift(arr, j))
+
+    def test_rows_are_independent_copies(self):
+        arr = np.array([1.0, 2.0])
+        matrix = all_rotations(arr)
+        matrix[0, 0] = 42.0
+        assert arr[0] == 1.0
+
+    def test_single_element(self):
+        assert all_rotations([7.0]).tolist() == [[7.0]]
+
+
+class TestResample:
+    def test_identity_when_length_matches(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(resample(arr, 3), arr)
+
+    def test_endpoint_preservation(self, random_walk):
+        series = random_walk(17)
+        out = resample(series, 40)
+        assert abs(out[0] - series[0]) < 1e-12
+        assert abs(out[-1] - series[-1]) < 1e-12
+
+    def test_upsample_then_downsample_roughly_roundtrips(self, random_walk):
+        series = random_walk(20)
+        roundtrip = resample(resample(series, 200), 20)
+        assert np.allclose(roundtrip, series, atol=0.15)
+        assert float(np.mean(np.abs(roundtrip - series))) < 0.05
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            resample([1.0, 2.0], 0)
+
+
+class TestRunningExtrema:
+    def test_matches_naive(self, rng):
+        mat = rng.normal(size=(5, 9))
+        upper, lower = running_extrema(mat)
+        assert np.array_equal(upper, mat.max(axis=0))
+        assert np.array_equal(lower, mat.min(axis=0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            running_extrema(np.zeros((0, 3)))
+
+
+class TestSlidingEnvelope:
+    def test_radius_zero_is_identity(self, rng):
+        u = rng.normal(size=8)
+        lo = u - 1.0
+        u2, l2 = sliding_envelope(u, lo, 0)
+        assert np.array_equal(u2, u)
+        assert np.array_equal(l2, lo)
+
+    def test_known_example(self):
+        u = np.array([0.0, 1.0, 0.0, 0.0])
+        lo = np.array([0.0, -2.0, 0.0, 0.0])
+        u2, l2 = sliding_envelope(u, lo, 1)
+        assert u2.tolist() == [1.0, 1.0, 1.0, 0.0]
+        assert l2.tolist() == [-2.0, -2.0, -2.0, 0.0]
+
+    @given(series_strategy, st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_contains_original(self, series, radius):
+        u, lo = sliding_envelope(series, series, radius)
+        assert np.all(u >= series - 1e-12)
+        assert np.all(lo <= series + 1e-12)
+
+    def test_monotone_in_radius(self, rng):
+        series = rng.normal(size=30)
+        u1, l1 = sliding_envelope(series, series, 1)
+        u3, l3 = sliding_envelope(series, series, 3)
+        assert np.all(u3 >= u1)
+        assert np.all(l3 <= l1)
+
+    def test_radius_clipped_to_length(self, rng):
+        series = rng.normal(size=5)
+        u, lo = sliding_envelope(series, series, 100)
+        assert np.all(u == series.max())
+        assert np.all(lo == series.min())
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            sliding_envelope([1.0], [1.0], -1)
+
+    def test_rejects_mismatched_arms(self):
+        with pytest.raises(ValueError):
+            sliding_envelope([1.0, 2.0], [1.0], 1)
+
+
+class TestSmoothTimeWarp:
+    def test_preserves_length_and_range(self, rng, random_walk):
+        series = random_walk(60)
+        warped = smooth_time_warp(series, rng, strength=0.5)
+        assert warped.size == series.size
+        assert warped.min() >= series.min() - 1e-9
+        assert warped.max() <= series.max() + 1e-9
+
+    def test_zero_strength_is_identity(self, rng, random_walk):
+        series = random_walk(40)
+        assert np.allclose(smooth_time_warp(series, rng, strength=0.0), series)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            smooth_time_warp([1.0, 2.0], rng, strength=1.5)
+        with pytest.raises(ValueError):
+            smooth_time_warp([1.0, 2.0], rng, n_knots=1)
+
+    def test_warp_stays_close_under_dtw(self, rng, random_walk):
+        """A warped series is close in DTW but far in ED -- the point of it."""
+        from repro.distances.dtw import dtw_distance
+        from repro.distances.euclidean import euclidean_distance
+
+        series = random_walk(80)
+        warped = smooth_time_warp(series, rng, strength=0.8, n_knots=5)
+        ed = euclidean_distance(series, warped)
+        dtw = dtw_distance(series, warped, radius=8)
+        assert dtw <= ed + 1e-12

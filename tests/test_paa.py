@@ -1,0 +1,96 @@
+"""Tests for the PAA reduction and the DTW index-space bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import RotationSet
+from repro.core.wedge_builder import build_wedge_tree
+from repro.distances.dtw import DTWMeasure, dtw_distance
+from repro.index.paa import lb_paa, paa, paa_envelope, segment_lengths
+
+
+class TestSegmentLengths:
+    def test_even_split(self):
+        assert segment_lengths(12, 4).tolist() == [3, 3, 3, 3]
+
+    def test_remainder_spread_to_front(self):
+        assert segment_lengths(10, 4).tolist() == [3, 3, 2, 2]
+
+    def test_sums_to_n(self):
+        for n in (5, 17, 100):
+            for segments in (1, 3, n):
+                assert segment_lengths(n, segments).sum() == n
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            segment_lengths(4, 5)
+        with pytest.raises(ValueError):
+            segment_lengths(4, 0)
+
+
+class TestPAA:
+    def test_means_per_segment(self):
+        series = np.array([1.0, 3.0, 5.0, 7.0])
+        assert paa(series, 2).tolist() == [2.0, 6.0]
+
+    def test_identity_at_full_resolution(self, random_walk):
+        series = random_walk(16)
+        assert np.allclose(paa(series, 16), series)
+
+    def test_single_segment_is_mean(self, random_walk):
+        series = random_walk(11)
+        assert math.isclose(paa(series, 1)[0], series.mean())
+
+    def test_envelope_uses_extrema(self):
+        upper = np.array([1.0, 5.0, 2.0, 2.0])
+        lower = np.array([-1.0, 0.0, -4.0, 0.0])
+        u, lo = paa_envelope(upper, lower, 2)
+        assert u.tolist() == [5.0, 2.0]
+        assert lo.tolist() == [-1.0, -4.0]
+
+
+class TestLBPaaAdmissibility:
+    def test_lb_paa_below_lb_keogh(self, rng):
+        """The PAA bound must never exceed the full-resolution LB_Keogh."""
+        measure = DTWMeasure(radius=2)
+        for _ in range(25):
+            n = int(rng.integers(6, 40))
+            q, c = rng.normal(size=n), rng.normal(size=n)
+            rs = RotationSet.full(q)
+            tree = build_wedge_tree(rs)
+            for k in (1, min(4, tree.max_k)):
+                for wedge in tree.frontier(k):
+                    upper, lower = wedge.envelope_for(measure)
+                    segments = min(5, n)
+                    u_paa, l_paa = paa_envelope(upper, lower, segments)
+                    bound = lb_paa(paa(c, segments), u_paa, l_paa, segment_lengths(n, segments))
+                    full = measure.lower_bound(c, upper, lower)
+                    assert bound <= full + 1e-9
+
+    def test_lb_paa_below_true_dtw_over_rotations(self, rng):
+        measure = DTWMeasure(radius=3)
+        for _ in range(10):
+            n = int(rng.integers(6, 25))
+            q, c = rng.normal(size=n), rng.normal(size=n)
+            rs = RotationSet.full(q)
+            tree = build_wedge_tree(rs)
+            upper, lower = tree.root.envelope_for(measure)
+            segments = min(4, n)
+            bound = lb_paa(
+                paa(c, segments), *paa_envelope(upper, lower, segments), segment_lengths(n, segments)
+            )
+            true_min = min(dtw_distance(c, row, 3) for row in rs.rotations)
+            assert bound <= true_min + 1e-9
+
+    def test_zero_when_candidate_inside_envelope(self, rng):
+        upper = np.full(10, 2.0)
+        lower = np.full(10, -2.0)
+        candidate = rng.uniform(-1, 1, 10)
+        bound = lb_paa(paa(candidate, 5), *paa_envelope(upper, lower, 5), segment_lengths(10, 5))
+        assert bound == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lb_paa(np.zeros(3), np.zeros(4), np.zeros(4), np.ones(4))

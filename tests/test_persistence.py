@@ -1,0 +1,85 @@
+"""Tests for dataset / index persistence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.shapes_data import Dataset, projectile_point_collection
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.index.linear_scan import SignatureFilteredScan
+from repro.persistence import load_dataset_file, load_index, save_dataset, save_index
+
+
+@pytest.fixture
+def dataset(rng):
+    return Dataset(
+        "roundtrip",
+        rng.normal(size=(6, 16)),
+        np.array([0, 0, 1, 1, 2, 2]),
+        class_names=["a", "b", "c"],
+    )
+
+
+@pytest.fixture
+def archive(rng):
+    return projectile_point_collection(rng, 25, length=64)
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip_preserves_everything(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        loaded = load_dataset_file(path)
+        assert loaded.name == dataset.name
+        assert np.array_equal(loaded.series, dataset.series)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.class_names == dataset.class_names
+
+    def test_empty_class_names(self, rng, tmp_path):
+        ds = Dataset("x", rng.normal(size=(2, 4)), np.zeros(2, dtype=int))
+        loaded = load_dataset_file(save_dataset(ds, tmp_path / "x.npz"))
+        assert loaded.class_names == []
+
+    def test_rejects_wrong_version(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        with np.load(path, allow_pickle=True) as archive:
+            contents = {key: archive[key] for key in archive.files}
+        contents["format_version"] = np.array(99)
+        np.savez(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset_file(path)
+
+
+class TestIndexRoundtrip:
+    @pytest.mark.parametrize("structure", ["flat", "vptree", "rtree"])
+    def test_loaded_index_answers_identically(self, archive, rng, tmp_path, structure):
+        index = SignatureFilteredScan(archive, n_coefficients=8, structure=structure)
+        path = save_index(index, tmp_path / "idx.npz")
+        loaded = load_index(path)
+        for measure in (EuclideanMeasure(), DTWMeasure(radius=2)):
+            query = archive[7] + rng.normal(0, 0.05, 64)
+            a = index.query(query, measure)
+            b = loaded.query(query, measure)
+            assert a.result.index == b.result.index
+            assert math.isclose(a.result.distance, b.result.distance, rel_tol=1e-12)
+
+    def test_detects_corruption(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = save_index(index, tmp_path / "idx.npz")
+        with np.load(path) as stored:
+            contents = {key: stored[key] for key in stored.files}
+        contents["fourier"] = contents["fourier"] + 1.0  # corrupt signatures
+        np.savez(path, **contents)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path)
+
+    def test_rejects_wrong_version(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=4)
+        path = save_index(index, tmp_path / "idx.npz")
+        with np.load(path) as stored:
+            contents = {key: stored[key] for key in stored.files}
+        contents["format_version"] = np.array(42)
+        np.savez(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)

@@ -1,0 +1,189 @@
+"""Property-based tests of the paper's central theorems.
+
+These are the invariants DESIGN.md commits to: the lower-bounding
+propositions (1 and 2), the no-false-dismissal guarantee of every search
+strategy, and the structural properties of wedges -- each checked over
+hypothesis-generated inputs rather than hand-picked examples.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.rotation import RotationSet
+from repro.core.search import (
+    brute_force_search,
+    early_abandon_search,
+    fft_search,
+    wedge_search,
+)
+from repro.core.wedge import Wedge
+from repro.core.wedge_builder import build_wedge_tree
+from repro.distances.dtw import DTWMeasure, dtw_distance
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+from repro.distances.lcss import LCSSMeasure
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def series_pair(min_n=3, max_n=16):
+    return st.integers(min_n, max_n).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=floats), arrays(np.float64, n, elements=floats)
+        )
+    )
+
+
+def series_bundle(rows, min_n=3, max_n=12):
+    return st.integers(min_n, max_n).flatmap(
+        lambda n: arrays(np.float64, (rows, n), elements=floats)
+    )
+
+
+class TestProposition1:
+    """LB_Keogh(Q, W) <= ED(Q, Cs) for every Cs enclosed by W."""
+
+    @given(series_bundle(4))
+    @settings(max_examples=100, deadline=None)
+    def test_lb_keogh_bounds_every_member(self, rows):
+        measure = EuclideanMeasure()
+        leaves = [Wedge.from_series(row, i) for i, row in enumerate(rows)]
+        wedge = Wedge.merge(Wedge.merge(leaves[0], leaves[1]), Wedge.merge(leaves[2], leaves[3]))
+        query = rows.mean(axis=0) + 1.0  # arbitrary outside-ish series
+        lb = measure.lower_bound(query, wedge.upper, wedge.lower)
+        for row in rows:
+            assert lb <= euclidean_distance(query, row) + 1e-9
+
+    @given(series_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_singleton_wedge_degenerates_to_euclidean(self, pair):
+        q, c = pair
+        measure = EuclideanMeasure()
+        lb = measure.lower_bound(q, c, c)
+        assert math.isclose(lb, euclidean_distance(q, c), rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestProposition2:
+    """LB_Keogh_DTW(Q, W) <= DTW(Q, Cs, R) for every enclosed Cs."""
+
+    @given(series_bundle(3), st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_dtw_envelope_bounds_every_member(self, rows, radius):
+        measure = DTWMeasure(radius=radius)
+        leaves = [Wedge.from_series(row, i) for i, row in enumerate(rows)]
+        wedge = Wedge.merge(Wedge.merge(leaves[0], leaves[1]), leaves[2])
+        upper, lower = wedge.envelope_for(measure)
+        query = rows[0] * 0.5 - rows[1] * 0.5 + 2.0
+        lb = measure.lower_bound(query, upper, lower)
+        for row in rows:
+            assert lb <= dtw_distance(query, row, radius) + 1e-9
+
+    @given(series_pair(), st.integers(0, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_lb_keogh_dtw_bounds_single_series(self, pair, radius):
+        q, c = pair
+        measure = DTWMeasure(radius=radius)
+        upper, lower = measure.expand_envelope(c, c)
+        lb = measure.lower_bound(q, upper, lower)
+        assert lb <= dtw_distance(q, c, radius) + 1e-9
+
+
+class TestLCSSBound:
+    @given(series_bundle(3), st.integers(0, 3), st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_bounds_every_member(self, rows, delta, epsilon):
+        measure = LCSSMeasure(delta=delta, epsilon=epsilon)
+        leaves = [Wedge.from_series(row, i) for i, row in enumerate(rows)]
+        wedge = Wedge.merge(Wedge.merge(leaves[0], leaves[1]), leaves[2])
+        upper, lower = wedge.envelope_for(measure)
+        query = rows[2] + 0.7
+        lb = measure.lower_bound(query, upper, lower)
+        for row in rows:
+            assert lb <= measure.distance(query, row) + 1e-9
+
+
+class TestWedgeStructure:
+    @given(series_bundle(4))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_contains_children_envelopes(self, rows):
+        leaves = [Wedge.from_series(row, i) for i, row in enumerate(rows)]
+        left = Wedge.merge(leaves[0], leaves[1])
+        right = Wedge.merge(leaves[2], leaves[3])
+        root = Wedge.merge(left, right)
+        for child in (left, right):
+            assert np.all(root.upper >= child.upper - 1e-12)
+            assert np.all(root.lower <= child.lower + 1e-12)
+        assert root.area() >= max(left.area(), right.area()) - 1e-9
+
+    @given(arrays(np.float64, st.integers(2, 20), elements=floats))
+    @settings(max_examples=60, deadline=None)
+    def test_wedge_tree_partition_invariant(self, series):
+        rs = RotationSet.full(series)
+        tree = build_wedge_tree(rs)
+        for k in {1, 2, rs.rotations.shape[0]}:
+            frontier = tree.frontier(k)
+            indices = sorted(i for w in frontier for i in w.indices)
+            assert indices == list(range(len(rs)))
+
+
+class TestNoFalseDismissals:
+    """Every strategy returns the brute-force answer, whatever the data."""
+
+    @given(series_bundle(6, min_n=4, max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_euclidean_strategies_agree(self, rows):
+        query = rows[0]
+        database = list(rows[1:])
+        measure = EuclideanMeasure()
+        reference = brute_force_search(database, query, measure)
+        for result in (
+            early_abandon_search(database, query, measure),
+            fft_search(database, query),
+            wedge_search(database, query, measure),
+        ):
+            assert math.isclose(result.distance, reference.distance, rel_tol=1e-7, abs_tol=1e-9)
+
+    @given(series_bundle(4, min_n=4, max_n=10), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_dtw_strategies_agree(self, rows, radius):
+        query = rows[0]
+        database = list(rows[1:])
+        measure = DTWMeasure(radius=radius)
+        reference = brute_force_search(database, query, measure)
+        result = wedge_search(database, query, measure)
+        assert math.isclose(result.distance, reference.distance, rel_tol=1e-7, abs_tol=1e-9)
+
+
+class TestMetricIdentities:
+    @given(arrays(np.float64, st.integers(2, 20), elements=floats), st.integers(-40, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_red_is_shift_invariant(self, series, k):
+        """RED(Q, C) == RED(Q, shift(C, k)): rotating the database object
+        does not change its rotation-invariant distance to the query."""
+        from repro.timeseries.ops import circular_shift
+
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=series.size)
+        measure = EuclideanMeasure()
+        a = brute_force_search([series], query, measure).distance
+        b = brute_force_search([circular_shift(series, k)], query, measure).distance
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(series_pair(), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_dtw_between_ed_and_zero(self, pair, radius):
+        q, c = pair
+        dtw = dtw_distance(q, c, radius)
+        assert 0.0 <= dtw <= euclidean_distance(q, c) + 1e-9
+
+    @given(series_pair(), st.integers(0, 4), st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_lcss_distance_in_unit_interval(self, pair, delta, epsilon):
+        q, c = pair
+        measure = LCSSMeasure(delta=delta, epsilon=epsilon)
+        dist = measure.distance(q, c)
+        assert 0.0 <= dist <= 1.0
+        assert measure.distance(q, q) == 0.0

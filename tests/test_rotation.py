@@ -1,0 +1,129 @@
+"""Tests for rotation sets, lag profiles, and rotation-limited subsets."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.rotation import (
+    RotationSet,
+    cross_lag_profile,
+    rotation_lag_profile,
+    shifts_for_max_angle,
+)
+from repro.distances.euclidean import euclidean_distance
+from repro.timeseries.ops import circular_shift
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+series_strategy = arrays(np.float64, st.integers(2, 30), elements=floats)
+
+
+class TestLagProfiles:
+    @given(series_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_profile_matches_bruteforce(self, series):
+        profile = rotation_lag_profile(series)
+        for lag in range(series.size):
+            want = euclidean_distance(series, circular_shift(series, lag))
+            assert math.isclose(profile[lag], want, rel_tol=1e-6, abs_tol=1e-6)
+
+    def test_lag_zero_is_exactly_zero(self, random_walk):
+        assert rotation_lag_profile(random_walk(64))[0] == 0.0
+
+    def test_profile_symmetric(self, random_walk):
+        profile = rotation_lag_profile(random_walk(32))
+        assert np.allclose(profile[1:], profile[1:][::-1], atol=1e-9)
+
+    def test_cross_profile_matches_bruteforce(self, rng):
+        a = rng.normal(size=21)
+        b = rng.normal(size=21)
+        profile = cross_lag_profile(a, b)
+        for lag in range(21):
+            want = euclidean_distance(a, circular_shift(b, lag))
+            assert math.isclose(profile[lag], want, rel_tol=1e-6, abs_tol=1e-6)
+
+    def test_cross_profile_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_lag_profile([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestShiftsForMaxAngle:
+    def test_zero_angle_keeps_only_identity(self):
+        assert shifts_for_max_angle(36, 0.0) == [0]
+
+    def test_small_angle(self):
+        # 360/12 = 30 degrees per shift; 90 degrees allows shifts 1..3 each way.
+        assert shifts_for_max_angle(12, 90.0) == [0, 1, 2, 3, 9, 10, 11]
+
+    def test_full_circle_capped_at_half(self):
+        shifts = shifts_for_max_angle(10, 10000.0)
+        assert len(shifts) == 10 or len(shifts) == 10  # all shifts present
+        assert set(shifts) <= set(range(10))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            shifts_for_max_angle(0, 10.0)
+        with pytest.raises(ValueError):
+            shifts_for_max_angle(10, -1.0)
+
+
+class TestRotationSet:
+    def test_full_set_has_all_shifts(self, random_walk):
+        series = random_walk(16)
+        rs = RotationSet.full(series)
+        assert len(rs) == 16
+        assert rs.length == 16
+        for t, shift in enumerate(rs.shifts):
+            assert np.allclose(rs.rotations[t], circular_shift(series, shift))
+
+    def test_mirror_doubles(self, random_walk):
+        series = random_walk(10)
+        rs = RotationSet.full(series, mirror=True)
+        assert len(rs) == 20
+        assert sum(rs.mirrored) == 10
+        # Mirrored rows are rotations of the reversed series.
+        reversed_series = series[::-1]
+        for t in range(10, 20):
+            assert np.allclose(
+                rs.rotations[t], circular_shift(reversed_series, rs.shifts[t])
+            )
+
+    def test_rotation_limited_subset(self, random_walk):
+        series = random_walk(36)
+        rs = RotationSet.full(series, max_degrees=30.0)
+        # 10 degrees per shift -> shifts 0, 1, 2, 3 and 33, 34, 35.
+        assert sorted(rs.shifts) == [0, 1, 2, 3, 33, 34, 35]
+
+    def test_describe(self, random_walk):
+        rs = RotationSet.full(random_walk(8), mirror=True)
+        assert rs.describe(0) == "shift=0"
+        assert "mirrored" in rs.describe(len(rs) - 1)
+
+    def test_distance_matrix_matches_bruteforce(self, rng):
+        series = rng.normal(size=14)
+        for kwargs in ({}, {"mirror": True}, {"max_degrees": 90.0}, {"mirror": True, "max_degrees": 60.0}):
+            rs = RotationSet.full(series, **kwargs)
+            matrix = rs.distance_matrix()
+            for i in range(len(rs)):
+                for j in range(len(rs)):
+                    want = euclidean_distance(rs.rotations[i], rs.rotations[j])
+                    assert math.isclose(matrix[i, j], want, rel_tol=1e-6, abs_tol=1e-6)
+
+    def test_distance_matrix_symmetric_zero_diagonal(self, random_walk):
+        rs = RotationSet.full(random_walk(20), mirror=True)
+        matrix = rs.distance_matrix()
+        assert np.allclose(matrix, matrix.T, atol=1e-9)
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-9)
+
+    @given(series_strategy, st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_rotation_invariance_of_the_set(self, series, k):
+        """The rotation set of a shifted series spans the same rows."""
+        rs_a = RotationSet.full(series)
+        rs_b = RotationSet.full(circular_shift(series, k))
+        rows_a = {tuple(np.round(row, 9)) for row in rs_a.rotations}
+        rows_b = {tuple(np.round(row, 9)) for row in rs_b.rotations}
+        assert rows_a == rows_b

@@ -1,0 +1,152 @@
+"""Tests for the STR bulk-loaded R-tree."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import Rect, RTree
+
+
+class TestRect:
+    def test_from_points(self, rng):
+        pts = rng.normal(size=(10, 3))
+        rect = Rect.from_points(pts)
+        assert np.array_equal(rect.lows, pts.min(axis=0))
+        assert np.array_equal(rect.highs, pts.max(axis=0))
+
+    def test_union(self):
+        a = Rect.from_bounds([0, 0], [1, 1])
+        b = Rect.from_bounds([2, -1], [3, 0.5])
+        u = a.union(b)
+        assert u.lows.tolist() == [0, -1]
+        assert u.highs.tolist() == [3, 1]
+
+    def test_mindist_point_inside_is_zero(self):
+        rect = Rect.from_bounds([0, 0], [2, 2])
+        assert rect.mindist_point(np.array([1.0, 1.0])) == 0.0
+
+    def test_mindist_point_outside(self):
+        rect = Rect.from_bounds([0, 0], [1, 1])
+        assert math.isclose(rect.mindist_point(np.array([4.0, 5.0])), 5.0)
+
+    def test_mindist_rect_overlapping_is_zero(self):
+        a = Rect.from_bounds([0, 0], [2, 2])
+        b = Rect.from_bounds([1, 1], [3, 3])
+        assert a.mindist_rect(b) == 0.0
+
+    def test_mindist_rect_disjoint(self):
+        a = Rect.from_bounds([0, 0], [1, 1])
+        b = Rect.from_bounds([4, 5], [6, 7])
+        assert math.isclose(a.mindist_rect(b), 5.0)
+
+    def test_mindist_rect_symmetric(self, rng):
+        a = Rect.from_points(rng.normal(size=(4, 3)))
+        b = Rect.from_points(rng.normal(size=(4, 3)) + 3)
+        assert math.isclose(a.mindist_rect(b), b.mindist_rect(a))
+
+    def test_contains_point(self):
+        rect = Rect.from_bounds([0, 0], [1, 1])
+        assert rect.contains_point([0.5, 1.0])
+        assert not rect.contains_point([1.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rect.from_bounds([1, 0], [0, 1])
+        with pytest.raises(ValueError):
+            Rect.from_points(np.zeros((0, 2)))
+
+
+class TestRTreeConstruction:
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(ValueError):
+            RTree(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            RTree(rng.normal(size=(5, 2)), leaf_capacity=1)
+
+    def test_height_grows_logarithmically(self, rng):
+        small = RTree(rng.normal(size=(10, 2)), leaf_capacity=4)
+        large = RTree(rng.normal(size=(500, 2)), leaf_capacity=4)
+        assert small.height <= large.height <= 6
+
+    def test_every_point_inside_root_mbr(self, rng):
+        pts = rng.normal(size=(100, 4))
+        tree = RTree(pts, leaf_capacity=8)
+        for p in pts:
+            assert tree._root.rect.contains_point(p)
+
+
+class TestRTreeSearch:
+    def drain(self, tree, query, radius):
+        return list(tree.candidates_within(query, lambda: radius))
+
+    def test_point_query_matches_bruteforce(self, rng):
+        pts = rng.normal(size=(80, 5))
+        tree = RTree(pts, leaf_capacity=6)
+        for _ in range(8):
+            q = rng.normal(size=5)
+            radius = float(rng.uniform(0.5, 3.0))
+            got = {i for _d, i in self.drain(tree, q, radius)}
+            want = {i for i, p in enumerate(pts) if np.linalg.norm(p - q) < radius}
+            assert got == want
+
+    def test_ascending_order(self, rng):
+        pts = rng.normal(size=(50, 3))
+        tree = RTree(pts)
+        dists = [d for d, _ in self.drain(tree, rng.normal(size=3), 10.0)]
+        assert dists == sorted(dists)
+
+    def test_rect_query_matches_bruteforce(self, rng):
+        pts = rng.normal(size=(60, 4))
+        tree = RTree(pts, leaf_capacity=5)
+        rect = Rect.from_bounds(np.full(4, -0.3), np.full(4, 0.3))
+        got = {i for _d, i in self.drain(tree, rect, 0.8)}
+        want = {
+            i for i, p in enumerate(pts) if rect.mindist_point(p) < 0.8
+        }
+        assert got == want
+
+    def test_multi_rect_query_uses_minimum(self, rng):
+        pts = rng.normal(size=(60, 2))
+        tree = RTree(pts, leaf_capacity=5)
+        rects = [
+            Rect.from_bounds([-3, -3], [-2, -2]),
+            Rect.from_bounds([2, 2], [3, 3]),
+        ]
+        got = {i for _d, i in self.drain(tree, rects, 0.7)}
+        want = {
+            i
+            for i, p in enumerate(pts)
+            if min(r.mindist_point(p) for r in rects) < 0.7
+        }
+        assert got == want
+
+    def test_shrinking_radius_nn_is_exact(self, rng):
+        pts = rng.normal(size=(120, 4))
+        tree = RTree(pts, leaf_capacity=8)
+        q = rng.normal(size=4)
+        best, best_i = math.inf, -1
+        for d, i in tree.candidates_within(q, lambda: best):
+            if d < best:
+                best, best_i = d, i
+        truth = np.linalg.norm(pts - q, axis=1)
+        assert best_i == int(np.argmin(truth))
+
+    def test_pruning_saves_evaluations(self, rng):
+        pts = rng.normal(size=(600, 4))
+        tree = RTree(pts, leaf_capacity=8)
+        tree.mindist_evaluations = 0
+        list(tree.candidates_within(pts[5] + 0.001, lambda: 0.05))
+        assert tree.mindist_evaluations < 400
+
+    def test_single_point_tree(self):
+        tree = RTree(np.array([[1.0, 2.0]]))
+        assert self.drain(tree, np.array([1.0, 2.0]), 0.5) == [(0.0, 0)]
+
+    def test_one_dimensional_points(self, rng):
+        pts = rng.normal(size=(30, 1))
+        tree = RTree(pts, leaf_capacity=4)
+        q = np.array([0.0])
+        got = {i for _d, i in self.drain(tree, q, 0.5)}
+        want = {i for i, p in enumerate(pts) if abs(p[0]) < 0.5}
+        assert got == want

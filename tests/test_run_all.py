@@ -1,0 +1,32 @@
+"""Smoke test for the benchmark driver script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+RUN_ALL = Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
+
+
+@pytest.mark.slow
+def test_run_all_single_experiment():
+    proc = subprocess.run(
+        [sys.executable, str(RUN_ALL), "--only", "sanity"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout[-2000:] + proc.stderr[-500:]
+    assert "test_sanity_clustering.py" in proc.stdout
+    assert "COMBINED REPORT" in proc.stdout
+
+
+def test_run_all_rejects_unknown_selection():
+    proc = subprocess.run(
+        [sys.executable, str(RUN_ALL), "--only", "nonexistent-experiment"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 2

@@ -1,0 +1,97 @@
+"""Tests for uniform-scaling invariant search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+from repro.mining.scaling import scaled_candidates, scaling_invariant_search
+
+
+def stretch(series, factor):
+    """Reference stretch: identical formula to the implementation."""
+    n = series.size
+    base = np.arange(n, dtype=float)
+    return np.interp(np.clip(base / factor, 0, n - 1), base, series)
+
+
+class TestScaledCandidates:
+    def test_factor_one_is_identity(self, random_walk):
+        q = random_walk(40)
+        candidates, factors = scaled_candidates(q, 1.0, 1.0, 1)
+        assert factors.tolist() == [1.0]
+        assert np.allclose(candidates[0], q)
+
+    def test_grid_covers_range(self, random_walk):
+        _c, factors = scaled_candidates(random_walk(20), 0.5, 2.0, 7)
+        assert factors[0] == 0.5
+        assert factors[-1] == 2.0
+        assert len(factors) == 7
+
+    def test_candidates_match_reference_formula(self, random_walk):
+        q = random_walk(30)
+        candidates, factors = scaled_candidates(q, 0.8, 1.25, 5)
+        for row, s in zip(candidates, factors):
+            assert np.allclose(row, stretch(q, s))
+
+    def test_validation(self, random_walk):
+        q = random_walk(10)
+        with pytest.raises(ValueError):
+            scaled_candidates(q, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            scaled_candidates(q, 1.2, 0.8)
+        with pytest.raises(ValueError):
+            scaled_candidates(q, 0.8, 1.2, 0)
+
+
+class TestScalingInvariantSearch:
+    def test_exact_vs_bruteforce_over_grid(self, random_walk):
+        q = random_walk(25)
+        db = [random_walk(25) for _ in range(8)]
+        measure = EuclideanMeasure()
+        result, factor = scaling_invariant_search(db, q, measure, 0.8, 1.25, 9)
+        candidates, factors = scaled_candidates(q, 0.8, 1.25, 9)
+        best = math.inf
+        best_i = -1
+        for i, obj in enumerate(db):
+            for row in candidates:
+                d = euclidean_distance(obj, row)
+                if d < best:
+                    best, best_i = d, i
+        assert result.index == best_i
+        assert math.isclose(result.distance, best, rel_tol=1e-9)
+
+    def test_recovers_planted_stretched_copy(self, random_walk):
+        q = random_walk(60)
+        planted_factor = 1.1
+        db = [random_walk(60) for _ in range(6)]
+        db[4] = stretch(q, planted_factor)
+        result, factor = scaling_invariant_search(db, q, EuclideanMeasure(), 0.8, 1.25, 10)
+        assert result.index == 4
+        assert abs(factor - planted_factor) < 0.06
+        assert result.distance < 0.5
+
+    def test_plain_ed_misses_what_scaling_finds(self, random_walk):
+        """The motivating gap: a 20% re-timed copy is far under plain ED."""
+        q = random_walk(80)
+        copy = stretch(q, 1.2)
+        plain = euclidean_distance(q, copy)
+        result, _ = scaling_invariant_search([copy], q, EuclideanMeasure(), 0.8, 1.25, 16)
+        assert result.distance < 0.35 * plain
+
+    def test_works_with_dtw(self, random_walk):
+        q = random_walk(30)
+        db = [random_walk(30) for _ in range(5)]
+        db[2] = stretch(q, 0.9)
+        result, _f = scaling_invariant_search(db, q, DTWMeasure(radius=2), 0.8, 1.25, 8)
+        assert result.index == 2
+
+    def test_counts_steps(self, random_walk):
+        from repro.core.counters import StepCounter
+
+        counter = StepCounter()
+        q = random_walk(20)
+        scaling_invariant_search([random_walk(20)], q, EuclideanMeasure(), counter=counter)
+        assert counter.steps > 0

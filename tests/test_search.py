@@ -1,0 +1,209 @@
+"""Tests for the four search strategies: exactness, accounting, invariances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hmerge import FixedKPolicy
+from repro.core.search import (
+    RotationQuery,
+    brute_force_search,
+    early_abandon_search,
+    fft_search,
+    test_all_rotations as scan_all_rotations,
+    wedge_search,
+)
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.distances.lcss import LCSSMeasure
+from repro.timeseries.ops import circular_shift
+from tests.conftest import naive_euclidean, naive_rotation_min
+
+MEASURES = [EuclideanMeasure(), DTWMeasure(radius=2), LCSSMeasure(delta=2, epsilon=0.5)]
+
+
+@pytest.fixture
+def database(random_walk):
+    return [random_walk(18) for _ in range(15)]
+
+
+@pytest.fixture
+def query(random_walk):
+    return random_walk(18)
+
+
+class TestTestAllRotations:
+    def test_matches_naive_rotation_min(self, database, query):
+        rq = RotationQuery(query)
+        measure = EuclideanMeasure()
+        for candidate in database[:5]:
+            dist, rotation = scan_all_rotations(candidate, rq, measure)
+            want, want_j = naive_rotation_min(candidate, query, naive_euclidean)
+            assert math.isclose(dist, want, rel_tol=1e-9)
+            assert rotation == want_j
+
+    def test_threshold_semantics(self, database, query):
+        rq = RotationQuery(query)
+        measure = EuclideanMeasure()
+        true, _ = scan_all_rotations(database[0], rq, measure)
+        hit, _ = scan_all_rotations(database[0], rq, measure, r=true * 1.01)
+        miss, _ = scan_all_rotations(database[0], rq, measure, r=true * 0.99)
+        assert math.isclose(hit, true, rel_tol=1e-9)
+        assert math.isinf(miss)
+
+
+class TestStrategyEquivalence:
+    """The paper's core guarantee: no false dismissals, every strategy."""
+
+    @pytest.mark.parametrize("measure", MEASURES, ids=["ed", "dtw", "lcss"])
+    def test_all_strategies_agree(self, database, query, measure):
+        reference = brute_force_search(database, query, measure)
+        assert reference.found
+        results = [
+            early_abandon_search(database, query, measure),
+            wedge_search(database, query, measure),
+            wedge_search(database, query, measure, k_policy=FixedKPolicy(1)),
+            wedge_search(database, query, measure, order="best-first"),
+            wedge_search(database, query, measure, linkage_method="contiguous"),
+        ]
+        if measure.name == "euclidean":
+            results.append(fft_search(database, query))
+        for result in results:
+            assert result.index == reference.index, result.strategy
+            assert math.isclose(result.distance, reference.distance, rel_tol=1e-9), result.strategy
+
+    @pytest.mark.parametrize("measure", MEASURES[:2], ids=["ed", "dtw"])
+    def test_mirror_agreement(self, database, query, measure):
+        reference = brute_force_search(database, query, measure, mirror=True)
+        result = wedge_search(database, query, measure, mirror=True)
+        assert result.index == reference.index
+        assert math.isclose(result.distance, reference.distance, rel_tol=1e-9)
+
+    def test_rotation_limited_agreement(self, database, query):
+        measure = EuclideanMeasure()
+        reference = brute_force_search(database, query, measure, max_degrees=45.0)
+        result = wedge_search(database, query, measure, max_degrees=45.0)
+        assert result.index == reference.index
+        assert math.isclose(result.distance, reference.distance, rel_tol=1e-9)
+
+
+class TestInvariances:
+    def test_finds_planted_rotation(self, database, random_walk):
+        """A rotated copy of the query must be found at distance ~0."""
+        query = random_walk(18)
+        planted = list(database)
+        planted[7] = circular_shift(query, 11)
+        for search in (brute_force_search, early_abandon_search, wedge_search):
+            result = search(planted, query, EuclideanMeasure())
+            assert result.index == 7
+            assert result.distance < 1e-9
+
+    def test_query_rotation_does_not_change_answer(self, database, query):
+        measure = EuclideanMeasure()
+        base = brute_force_search(database, query, measure)
+        for k in (3, 9):
+            rotated = wedge_search(database, circular_shift(query, k), measure)
+            assert rotated.index == base.index
+            assert math.isclose(rotated.distance, base.distance, rel_tol=1e-9)
+
+    def test_mirror_finds_reversed_copy(self, database, random_walk):
+        query = random_walk(18)
+        planted = list(database)
+        planted[2] = circular_shift(query[::-1].copy(), 5)
+        plain = wedge_search(planted, query, EuclideanMeasure())
+        mirrored = wedge_search(planted, query, EuclideanMeasure(), mirror=True)
+        assert mirrored.index == 2
+        assert mirrored.distance < 1e-9
+        assert mirrored.distance <= plain.distance
+
+    def test_rotation_limit_excludes_big_shifts(self, database, random_walk):
+        query = random_walk(36)
+        db36 = [random_walk(36) for _ in range(8)]
+        db36[4] = circular_shift(query, 18)  # 180 degrees away
+        unrestricted = wedge_search(db36, query, EuclideanMeasure())
+        limited = wedge_search(db36, query, EuclideanMeasure(), max_degrees=20.0)
+        assert unrestricted.index == 4
+        assert unrestricted.distance < 1e-9
+        assert limited.distance > 1e-6 or limited.index != 4
+
+
+class TestAccounting:
+    def test_brute_force_step_count_is_deterministic(self, database, query):
+        result = brute_force_search(database, query, EuclideanMeasure())
+        n = len(query)
+        assert result.counter.steps == len(database) * n * n
+
+    def test_early_abandon_never_costs_more_than_brute(self, database, query):
+        for measure in MEASURES[:2]:
+            brute = brute_force_search(database, query, measure)
+            fast = early_abandon_search(database, query, measure)
+            assert fast.counter.steps <= brute.counter.steps
+
+    def test_fft_charges_nlogn_per_object(self, database, query):
+        result = fft_search(database, query)
+        n = len(query)
+        from repro.core.counters import fft_step_cost
+
+        assert result.counter.steps >= len(database) * fft_step_cost(n)
+        assert result.counter.lb_calls == len(database)
+
+    def test_wedge_search_charges_setup(self, database, query):
+        charged = wedge_search(database, query, EuclideanMeasure(), charge_setup=True)
+        free = wedge_search(database, query, EuclideanMeasure(), charge_setup=False)
+        n = len(query)
+        assert charged.counter.steps >= free.counter.steps + (n - 1) * n - 1
+
+    def test_empty_database(self, query):
+        result = wedge_search([], query, EuclideanMeasure())
+        assert not result.found
+        assert result.index == -1
+        assert math.isinf(result.distance)
+
+    def test_fft_rejects_non_euclidean(self, database, query):
+        with pytest.raises(ValueError, match="Euclidean"):
+            fft_search(database, query, DTWMeasure(2))
+
+
+class TestRotationQuery:
+    def test_reused_query_object_accepted_everywhere(self, database, query):
+        rq = RotationQuery(query)
+        a = brute_force_search(database, rq, EuclideanMeasure())
+        b = wedge_search(database, rq, EuclideanMeasure())
+        assert a.index == b.index
+
+    def test_wedge_tree_built_once(self, query):
+        rq = RotationQuery(query)
+        assert rq.wedge_tree() is rq.wedge_tree()
+
+    def test_signature_cached(self, query):
+        rq = RotationQuery(query)
+        assert rq.signature(8) is rq.signature(8)
+        assert rq.signature(8).size == 8
+
+    def test_linkage_method_is_plumbed_through(self, database, query):
+        """Regression: wedge_search must honour linkage_method when it
+        builds the RotationQuery itself (it was once silently dropped)."""
+        import repro.core.search as search_mod
+
+        captured = {}
+        original = search_mod.RotationQuery
+
+        class Recorder(original):
+            def __init__(self, series, **kwargs):
+                captured.update(kwargs)
+                super().__init__(series, **kwargs)
+
+        search_mod.RotationQuery = Recorder
+        try:
+            wedge_search(database, query, EuclideanMeasure(), linkage_method="contiguous")
+        finally:
+            search_mod.RotationQuery = original
+        assert captured.get("linkage_method") == "contiguous"
+
+    def test_linkage_methods_build_different_trees(self, query):
+        avg = RotationQuery(query, linkage_method="average").wedge_tree()
+        contiguous = RotationQuery(query, linkage_method="contiguous").wedge_tree()
+        partition = lambda tree: sorted(tuple(sorted(w.indices)) for w in tree.frontier(4))
+        # Same leaves, (almost surely) different groupings for a random walk.
+        assert partition(avg) != partition(contiguous)

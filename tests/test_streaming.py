@@ -1,0 +1,108 @@
+"""Tests for the streaming pattern filter (Atomic-Wedgie style)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances.dtw import DTWMeasure, dtw_distance
+from repro.distances.euclidean import EuclideanMeasure, euclidean_distance
+from repro.mining.streaming import StreamMonitor
+
+
+def naive_matches(stream, patterns, threshold, distance):
+    """Reference: test every window against every pattern."""
+    w = patterns.shape[1]
+    hits = []
+    for end in range(w - 1, len(stream)):
+        window = stream[end - w + 1 : end + 1]
+        for p, pattern in enumerate(patterns):
+            d = distance(window, pattern)
+            if d <= threshold:
+                hits.append((end, p, d))
+    return hits
+
+
+@pytest.fixture
+def patterns(rng):
+    return np.vstack(
+        [
+            np.sin(np.linspace(0, 2 * np.pi, 16)),
+            np.linspace(-1, 1, 16),
+            np.concatenate([np.ones(8), -np.ones(8)]),
+        ]
+    )
+
+
+class TestStreamMonitor:
+    def test_no_output_before_window_fills(self, patterns):
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=1.0)
+        for i in range(15):
+            assert monitor.process(0.0) == []
+        assert monitor.windows_seen == 0
+
+    def test_matches_equal_naive_euclidean(self, patterns, rng):
+        stream = rng.normal(size=120)
+        # Embed two pattern occurrences with small noise.
+        stream[20:36] = patterns[0] + rng.normal(0, 0.05, 16)
+        stream[70:86] = patterns[2] + rng.normal(0, 0.05, 16)
+        threshold = 1.0
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=threshold)
+        got = [(m.end_position, m.pattern) for m in monitor.process_batch(stream)]
+        want = [(e, p) for e, p, _ in naive_matches(stream, patterns, threshold, euclidean_distance)]
+        assert got == want
+        assert (35, 0) in got
+        assert (85, 2) in got
+
+    def test_distances_reported_exactly(self, patterns, rng):
+        stream = rng.normal(size=60)
+        stream[10:26] = patterns[1]
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=2.0)
+        matches = monitor.process_batch(stream)
+        by_key = {(m.end_position, m.pattern): m.distance for m in matches}
+        for (end, p), dist in by_key.items():
+            window = stream[end - 15 : end + 1]
+            assert math.isclose(dist, euclidean_distance(window, patterns[p]), rel_tol=1e-9)
+
+    def test_multiple_patterns_reported_per_window(self):
+        patterns = np.vstack([np.zeros(8), np.full(8, 0.1)])
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=1.0)
+        matches = monitor.process_batch(np.zeros(8))
+        assert [m.pattern for m in matches] == [0, 1]
+
+    def test_dtw_matching(self, patterns, rng):
+        measure = DTWMeasure(radius=2)
+        stream = rng.normal(size=80)
+        warped = np.interp(np.linspace(0, 15, 16) ** 1.05 / 15**0.05, np.arange(16), patterns[0])
+        stream[30:46] = warped
+        threshold = 1.5
+        monitor = StreamMonitor(patterns, measure, threshold=threshold)
+        got = {(m.end_position, m.pattern) for m in monitor.process_batch(stream)}
+        want = {
+            (e, p)
+            for e, p, _ in naive_matches(
+                stream, patterns, threshold, lambda a, b: dtw_distance(a, b, 2)
+            )
+        }
+        assert got == want
+
+    def test_normalized_matching_absorbs_scale(self, patterns):
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=0.5, normalize=True)
+        scaled = patterns[0] * 40.0 + 17.0  # wild offset and gain
+        matches = monitor.process_batch(scaled)
+        assert any(m.pattern == 0 for m in matches)
+
+    def test_pruning_saves_steps_on_nonmatching_stream(self, patterns, rng):
+        threshold = 0.5
+        stream = rng.normal(size=400) * 10  # nothing remotely matches
+        monitor = StreamMonitor(patterns, EuclideanMeasure(), threshold=threshold)
+        monitor.process_batch(stream)
+        windows = monitor.windows_seen
+        exhaustive = windows * patterns.shape[0] * patterns.shape[1]
+        assert monitor.counter.steps < 0.25 * exhaustive
+
+    def test_validation(self, patterns):
+        with pytest.raises(ValueError):
+            StreamMonitor(patterns, EuclideanMeasure(), threshold=-1.0)
+        with pytest.raises(ValueError):
+            StreamMonitor(np.zeros((0, 4)), EuclideanMeasure(), threshold=1.0)

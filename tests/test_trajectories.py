@@ -1,0 +1,127 @@
+"""Tests for rotation-invariant trajectory matching."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mining.trajectories import (
+    flatten_trajectory,
+    normalize_trajectory,
+    trajectory_dtw,
+    trajectory_rotations,
+    trajectory_search,
+)
+
+
+def closed_loop(rng, n=24, d=2):
+    """A smooth closed trajectory in R^d."""
+    t = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    base = np.column_stack(
+        [np.cos(t) + 0.3 * np.cos(3 * t + rng.uniform(0, 6)),
+         np.sin(t) + 0.3 * np.sin(2 * t + rng.uniform(0, 6))]
+        + [np.sin((k + 2) * t + rng.uniform(0, 6)) * 0.2 for k in range(d - 2)]
+    )
+    return base
+
+
+class TestBasics:
+    def test_flatten_interleaves(self):
+        traj = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert flatten_trajectory(traj).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_rotations_shape_and_content(self, rng):
+        traj = closed_loop(rng, n=6)
+        rotations = trajectory_rotations(traj)
+        assert rotations.shape == (6, 12)
+        assert np.allclose(rotations[0], traj.reshape(-1))
+        assert np.allclose(rotations[2], np.roll(traj, -2, axis=0).reshape(-1))
+
+    def test_normalize(self, rng):
+        traj = closed_loop(rng) * 17.0 + np.array([100.0, -40.0])
+        normed = normalize_trajectory(traj)
+        assert np.allclose(normed.mean(axis=0), 0.0, atol=1e-9)
+        rms = math.sqrt(float(np.mean(np.einsum("ij,ij->i", normed, normed))))
+        assert math.isclose(rms, 1.0, rel_tol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flatten_trajectory(np.zeros(5))
+        with pytest.raises(ValueError):
+            normalize_trajectory(np.array([[np.nan, 1.0]]))
+
+
+class TestTrajectorySearch:
+    def test_finds_restarted_copy(self, rng):
+        traj = closed_loop(rng)
+        database = [closed_loop(rng) for _ in range(6)]
+        database[3] = np.roll(traj, 7, axis=0)  # same loop, different start
+        result = trajectory_search(database, traj)
+        assert result.index == 3
+        assert result.distance < 1e-9
+        assert result.rotation in (7, 24 - 7, 17)
+
+    def test_matches_bruteforce(self, rng):
+        query = closed_loop(rng)
+        database = [closed_loop(rng) for _ in range(8)]
+        result = trajectory_search(database, query, normalize=False)
+        best = math.inf
+        best_i = -1
+        for i, obj in enumerate(database):
+            for k in range(obj.shape[0]):
+                d = float(np.linalg.norm(np.roll(query, -k, axis=0) - obj))
+                if d < best:
+                    best, best_i = d, i
+        assert result.index == best_i
+        assert math.isclose(result.distance, best, rel_tol=1e-9)
+
+    def test_normalization_absorbs_scale_and_offset(self, rng):
+        traj = closed_loop(rng)
+        scaled = np.roll(traj, 4, axis=0) * 9.0 + np.array([5.0, -2.0])
+        result = trajectory_search([scaled], traj, normalize=True)
+        assert result.distance < 1e-9
+
+    def test_rejects_shape_mismatch(self, rng):
+        query = closed_loop(rng, n=10)
+        with pytest.raises(ValueError, match="shape"):
+            trajectory_search([closed_loop(rng, n=12)], query)
+
+    def test_three_dimensional_trajectories(self, rng):
+        query = closed_loop(rng, n=16, d=3)
+        database = [closed_loop(rng, n=16, d=3) for _ in range(4)]
+        database[1] = np.roll(query, 5, axis=0)
+        result = trajectory_search(database, query)
+        assert result.index == 1
+
+
+class TestTrajectoryDTW:
+    def test_identity_zero(self, rng):
+        traj = closed_loop(rng)
+        assert trajectory_dtw(traj, traj, radius=3) == 0.0
+
+    def test_matches_scalar_dtw_in_1d(self, rng):
+        from repro.distances.dtw import dtw_distance
+
+        q = rng.normal(size=15)
+        c = rng.normal(size=15)
+        got = trajectory_dtw(q[:, np.newaxis], c[:, np.newaxis], radius=3)
+        assert math.isclose(got, dtw_distance(q, c, 3), rel_tol=1e-9)
+
+    def test_absorbs_local_time_distortion(self, rng):
+        traj = closed_loop(rng, n=30)
+        # Repeat one point (a local slowdown).
+        warped = np.vstack([traj[:10], traj[10:11], traj[10:29]])
+        ed = float(np.linalg.norm(traj - warped))
+        dtw = trajectory_dtw(traj, warped, radius=3)
+        assert dtw < 0.5 * ed + 1e-9
+
+    def test_early_abandon(self, rng):
+        traj = closed_loop(rng)
+        far = traj + 100.0
+        assert math.isinf(trajectory_dtw(traj, far, radius=2, r=1.0))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            trajectory_dtw(closed_loop(rng, 8), closed_loop(rng, 9), radius=1)
+        with pytest.raises(ValueError):
+            trajectory_dtw(closed_loop(rng, 8), closed_loop(rng, 8), radius=-1)

@@ -1,0 +1,119 @@
+"""Tests for shape distortions and the invariances they probe (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import brute_force_search, wedge_search
+from repro.distances.euclidean import EuclideanMeasure
+from repro.shapes.convert import polygon_to_series
+from repro.shapes.generators import butterfly, star_polygon
+from repro.shapes.transforms import (
+    add_vertex_noise,
+    articulate_polygon,
+    mirror_polygon,
+    occlude_polygon,
+    random_rotation,
+    scale_polygon,
+    translate_polygon,
+)
+
+MEASURE = EuclideanMeasure()
+
+
+def rotation_invariant_distance(a, b):
+    return brute_force_search([b], a, MEASURE).distance
+
+
+class TestRigidTransforms:
+    def test_scale_is_absorbed_by_normalisation(self):
+        poly = star_polygon(6)
+        a = polygon_to_series(poly, 96)
+        b = polygon_to_series(scale_polygon(poly, 4.2), 96)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_translate_is_absorbed_by_centroid(self):
+        poly = star_polygon(6)
+        a = polygon_to_series(poly, 96)
+        b = polygon_to_series(translate_polygon(poly, -31.0, 8.0), 96)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            scale_polygon(star_polygon(5), 0.0)
+
+
+class TestMirror:
+    def test_mirror_twice_is_identity_series(self):
+        poly = butterfly(np.random.default_rng(0), jitter=0.0)
+        twice = mirror_polygon(mirror_polygon(poly))
+        a = polygon_to_series(poly, 80)
+        b = polygon_to_series(twice, 80)
+        assert rotation_invariant_distance(a, b) < 1e-6
+
+    def test_mirror_matched_only_with_mirror_flag(self):
+        rng = np.random.default_rng(4)
+        from repro.shapes.generators import fourier_blob
+
+        poly = fourier_blob(rng, [(1, 0.3, 0.2), (3, 0.25, 1.3), (4, 0.15, 2.0)], jitter=0.0)
+        a = polygon_to_series(poly, 96)
+        # Roll the mirrored polygon so its traversal starts at the image of
+        # the original start vertex: the mirrored series is then the exact
+        # reversal of the original (same arc-length sample positions).
+        mirrored_poly = np.roll(mirror_polygon(poly), 1, axis=0)
+        b = polygon_to_series(mirrored_poly, 96)
+        plain = wedge_search([b], a, MEASURE)
+        mirrored = wedge_search([b], a, MEASURE, mirror=True)
+        assert mirrored.distance < 1e-6
+        assert plain.distance > 0.1
+
+    def test_mirror_axis_validated(self):
+        with pytest.raises(ValueError):
+            mirror_polygon(star_polygon(4), axis="z")
+
+
+class TestNoiseOcclusionArticulation:
+    def test_vertex_noise_scales_with_sigma(self, rng):
+        poly = star_polygon(5)
+        base = polygon_to_series(poly, 96)
+        small = polygon_to_series(add_vertex_noise(poly, np.random.default_rng(1), 0.002), 96)
+        large = polygon_to_series(add_vertex_noise(poly, np.random.default_rng(1), 0.05), 96)
+        assert rotation_invariant_distance(base, small) < rotation_invariant_distance(base, large)
+
+    def test_occlusion_removes_vertices(self):
+        poly = star_polygon(8)  # 16 vertices
+        occluded = occlude_polygon(poly, start_fraction=0.25, length_fraction=0.25)
+        assert occluded.shape[0] == 12
+
+    def test_occlusion_validation(self):
+        poly = star_polygon(4)
+        with pytest.raises(ValueError):
+            occlude_polygon(poly, 1.5, 0.1)
+        with pytest.raises(ValueError):
+            occlude_polygon(poly, 0.0, 0.99)
+
+    def test_articulation_is_local(self):
+        poly = butterfly(np.random.default_rng(2), jitter=0.0)
+        bent = articulate_polygon(poly, center_fraction=2 / 3, width_fraction=0.15, degrees=20)
+        k = poly.shape[0]
+        window = int(2 / 3 * k)
+        moved = np.hypot(*(bent - poly).T)
+        # Far-away vertices untouched.
+        assert np.all(moved[: window - int(0.15 * k)] < 1e-12)
+        # Window vertices actually move.
+        assert moved[window] > 0.0
+
+    def test_articulation_smaller_than_occlusion(self):
+        """Bending a wing perturbs the series less than removing it."""
+        poly = butterfly(np.random.default_rng(2), jitter=0.0)
+        base = polygon_to_series(poly, 120)
+        bent = articulate_polygon(poly, 2 / 3, 0.15, 20.0)
+        occluded = occlude_polygon(poly, 2 / 3, 0.15)
+        d_bent = rotation_invariant_distance(base, polygon_to_series(bent, 120))
+        d_occl = rotation_invariant_distance(base, polygon_to_series(occluded, 120))
+        assert d_bent < d_occl
+
+    def test_random_rotation_reports_angle(self, rng):
+        poly = star_polygon(5)
+        rotated, degrees = random_rotation(poly, rng)
+        assert 0.0 <= degrees < 360.0
+        assert rotated.shape == poly.shape

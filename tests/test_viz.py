@@ -1,0 +1,96 @@
+"""Tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.wedge import Wedge
+from repro.distances.dtw import warping_path
+from repro.viz import plot_series, plot_warping_matrix, plot_wedge
+
+
+class TestPlotSeries:
+    def test_dimensions(self, random_walk):
+        text = plot_series(random_walk(30), height=10)
+        lines = text.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_one_marker_per_column(self, random_walk):
+        text = plot_series(random_walk(25), height=8)
+        columns = list(zip(*text.split("\n")))
+        assert all(col.count("*") == 1 for col in columns)
+
+    def test_extremes_hit_edges(self):
+        series = np.array([0.0, 1.0, 0.5])
+        lines = plot_series(series, height=5).split("\n")
+        assert lines[0][1] == "*"  # max on the top row
+        assert lines[-1][0] == "*"  # min on the bottom row
+
+    def test_constant_series_renders(self):
+        text = plot_series(np.ones(10), height=4)
+        assert text.count("*") == 10
+
+    def test_width_downsampling(self, random_walk):
+        text = plot_series(random_walk(200), height=6, width=40)
+        assert all(len(line) == 40 for line in text.split("\n"))
+
+    def test_validation(self, random_walk):
+        with pytest.raises(ValueError):
+            plot_series(random_walk(5), height=1)
+        with pytest.raises(ValueError):
+            plot_series(random_walk(5), width=1)
+
+
+class TestPlotWedge:
+    def test_accepts_wedge_object(self, rng):
+        rows = rng.normal(size=(3, 20))
+        wedge = Wedge.merge(
+            Wedge.merge(Wedge.from_series(rows[0], 0), Wedge.from_series(rows[1], 1)),
+            Wedge.from_series(rows[2], 2),
+        )
+        text = plot_wedge(wedge, height=8)
+        assert ":" in text or "-" in text
+
+    def test_candidate_overlay(self, rng):
+        upper = np.ones(15)
+        lower = -np.ones(15)
+        candidate = np.zeros(15)
+        candidate[7] = 3.0  # excursion above the envelope
+        text = plot_wedge(upper, lower, candidate=candidate, height=10)
+        assert "*" in text
+        # The excursion sits on the top row.
+        assert "*" in text.split("\n")[0]
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            plot_wedge(np.ones(5), np.zeros(6))
+        with pytest.raises(ValueError):
+            plot_wedge(np.ones(5), np.zeros(5), candidate=np.zeros(7))
+
+    def test_downsamples_wide_input(self, rng):
+        upper = rng.normal(size=300) + 5
+        text = plot_wedge(upper, upper - 10, height=6, width=50)
+        assert all(len(line) == 50 for line in text.split("\n"))
+
+
+class TestPlotWarpingMatrix:
+    def test_path_rendered(self, rng):
+        q, c = rng.normal(size=12), rng.normal(size=12)
+        _dist, path = warping_path(q, c, 3)
+        text = plot_warping_matrix(path, 12, radius=3)
+        lines = text.split("\n")
+        assert len(lines) == 12
+        assert text.count("*") >= 1
+        # Endpoints: top-left and bottom-right corners are on the path.
+        assert lines[0][0] == "*"
+        assert lines[-1][-1] == "*"
+
+    def test_large_matrix_shrinks(self, rng):
+        q, c = rng.normal(size=80), rng.normal(size=80)
+        _dist, path = warping_path(q, c, 5)
+        text = plot_warping_matrix(path, 80, radius=5, max_size=30)
+        assert len(text.split("\n")) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plot_warping_matrix([], 0)

@@ -1,0 +1,85 @@
+"""Tests for the vantage-point tree (Table 7's metric index)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.vptree import VPTree
+
+
+def drain(tree, query, radius):
+    """Collect everything within a fixed radius."""
+    return list(tree.candidates_within(query, lambda: radius))
+
+
+class TestVPTreeConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VPTree(np.zeros((0, 3)))
+
+    def test_rejects_bad_leaf_size(self, rng):
+        with pytest.raises(ValueError):
+            VPTree(rng.normal(size=(5, 2)), leaf_size=0)
+
+    def test_len(self, rng):
+        assert len(VPTree(rng.normal(size=(17, 4)))) == 17
+
+
+class TestVPTreeSearch:
+    def test_fixed_radius_matches_bruteforce(self, rng):
+        points = rng.normal(size=(60, 5))
+        tree = VPTree(points, leaf_size=4)
+        for _ in range(10):
+            query = rng.normal(size=5)
+            radius = float(rng.uniform(0.5, 3.0))
+            got = {idx for _d, idx in drain(tree, query, radius)}
+            want = {
+                i for i, p in enumerate(points) if np.linalg.norm(p - query) < radius
+            }
+            assert got == want
+
+    def test_yields_in_ascending_distance_order(self, rng):
+        points = rng.normal(size=(40, 3))
+        tree = VPTree(points, leaf_size=4)
+        dists = [d for d, _ in drain(tree, rng.normal(size=3), 10.0)]
+        assert dists == sorted(dists)
+
+    def test_reported_distances_correct(self, rng):
+        points = rng.normal(size=(30, 4))
+        tree = VPTree(points)
+        query = rng.normal(size=4)
+        for d, idx in drain(tree, query, 5.0):
+            assert math.isclose(d, float(np.linalg.norm(points[idx] - query)), rel_tol=1e-9)
+
+    def test_shrinking_radius_still_exact_for_nn(self, rng):
+        """Consuming candidates while shrinking the radius finds the true NN."""
+        points = rng.normal(size=(80, 4))
+        tree = VPTree(points, leaf_size=4)
+        query = rng.normal(size=4)
+        best = math.inf
+        best_idx = -1
+        for d, idx in tree.candidates_within(query, lambda: best):
+            if d < best:
+                best, best_idx = d, idx
+        true = np.linalg.norm(points - query, axis=1)
+        assert best_idx == int(np.argmin(true))
+
+    def test_prunes_compared_to_bruteforce(self, rng):
+        """With a tight radius the tree must evaluate far fewer distances."""
+        points = rng.normal(size=(500, 6))
+        tree = VPTree(points, leaf_size=8, seed=1)
+        query = points[3] + 0.001
+        tree.distance_evaluations = 0
+        list(tree.candidates_within(query, lambda: 0.05))
+        assert tree.distance_evaluations < 400
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((20, 3))
+        tree = VPTree(points)
+        got = drain(tree, np.ones(3), 0.5)
+        assert len(got) == 20
+
+    def test_zero_radius_yields_nothing(self, rng):
+        tree = VPTree(rng.normal(size=(10, 2)))
+        assert drain(tree, rng.normal(size=2), 0.0) == []

@@ -1,0 +1,123 @@
+"""Tests for the Wedge data structure (Section 4.1, Figures 6-8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.wedge import Wedge
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def make_leaves(matrix):
+    return [Wedge.from_series(row, i) for i, row in enumerate(matrix)]
+
+
+class TestWedgeConstruction:
+    def test_leaf_has_equal_arms(self, random_walk):
+        series = random_walk(12)
+        leaf = Wedge.from_series(series, 3)
+        assert leaf.is_leaf
+        assert leaf.cardinality == 1
+        assert leaf.indices == (3,)
+        assert np.array_equal(leaf.upper, leaf.lower)
+        assert np.array_equal(leaf.series, series)
+        assert leaf.area() == 0.0
+
+    def test_merge_envelopes_pointwise(self, rng):
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        merged = Wedge.merge(Wedge.from_series(a, 0), Wedge.from_series(b, 1), height=1.5)
+        assert np.array_equal(merged.upper, np.maximum(a, b))
+        assert np.array_equal(merged.lower, np.minimum(a, b))
+        assert merged.height == 1.5
+        assert not merged.is_leaf
+        assert merged.cardinality == 2
+
+    def test_merged_wedge_encloses_children(self, rng):
+        rows = rng.normal(size=(4, 15))
+        leaves = make_leaves(rows)
+        w12 = Wedge.merge(leaves[0], leaves[1])
+        w34 = Wedge.merge(leaves[2], leaves[3])
+        root = Wedge.merge(w12, w34)
+        for row in rows:
+            assert root.encloses(row)
+
+    def test_series_on_internal_node_raises(self, rng):
+        rows = rng.normal(size=(2, 5))
+        merged = Wedge.merge(*make_leaves(rows))
+        with pytest.raises(ValueError):
+            _ = merged.series
+
+    def test_merge_rejects_shared_indices(self, rng):
+        a = Wedge.from_series(rng.normal(size=5), 0)
+        b = Wedge.from_series(rng.normal(size=5), 0)
+        with pytest.raises(ValueError, match="share"):
+            Wedge.merge(a, b)
+
+    def test_merge_rejects_length_mismatch(self, rng):
+        a = Wedge.from_series(rng.normal(size=5), 0)
+        b = Wedge.from_series(rng.normal(size=6), 1)
+        with pytest.raises(ValueError, match="length"):
+            Wedge.merge(a, b)
+
+    def test_rejects_inverted_arms(self):
+        with pytest.raises(ValueError, match="dips"):
+            Wedge(np.zeros(3), np.ones(3), (0,))
+
+
+class TestWedgeArea:
+    @given(arrays(np.float64, (3, 12), elements=floats))
+    @settings(max_examples=50, deadline=None)
+    def test_area_grows_with_merging(self, rows):
+        """Figure 8: merging can only fatten the envelope."""
+        leaves = make_leaves(rows)
+        w01 = Wedge.merge(leaves[0], leaves[1])
+        root = Wedge.merge(w01, leaves[2])
+        assert w01.area() >= 0
+        assert root.area() >= w01.area() - 1e-9
+
+    def test_area_is_sum_of_gaps(self):
+        upper = np.array([2.0, 3.0])
+        lower = np.array([0.0, 1.0])
+        assert Wedge(upper, lower, (0, 1)).area() == 4.0
+
+
+class TestEncloses:
+    def test_rejects_wrong_length(self, rng):
+        wedge = Wedge.from_series(rng.normal(size=6), 0)
+        assert not wedge.encloses(rng.normal(size=7))
+
+    def test_detects_violations(self):
+        wedge = Wedge(np.ones(4), -np.ones(4), (0,))
+        assert wedge.encloses(np.zeros(4))
+        assert not wedge.encloses(np.full(4, 2.0))
+
+
+class TestEnvelopeCache:
+    def test_cached_per_measure(self, rng):
+        rows = rng.normal(size=(2, 20))
+        wedge = Wedge.merge(*make_leaves(rows))
+        ed = EuclideanMeasure()
+        first = wedge.envelope_for(ed)
+        second = wedge.envelope_for(ed)
+        assert first[0] is second[0]  # same cached arrays
+
+    def test_different_measures_get_different_envelopes(self, rng):
+        rows = rng.normal(size=(2, 20))
+        wedge = Wedge.merge(*make_leaves(rows))
+        ed_env = wedge.envelope_for(EuclideanMeasure())
+        dtw_env = wedge.envelope_for(DTWMeasure(radius=3))
+        assert np.all(dtw_env[0] >= ed_env[0] - 1e-12)
+        assert np.all(dtw_env[1] <= ed_env[1] + 1e-12)
+        assert not np.array_equal(dtw_env[0], ed_env[0])
+
+    def test_same_params_share_cache_entry(self, rng):
+        rows = rng.normal(size=(2, 10))
+        wedge = Wedge.merge(*make_leaves(rows))
+        first = wedge.envelope_for(DTWMeasure(radius=2))
+        second = wedge.envelope_for(DTWMeasure(radius=2))
+        assert first[0] is second[0]

@@ -1,0 +1,130 @@
+"""Tests for wedge-tree construction and frontier cuts (Figures 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import StepCounter
+from repro.core.rotation import RotationSet
+from repro.core.wedge_builder import WedgeTree, build_wedge_tree
+
+
+@pytest.fixture
+def rotation_set(random_walk):
+    return RotationSet.full(random_walk(24))
+
+
+class TestBuildWedgeTree:
+    @pytest.mark.parametrize("method", ["average", "single", "complete", "contiguous"])
+    def test_root_encloses_every_rotation(self, rotation_set, method):
+        tree = build_wedge_tree(rotation_set, method=method)
+        assert tree.max_k == len(rotation_set)
+        for row in rotation_set.rotations:
+            assert tree.root.encloses(row)
+
+    @pytest.mark.parametrize("method", ["average", "contiguous"])
+    def test_every_rotation_appears_in_exactly_one_leaf(self, rotation_set, method):
+        tree = build_wedge_tree(rotation_set, method=method)
+        leaves = [w for w in tree.iter_nodes() if w.is_leaf]
+        indices = sorted(i for leaf in leaves for i in leaf.indices)
+        assert indices == list(range(len(rotation_set)))
+
+    def test_internal_nodes_enclose_children(self, rotation_set):
+        tree = build_wedge_tree(rotation_set)
+        for node in tree.iter_nodes():
+            for child in node.children:
+                assert np.all(node.upper >= child.upper - 1e-12)
+                assert np.all(node.lower <= child.lower + 1e-12)
+
+    def test_setup_cost_charged(self, rotation_set):
+        counter = StepCounter()
+        build_wedge_tree(rotation_set, counter=counter)
+        n = rotation_set.length
+        # One envelope merge per internal node, n steps each: ~n^2 total.
+        assert counter.steps == (len(rotation_set) - 1) * n
+
+    def test_single_rotation_tree(self, random_walk):
+        series = random_walk(8)
+        rs = RotationSet.full(series, max_degrees=0.0)
+        tree = build_wedge_tree(rs)
+        assert tree.max_k == 1
+        assert tree.root.is_leaf
+
+    def test_mirror_set_builds(self, random_walk):
+        rs = RotationSet.full(random_walk(12), mirror=True)
+        tree = build_wedge_tree(rs)
+        assert tree.max_k == 24
+
+    def test_unknown_method_raises(self, rotation_set):
+        with pytest.raises(ValueError):
+            build_wedge_tree(rotation_set, method="magic")
+
+
+class TestFrontier:
+    def test_k1_is_root(self, rotation_set):
+        tree = build_wedge_tree(rotation_set)
+        frontier = tree.frontier(1)
+        assert frontier == [tree.root]
+
+    def test_kmax_is_all_leaves(self, rotation_set):
+        tree = build_wedge_tree(rotation_set)
+        frontier = tree.frontier(tree.max_k)
+        assert len(frontier) == tree.max_k
+        assert all(w.is_leaf for w in frontier)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 12, 24])
+    def test_frontier_partitions_rotations(self, rotation_set, k):
+        tree = build_wedge_tree(rotation_set)
+        frontier = tree.frontier(k)
+        assert len(frontier) == k
+        indices = sorted(i for w in frontier for i in w.indices)
+        assert indices == list(range(len(rotation_set)))
+
+    def test_frontier_cuts_tallest_first(self, rotation_set):
+        """Splitting K -> K+1 must split the frontier wedge of max height."""
+        tree = build_wedge_tree(rotation_set)
+        for k in range(1, 6):
+            now = {id(w) for w in tree.frontier(k)}
+            nxt = tree.frontier(k + 1)
+            split = [w for w in tree.frontier(k) if id(w) not in {id(x) for x in nxt}]
+            assert len(split) == 1
+            internal_heights = [w.height for w in tree.frontier(k) if not w.is_leaf]
+            assert split[0].height == max(internal_heights)
+
+    def test_frontier_cached_copies_are_independent(self, rotation_set):
+        tree = build_wedge_tree(rotation_set)
+        a = tree.frontier(3)
+        a.append(None)
+        b = tree.frontier(3)
+        assert None not in b
+
+    def test_out_of_range_k_raises(self, rotation_set):
+        tree = build_wedge_tree(rotation_set)
+        with pytest.raises(ValueError):
+            tree.frontier(0)
+        with pytest.raises(ValueError):
+            tree.frontier(tree.max_k + 1)
+
+
+class TestContiguousTree:
+    def test_balanced_depth(self, random_walk):
+        rs = RotationSet.full(random_walk(32))
+        tree = build_wedge_tree(rs, method="contiguous")
+
+        def depth(w):
+            return 1 if w.is_leaf else 1 + max(depth(c) for c in w.children)
+
+        assert depth(tree.root) <= 7  # log2(32) + margin
+
+    def test_contiguous_wedges_are_tighter_than_random_order(self, random_walk):
+        """Adjacent rotations are similar, so contiguous merges are tight."""
+        series = random_walk(64)
+        rs = RotationSet.full(series)
+        tree = build_wedge_tree(rs, method="contiguous")
+        # Wedges over 2 adjacent rotations should be far thinner than the
+        # overall envelope.
+        pair_areas = [
+            w.area()
+            for w in tree.iter_nodes()
+            if not w.is_leaf and w.cardinality == 2
+        ]
+        assert max(pair_areas) < tree.root.area() / 2
