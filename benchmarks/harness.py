@@ -20,18 +20,18 @@ grow databases toward the paper's sizes.
 
 from __future__ import annotations
 
-import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.search import (
-    RotationQuery,
     early_abandon_search,
     fft_search,
+    search_many,
     wedge_search,
 )
 from repro.distances.base import Measure
@@ -101,6 +101,27 @@ def fft_strategy(db, query, measure) -> int:
 
 def wedge_strategy(db, query, measure) -> int:
     return wedge_search(db, query, measure).counter.steps
+
+
+def time_search_many(
+    database,
+    queries,
+    measure: Measure,
+    strategy: str = "wedge",
+    n_jobs: int = 1,
+    executor: str | None = None,
+):
+    """Wall-clock one :func:`search_many` call.
+
+    Returns ``(seconds, results)`` so throughput experiments can both time
+    the batch and verify that parallel results match the sequential ones
+    (the engine's exactness contract).
+    """
+    start = perf_counter()
+    results = search_many(
+        database, queries, measure, strategy=strategy, n_jobs=n_jobs, executor=executor
+    )
+    return perf_counter() - start, results
 
 
 def run_speedup_experiment(

@@ -6,6 +6,14 @@ concatenating ``benchmarks/results/*.txt``, but as one command::
     python benchmarks/run_all.py [--scale 4] [--only fig19,table8]
 
 The per-experiment tables land in ``benchmarks/results/`` either way.
+
+``--quick`` switches to the CI smoke mode: instead of the full experiment
+sweep it checks, on tiny synthetic inputs, the invariants the experiments
+rest on -- ``wedge_search`` must never examine more steps than
+``brute_force_search`` while returning the same nearest neighbour, and the
+batched query engine must match the per-pair reference exactly
+(``bench_batch_engine --quick``).  Any violation exits non-zero, making
+this a perf-regression tripwire cheap enough to run on every push.
 """
 
 from __future__ import annotations
@@ -38,13 +46,88 @@ EXPERIMENTS = [
 ]
 
 
+def quick_smoke() -> int:
+    """CI smoke: hard invariants on tiny inputs instead of the full sweep.
+
+    Two tripwires, both fatal:
+
+    1. For every (measure, query) pair, ``wedge_search`` must report at most
+       as many steps as ``brute_force_search`` and agree on the nearest
+       neighbour -- pruning that costs more than brute force, or loses
+       exactness, is a regression no figure would surface this cheaply.
+    2. The batched engine must match the scalar per-pair path bit for bit
+       (``bench_batch_engine --quick`` exits non-zero on any divergence).
+    """
+    src = BENCH_DIR.parent / "src"
+    for path in (str(BENCH_DIR), str(src)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    import math
+
+    import numpy as np
+
+    from repro.core.search import brute_force_search, wedge_search
+    from repro.distances.dtw import DTWMeasure
+    from repro.distances.euclidean import EuclideanMeasure
+
+    # m must be large enough to amortise the wedge strategy's charged O(n^2)
+    # start-up cost; below ~32 objects an adversarial query can legitimately
+    # push wedge past brute force, which is not the regression we hunt here.
+    m = 64
+    rng = np.random.default_rng(2006)
+    walks = np.cumsum(rng.normal(size=(m + 1, 32)), axis=1)
+    walks -= walks.mean(axis=1, keepdims=True)
+    walks /= walks.std(axis=1, keepdims=True)
+
+    failures = []
+    for measure in (EuclideanMeasure(), DTWMeasure(radius=2)):
+        for qid in range(0, m, 7):
+            db = list(np.delete(walks[:m], qid, axis=0))
+            query = walks[qid]
+            wedge = wedge_search(db, query, measure)
+            brute = brute_force_search(db, query, measure)
+            label = f"{measure.name} query#{qid}"
+            if wedge.counter.steps > brute.counter.steps:
+                failures.append(
+                    f"{label}: wedge examined {wedge.counter.steps} steps"
+                    f" > brute force's {brute.counter.steps}"
+                )
+            if wedge.index != brute.index or not math.isclose(
+                wedge.distance, brute.distance, rel_tol=1e-9
+            ):
+                failures.append(
+                    f"{label}: wedge answer ({wedge.index}, {wedge.distance:.6f})"
+                    f" != brute force ({brute.index}, {brute.distance:.6f})"
+                )
+            print(
+                f"{label:>24}: wedge {wedge.counter.steps:>7} steps"
+                f" <= brute {brute.counter.steps:>7}"
+                f" ({wedge.counter.steps / brute.counter.steps:.3f}x)"
+            )
+
+    if failures:
+        print("\nQUICK SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    print("\n=== bench_batch_engine --quick ===", flush=True)
+    import bench_batch_engine
+
+    return bench_batch_engine.main(["--quick"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=None,
-                        help="REPRO_SCALE for this run (default: inherit env)")
-    parser.add_argument("--only", default=None,
-                        help="comma-separated substrings selecting experiments")
+    parser.add_argument("--scale", type=float, default=None, help="REPRO_SCALE for this run (default: inherit env)")
+    parser.add_argument("--only", default=None, help="comma-separated substrings selecting experiments")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: invariant tripwires on tiny inputs, no full sweep"
+    )
     args = parser.parse_args(argv)
+
+    if args.quick:
+        return quick_smoke()
 
     env = dict(os.environ)
     if args.scale is not None:
@@ -63,8 +146,7 @@ def main(argv=None) -> int:
         print(f"=== {experiment} ===", flush=True)
         t0 = time.time()
         proc = subprocess.run(
-            [sys.executable, "-m", "pytest", str(BENCH_DIR / experiment),
-             "--benchmark-only", "-q"],
+            [sys.executable, "-m", "pytest", str(BENCH_DIR / experiment), "--benchmark-only", "-q"],
             env=env,
             capture_output=True,
             text=True,

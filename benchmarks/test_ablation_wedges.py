@@ -18,7 +18,7 @@ import math
 import numpy as np
 
 from harness import write_result
-from repro.core.hmerge import DynamicKPolicy, FixedKPolicy
+from repro.core.hmerge import FixedKPolicy
 from repro.core.search import wedge_search
 from repro.distances.euclidean import EuclideanMeasure
 

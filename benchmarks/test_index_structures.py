@@ -39,8 +39,7 @@ def run_structures(archive, n_queries=5, seed=47):
                 answer = index.query(query, DTWMeasure(radius=5))
                 stats["dtw-tests"].append(answer.signature_tests)
                 stats["dtw-frac"].append(answer.fraction_retrieved)
-        rows[structure] = {key: float(np.mean(vals)) if vals else float("nan")
-                           for key, vals in stats.items()}
+        rows[structure] = {key: float(np.mean(vals)) if vals else float("nan") for key, vals in stats.items()}
     return rows
 
 

@@ -58,9 +58,11 @@ def main() -> None:
         claimed = names[result.index]
         ok = claimed == name
         correct += ok
-        print(f"probe of {name:<6} -> matched {claimed:<6} "
-              f"(distance {result.distance:.3f}, start {result.rotation:>3}) "
-              f"{'ok' if ok else 'WRONG'}")
+        print(
+            f"probe of {name:<6} -> matched {claimed:<6} "
+            f"(distance {result.distance:.3f}, start {result.rotation:>3}) "
+            f"{'ok' if ok else 'WRONG'}"
+        )
     print(f"\nverification accuracy: {correct}/{trials}")
     assert correct == trials
 

@@ -21,7 +21,6 @@ from repro import (
     wedge_search,
 )
 from repro.datasets.lightcurve_data import light_curve_labelled_dataset
-from repro.timeseries.lightcurves import LIGHT_CURVE_CLASSES
 
 
 def main() -> None:

@@ -47,19 +47,25 @@ def main() -> None:
     wedge = wedge_search(archive, query, measure)
     assert scan.index == wedge.index
     brute_steps = archive_size * n * n
-    print(f"early-abandon scan: {scan.counter.steps:>12,} steps "
-          f"({scan.counter.steps / brute_steps:.2%} of brute force)")
-    print(f"wedge search:       {wedge.counter.steps:>12,} steps "
-          f"({wedge.counter.steps / brute_steps:.2%} of brute force)")
+    print(
+        f"early-abandon scan: {scan.counter.steps:>12,} steps "
+        f"({scan.counter.steps / brute_steps:.2%} of brute force)"
+    )
+    print(
+        f"wedge search:       {wedge.counter.steps:>12,} steps "
+        f"({wedge.counter.steps / brute_steps:.2%} of brute force)"
+    )
 
     print("\n=== disk: filter-and-refine index ===")
     for d in (8, 16, 32):
         index = SignatureFilteredScan(archive, n_coefficients=d)
         answer = index.query(query, measure)
         assert answer.result.index == wedge.index
-        print(f"D={d:>2} Fourier coefficients: fetched "
-              f"{answer.objects_retrieved}/{archive_size} objects "
-              f"({answer.fraction_retrieved:.2%})")
+        print(
+            f"D={d:>2} Fourier coefficients: fetched "
+            f"{answer.objects_retrieved}/{archive_size} objects "
+            f"({answer.fraction_retrieved:.2%})"
+        )
 
     print("\n=== a broken point, matched with LCSS ===")
     broken_poly = projectile_point(np.random.default_rng(17), "stemmed", jitter=0.04, broken_tip=True)

@@ -62,10 +62,8 @@ def main() -> None:
 
     unrestricted = wedge_search(database, six, measure)
     limited = wedge_search(database, six, measure, max_degrees=15.0)
-    print(f"unrestricted query retrieves:  {names[unrestricted.index]} "
-          f"(distance {unrestricted.distance:.4f})")
-    print(f"max-15-degree query retrieves: {names[limited.index]} "
-          f"(distance {limited.distance:.4f})")
+    print(f"unrestricted query retrieves:  {names[unrestricted.index]} (distance {unrestricted.distance:.4f})")
+    print(f"max-15-degree query retrieves: {names[limited.index]} (distance {limited.distance:.4f})")
     assert limited.index == 1, "the rotation-limited query must not reach the '9'"
 
     print("\n=== mirror-image queries: 'b' vs 'd' ===")

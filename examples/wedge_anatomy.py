@@ -25,7 +25,6 @@ from repro import (
     plot_wedge,
 )
 from repro.distances.dtw import warping_path
-from repro.distances.euclidean import EuclideanMeasure as ED
 
 
 def main() -> None:

@@ -41,6 +41,13 @@ from repro.classify.evaluation import evaluate_dataset, train_warping_window
 from repro.classify.knn import NearestNeighborClassifier, leave_one_out_error
 from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.linkage import linkage
+from repro.core.batch import (
+    BatchWorkspace,
+    batch_ea_euclidean,
+    batch_lb_keogh,
+    rotation_matrix,
+    shared_workspace,
+)
 from repro.core.counters import StepCounter
 from repro.core.cascade import CascadePolicy, lb_kim
 from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
@@ -53,6 +60,8 @@ from repro.core.search import (
     early_abandon_search,
     anytime_wedge_search,
     fft_search,
+    merge_counters,
+    search_many,
     test_all_rotations,
     wedge_search,
 )
@@ -118,6 +127,13 @@ __all__ = [
     "CascadePolicy",
     "lb_kim",
     "test_all_rotations",
+    "search_many",
+    "merge_counters",
+    "BatchWorkspace",
+    "shared_workspace",
+    "rotation_matrix",
+    "batch_ea_euclidean",
+    "batch_lb_keogh",
     # distances
     "EuclideanMeasure",
     "DTWMeasure",

@@ -9,8 +9,6 @@ of Section 4 applies directly.
 
 from __future__ import annotations
 
-import math
-from typing import Sequence
 
 import numpy as np
 

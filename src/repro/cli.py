@@ -106,10 +106,8 @@ def cmd_search(args) -> int:
 
     brute_steps = len(database) * archive.shape[1] * measure.pairwise_cost(archive.shape[1])
     print(f"query: object {query_index} of the {args.collection} collection")
-    print(f"best match: object {result.index} at distance {result.distance:.4f} "
-          f"(rotation {result.rotation})")
-    print(f"steps: {result.counter.steps:,} "
-          f"({result.counter.steps / brute_steps:.2%} of brute force)")
+    print(f"best match: object {result.index} at distance {result.distance:.4f} (rotation {result.rotation})")
+    print(f"steps: {result.counter.steps:,} ({result.counter.steps / brute_steps:.2%} of brute force)")
     return 0
 
 
@@ -139,11 +137,12 @@ def cmd_discords(args) -> int:
     archive = _build_collection(args.collection, args.size, args.length, args.seed)
     measure = _build_measure(args)
     discords = find_discords(list(archive), measure, top=args.top)
-    print(f"top {args.top} discords of the {args.collection} collection "
-          f"({args.size} objects, {args.measure}):")
+    print(f"top {args.top} discords of the {args.collection} collection ({args.size} objects, {args.measure}):")
     for rank, discord in enumerate(discords, 1):
-        print(f"{rank}. object {discord.index:>4}  NN distance {discord.nn_distance:8.3f}  "
-              f"(nearest: object {discord.nn_index})")
+        print(
+            f"{rank}. object {discord.index:>4}  NN distance {discord.nn_distance:8.3f}  "
+            f"(nearest: object {discord.nn_index})"
+        )
     return 0
 
 
@@ -154,24 +153,23 @@ def cmd_motif(args) -> int:
     measure = _build_measure(args)
     motif = find_motif(list(archive), measure)
     print(f"motif of the {args.collection} collection ({args.size} objects, {args.measure}):")
-    print(f"objects {motif.first} and {motif.second}, distance {motif.distance:.4f}, "
-          f"aligned at rotation {motif.rotation}")
+    print(
+        f"objects {motif.first} and {motif.second}, distance {motif.distance:.4f}, "
+        f"aligned at rotation {motif.rotation}"
+    )
     return 0
 
 
 def _add_collection_args(parser):
-    parser.add_argument("--collection", default="points",
-                        choices=("points", "lightcurves", "heterogeneous"))
+    parser.add_argument("--collection", default="points", choices=("points", "lightcurves", "heterogeneous"))
     parser.add_argument("--size", type=int, default=100, help="collection size")
     parser.add_argument("--length", type=int, default=128, help="series length")
     parser.add_argument("--seed", type=int, default=0)
 
 
 def _add_measure_args(parser):
-    parser.add_argument("--measure", default="euclidean",
-                        choices=("euclidean", "dtw", "lcss"))
-    parser.add_argument("--radius", type=int, default=5,
-                        help="DTW band / LCSS delta")
+    parser.add_argument("--measure", default="euclidean", choices=("euclidean", "dtw", "lcss"))
+    parser.add_argument("--radius", type=int, default=5, help="DTW band / LCSS delta")
     parser.add_argument("--epsilon", type=float, default=0.5, help="LCSS epsilon")
 
 
@@ -190,8 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_collection_args(search)
     _add_measure_args(search)
     search.add_argument("--query-index", type=int, default=0)
-    search.add_argument("--strategy", default="wedge",
-                        choices=("wedge", "brute", "early-abandon", "fft"))
+    search.add_argument("--strategy", default="wedge", choices=("wedge", "brute", "early-abandon", "fft"))
     search.add_argument("--mirror", action="store_true")
     search.add_argument("--max-degrees", type=float, default=None)
     search.set_defaults(func=cmd_search)

@@ -1,5 +1,13 @@
 """The paper's contribution: wedges, H-Merge, rotation-invariant search."""
 
+from repro.core.batch import (
+    BatchWorkspace,
+    batch_ea_euclidean,
+    batch_lb_keogh,
+    rotation_matrix,
+    running_scan,
+    shared_workspace,
+)
 from repro.core.cascade import CascadePolicy, lb_kim
 from repro.core.counters import StepCounter, fft_step_cost
 from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
@@ -12,6 +20,8 @@ from repro.core.search import (
     early_abandon_search,
     anytime_wedge_search,
     fft_search,
+    merge_counters,
+    search_many,
     test_all_rotations,
     wedge_search,
 )
@@ -24,5 +34,7 @@ __all__ = [
     "RotationSet", "rotation_lag_profile", "shifts_for_max_angle",
     "RotationQuery", "SearchResult", "brute_force_search", "early_abandon_search",
     "fft_search", "test_all_rotations", "wedge_search", "Wedge", "WedgeTree",
-    "build_wedge_tree",
+    "build_wedge_tree", "search_many", "merge_counters",
+    "BatchWorkspace", "shared_workspace", "rotation_matrix",
+    "batch_ea_euclidean", "batch_lb_keogh", "running_scan",
 ]

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.timeseries.ops import all_rotations, as_series
+from repro.core.batch import rotation_matrix
+from repro.timeseries.ops import as_series
 
 __all__ = [
     "RotationSet",
@@ -143,13 +144,15 @@ class RotationSet:
         n = c.size
         if max_degrees is None:
             shifts = list(range(n))
+            # Zero-copy: all n rotations as one strided view (O(n) memory).
+            matrix = rotation_matrix(c)
         else:
             shifts = shifts_for_max_angle(n, max_degrees)
-        matrix = all_rotations(c)[shifts]
+            matrix = rotation_matrix(c)[shifts]
         mirrored = [False] * len(shifts)
         all_shifts = list(shifts)
         if mirror:
-            matrix = np.vstack([matrix, all_rotations(c[::-1].copy())[shifts]])
+            matrix = np.vstack([matrix, rotation_matrix(c[::-1].copy())[shifts]])
             mirrored.extend([True] * len(shifts))
             all_shifts.extend(shifts)
         return cls(

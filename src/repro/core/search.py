@@ -20,11 +20,20 @@ All four return a :class:`SearchResult` carrying the best match, its
 aligning rotation, and the full step accounting, and all four are **exact**:
 they always return the same nearest neighbour (Proposition 1/2 -- no false
 dismissals).
+
+For query *throughput* (many queries against one database),
+:func:`search_many` chunks a batch of queries across a
+:mod:`concurrent.futures` pool -- threads for Euclidean, whose batched
+NumPy kernels (:mod:`repro.core.batch`) release the GIL, processes for the
+CPU-bound DTW/LCSS dynamic programs -- returning per-query results with
+the same exactness guarantee and step accounting as a sequential loop.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -47,6 +56,8 @@ __all__ = [
     "wedge_search",
     "anytime_wedge_search",
     "test_all_rotations",
+    "search_many",
+    "merge_counters",
 ]
 
 
@@ -374,3 +385,118 @@ def signature_gap(query_signature: np.ndarray, candidate) -> float:
     from repro.index.fourier import fourier_signature, signature_distance
 
     return signature_distance(query_signature, fourier_signature(candidate))
+
+
+_STRATEGIES = {
+    "brute-force": brute_force_search,
+    "early-abandon": early_abandon_search,
+    "fft": fft_search,
+    "wedge": wedge_search,
+}
+
+#: Measures whose distance kernels run Python-level dynamic programs and
+#: therefore hold the GIL; these gain from process-based parallelism, while
+#: Euclidean's NumPy kernels release the GIL and prefer cheap threads.
+_CPU_BOUND_MEASURES = frozenset({"dtw", "lcss"})
+
+
+def _search_chunk(args) -> list[SearchResult]:
+    """Pool worker: run one strategy over a contiguous chunk of queries.
+
+    Module-level (not a closure) so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it.  Each query gets its own :class:`StepCounter` inside the
+    strategy call, so chunk results carry independent, exact accounting.
+    """
+    strategy, database, queries, measure, kwargs = args
+    fn = _STRATEGIES[strategy]
+    return [fn(database, query, measure, **kwargs) for query in queries]
+
+
+def merge_counters(results) -> StepCounter:
+    """Fold per-query counters into one aggregate.
+
+    Accepts an iterable of :class:`SearchResult` objects or of bare
+    :class:`StepCounter` instances.  The merged counter reports exactly the
+    work a sequential loop over the same queries would have reported --
+    parallel execution changes wall clock, never the step bookkeeping.
+    """
+    merged = StepCounter()
+    for item in results:
+        merged.merge(item.counter if isinstance(item, SearchResult) else item)
+    return merged
+
+
+def search_many(
+    database: Sequence,
+    queries: Sequence,
+    measure: Measure,
+    strategy: str = "wedge",
+    n_jobs: int | None = None,
+    executor: str | None = None,
+    **strategy_kwargs,
+) -> list[SearchResult]:
+    """Answer many rotation-invariant 1-NN queries, optionally in parallel.
+
+    Chunks ``queries`` across a :mod:`concurrent.futures` pool and runs the
+    selected search strategy on each chunk.  Results come back in query
+    order and are *identical* -- indices, distances, rotations, and full
+    :class:`StepCounter` accounting -- to a sequential loop of the same
+    strategy: queries are independent, so parallelism cannot introduce
+    false dismissals.  Use :func:`merge_counters` for the aggregate cost.
+
+    Parameters
+    ----------
+    database:
+        The shared collection every query searches.
+    queries:
+        The query series (or pre-built :class:`RotationQuery` objects for
+        the thread executor; process workers require picklable raw series).
+    measure:
+        The distance measure, shared by all workers (measures are
+        stateless by contract).
+    strategy:
+        One of ``"wedge"``, ``"early-abandon"``, ``"fft"``,
+        ``"brute-force"``.
+    n_jobs:
+        Pool size.  ``None`` or ``1`` runs sequentially in-process (still
+        on the batched kernels); ``<= 0`` uses one worker per CPU.
+    executor:
+        ``"thread"``, ``"process"``, or ``None`` to choose automatically:
+        processes for CPU-bound scalar dynamic programs (DTW, LCSS),
+        threads for Euclidean, whose NumPy kernels release the GIL.
+    **strategy_kwargs:
+        Forwarded to the strategy (``mirror``, ``max_degrees``, ...).
+        Do not pass a shared stateful ``k_policy`` instance when running
+        in parallel; leave it ``None`` so each query builds its own.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {sorted(_STRATEGIES)}")
+    if executor not in (None, "thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}; choose 'thread' or 'process'")
+    queries = list(queries)
+    if not queries:
+        return []
+    if n_jobs is not None and n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    jobs = min(n_jobs or 1, len(queries))
+    if jobs <= 1:
+        return _search_chunk((strategy, database, queries, measure, strategy_kwargs))
+
+    if executor is None:
+        executor = "process" if measure.name in _CPU_BOUND_MEASURES else "thread"
+    chunk_size = math.ceil(len(queries) / jobs)
+    chunks = [queries[start : start + chunk_size] for start in range(0, len(queries), chunk_size)]
+    pool_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if executor == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    results: list[SearchResult] = []
+    with pool_cls(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_search_chunk, (strategy, database, chunk, measure, strategy_kwargs))
+            for chunk in chunks
+        ]
+        for future in futures:  # submission order == query order
+            results.extend(future.result())
+    return results

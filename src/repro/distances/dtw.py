@@ -336,9 +336,10 @@ class DTWMeasure(Measure):
     def lower_bound(
         self, q, upper, lower, r=math.inf, counter: StepCounter | None = None
     ) -> float:
+        from repro.core.batch import shared_workspace
         from repro.distances.euclidean import _ea_envelope_lb
 
-        lb, steps = _ea_envelope_lb(q, upper, lower, r)
+        lb, steps = _ea_envelope_lb(q, upper, lower, r, workspace=shared_workspace())
         if counter is not None:
             counter.lb_calls += 1
             counter.add(steps)

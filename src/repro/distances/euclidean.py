@@ -15,6 +15,7 @@ import math
 
 import numpy as np
 
+from repro.core.batch import BatchWorkspace, ea_running_min_scan, shared_workspace
 from repro.core.counters import StepCounter
 from repro.distances.base import Measure
 
@@ -31,23 +32,39 @@ def euclidean_distance(q, c) -> float:
     return float(math.sqrt(float(np.dot(diff, diff))))
 
 
-def ea_euclidean_distance(q, c, r: float) -> tuple[float, int]:
+def ea_euclidean_distance(
+    q, c, r: float, workspace: BatchWorkspace | None = None
+) -> tuple[float, int]:
     """Early-abandoning Euclidean distance (the paper's Table 1).
 
     Returns ``(distance, num_steps)`` where ``distance`` is ``math.inf`` when
     the accumulated squared error exceeded ``r^2`` before the scan finished.
     ``num_steps`` counts how many elements were examined, the paper's
     book-keeping device for measuring the benefit of abandoning.
+
+    ``workspace`` lets callers on a hot path (the batch engine, H-Merge leaf
+    evaluation) reuse one preallocated scratch buffer for the prefix sums
+    instead of allocating a fresh array per call.
     """
     q = np.asarray(q, dtype=np.float64)
     c = np.asarray(c, dtype=np.float64)
     if q.shape != c.shape:
         raise ValueError(f"length mismatch: {q.shape} vs {c.shape}")
     n = q.size
+    if workspace is not None:
+        prefix = workspace.scratch("ea_pair_prefix", (n,))
+        np.subtract(q, c, out=prefix)
+        np.square(prefix, out=prefix)
+        np.cumsum(prefix, out=prefix)
+    else:
+        prefix = np.cumsum(np.square(q - c))
+    # Even with no threshold the total comes off the same left-to-right
+    # cumulative sum as the abandoning path (NOT a pairwise-summed dot
+    # product): every partial sum in the library is sequential, so scalar
+    # and batched scans agree bit for bit on every accumulated value.
     if not math.isfinite(r):
-        return euclidean_distance(q, c), n
+        return float(math.sqrt(float(prefix[-1]))), n
     threshold = r * r
-    prefix = np.cumsum(np.square(q - c))
     # First index whose prefix sum strictly exceeds r^2 (Table 1 tests
     # ``accumulator > r^2`` after adding each contribution).
     cut = int(np.searchsorted(prefix, threshold, side="right"))
@@ -67,7 +84,7 @@ class EuclideanMeasure(Measure):
     lb_exact_for_singleton = True
 
     def distance(self, q, c, r=math.inf, counter: StepCounter | None = None) -> float:
-        dist, steps = ea_euclidean_distance(q, c, r)
+        dist, steps = ea_euclidean_distance(q, c, r, workspace=shared_workspace())
         if counter is not None:
             counter.distance_calls += 1
             counter.add(steps)
@@ -81,7 +98,7 @@ class EuclideanMeasure(Measure):
     def lower_bound(
         self, q, upper, lower, r=math.inf, counter: StepCounter | None = None
     ) -> float:
-        lb, steps = _ea_envelope_lb(q, upper, lower, r)
+        lb, steps = _ea_envelope_lb(q, upper, lower, r, workspace=shared_workspace())
         if counter is not None:
             counter.lb_calls += 1
             counter.add(steps)
@@ -99,41 +116,39 @@ class EuclideanMeasure(Measure):
     ) -> tuple[float, int]:
         """Scan rows in order with a running best-so-far (Table 2 semantics).
 
-        The per-row cumulative sums are computed in one vectorised pass;
-        the sequential early-abandonment point of each row against the
-        best-so-far at the time that row is reached is then recovered with a
-        binary search per row, giving exactly the step counts of the paper's
-        scalar algorithm.
+        The per-row cumulative sums are computed in one vectorised pass into
+        a reusable scratch buffer; the sequential early-abandonment point of
+        each row against the best-so-far at the time that row is reached is
+        then recovered with :func:`repro.core.batch.running_scan` (the
+        running threshold is a cumulative minimum, so the strictly
+        sequential semantics vectorise), giving exactly the step counts of
+        the paper's scalar algorithm with no Python-level row loop.
         """
         q = np.asarray(q, dtype=np.float64)
         rows = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
         if rows.shape[1] != q.size:
             raise ValueError(f"length mismatch: {rows.shape[1]} vs {q.size}")
         k, n = rows.shape
-        prefix = np.cumsum(np.square(rows - q[np.newaxis, :]), axis=1)
+        workspace = shared_workspace()
         best_sq = float(r) * float(r) if math.isfinite(r) else math.inf
         best_idx = -1
         steps = 0
         abandons = 0
         if not early_abandon:
             steps = k * n
+            prefix = workspace.scratch("batch_min_prefix", (k, n))
+            np.subtract(rows, q[np.newaxis, :], out=prefix)
+            np.square(prefix, out=prefix)
+            np.cumsum(prefix, axis=1, out=prefix)
             totals = prefix[:, -1]
             j = int(np.argmin(totals))
             if totals[j] < best_sq:
                 best_sq = float(totals[j])
                 best_idx = j
         else:
-            for j in range(k):
-                total = prefix[j, -1]
-                if total <= best_sq:
-                    steps += n
-                    if total < best_sq:
-                        best_sq = float(total)
-                        best_idx = j
-                else:
-                    cut = int(np.searchsorted(prefix[j], best_sq, side="right"))
-                    steps += min(cut + 1, n)
-                    abandons += 1
+            best_sq, best_idx, steps, abandons = ea_running_min_scan(
+                rows, q, r, workspace=workspace
+            )
         if counter is not None:
             counter.distance_calls += k
             counter.add(steps)
@@ -146,11 +161,15 @@ class EuclideanMeasure(Measure):
         return n
 
 
-def _ea_envelope_lb(q, upper, lower, r: float) -> tuple[float, int]:
+def _ea_envelope_lb(
+    q, upper, lower, r: float, workspace: BatchWorkspace | None = None
+) -> tuple[float, int]:
     """Early-abandoning LB_Keogh against an envelope (the paper's Table 5).
 
     Returns ``(lower_bound, num_steps)``; the bound is ``math.inf`` when the
-    partial sum exceeded ``r^2``.
+    partial sum exceeded ``r^2``.  ``workspace`` reuses scratch buffers for
+    the violation and prefix arrays (one allocation per thread, not per
+    wedge test).
     """
     q = np.asarray(q, dtype=np.float64)
     upper = np.asarray(upper, dtype=np.float64)
@@ -160,12 +179,24 @@ def _ea_envelope_lb(q, upper, lower, r: float) -> tuple[float, int]:
             f"shape mismatch: q {q.shape}, upper {upper.shape}, lower {lower.shape}"
         )
     n = q.size
-    above = np.maximum(q - upper, 0.0)
-    below = np.maximum(lower - q, 0.0)
-    contributions = np.square(above) + np.square(below)
+    if workspace is not None:
+        above = workspace.scratch("lb_above", (n,))
+        np.subtract(q, upper, out=above)
+        np.maximum(above, 0.0, out=above)
+        np.square(above, out=above)
+        below = workspace.scratch("lb_below", (n,))
+        np.subtract(lower, q, out=below)
+        np.maximum(below, 0.0, out=below)
+        np.square(below, out=below)
+        contributions = above
+        contributions += below
+    else:
+        above = np.maximum(q - upper, 0.0)
+        below = np.maximum(lower - q, 0.0)
+        contributions = np.square(above) + np.square(below)
     if not math.isfinite(r):
         return float(math.sqrt(float(contributions.sum()))), n
-    prefix = np.cumsum(contributions)
+    prefix = np.cumsum(contributions, out=contributions)
     threshold = r * r
     cut = int(np.searchsorted(prefix, threshold, side="right"))
     if cut >= n:

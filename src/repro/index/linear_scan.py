@@ -27,13 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import batch_lb_keogh, shared_workspace
 from repro.core.counters import StepCounter
 from repro.core.hmerge import h_merge
 from repro.core.search import RotationQuery, SearchResult
 from repro.distances.base import Measure
 from repro.index.disk import DiskStore
-from repro.index.fourier import fourier_signature, signature_distance
-from repro.index.paa import lb_paa, paa, paa_envelope, segment_lengths
+from repro.index.fourier import fourier_signature
+from repro.index.paa import paa, paa_envelope, segment_lengths
 from repro.index.rtree import Rect, RTree
 from repro.index.vptree import VPTree
 
@@ -313,17 +314,18 @@ class SignatureFilteredScan:
         # then reduced to PAA).  An object's true distance to its best
         # rotation is lower-bounded by its bound against the wedge
         # containing that rotation, hence by the minimum over all wedges.
+        # Each wedge bounds all m signatures in one batched broadcast,
+        # weighted by segment length so PAA space matches lb_paa.
         tree = rq.wedge_tree(counter)
         k_idx = index_wedges if index_wedges is not None else min(32, tree.max_k)
         lengths = self._paa_lengths.astype(np.float64)
+        workspace = shared_workspace()
         best = np.full(len(self), np.inf)
         for wedge in tree.frontier(k_idx):
             upper, lower = wedge.envelope_for(measure)
             u_paa, l_paa = paa_envelope(upper, lower, self._paa_segments)
-            violation = np.maximum(
-                np.maximum(self._paa - u_paa[np.newaxis, :], l_paa[np.newaxis, :] - self._paa),
-                0.0,
+            bound, _steps = batch_lb_keogh(
+                self._paa, u_paa, l_paa, weights=lengths, workspace=workspace
             )
-            bound = np.sqrt(np.sum(lengths[np.newaxis, :] * violation**2, axis=1))
             np.minimum(best, bound, out=best)
         return best

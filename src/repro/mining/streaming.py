@@ -19,7 +19,6 @@ within ``r`` of a window, not just the best one.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass
 

@@ -23,7 +23,6 @@ noise.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -1,0 +1,244 @@
+"""Tests for the batched query-engine kernels and the parallel front-end.
+
+The batch module's contract is *exactness*, not approximation: every kernel
+must reproduce its scalar counterpart element for element -- distances,
+abandonment decisions, AND the paper's ``num_steps`` accounting.  These
+tests pin that contract with hypothesis-generated inputs, then check the
+engineering properties (zero-copy rotation views, scratch-buffer reuse,
+parallel/sequential equivalence of ``search_many``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.batch import (
+    BatchWorkspace,
+    batch_ea_euclidean,
+    batch_lb_keogh,
+    ea_running_min_scan,
+    rotation_matrix,
+    running_scan,
+    shared_workspace,
+)
+from repro.core.counters import StepCounter
+from repro.core.search import search_many, merge_counters, wedge_search
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure, ea_euclidean_distance, _ea_envelope_lb
+from repro.timeseries.ops import all_rotations
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def matrix_and_target(max_rows=8, min_n=3, max_n=16):
+    """(m, n) candidate matrix plus a length-n target series."""
+    return st.tuples(st.integers(1, max_rows), st.integers(min_n, max_n)).flatmap(
+        lambda mn: st.tuples(
+            arrays(np.float64, mn, elements=floats),
+            arrays(np.float64, (mn[1],), elements=floats),
+        )
+    )
+
+
+radii = st.one_of(st.just(math.inf), st.floats(min_value=0.01, max_value=60))
+
+
+class TestBatchEaEuclidean:
+    @given(matrix_and_target(), radii)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_elementwise(self, data, r):
+        rows, c = data
+        distances, steps = batch_ea_euclidean(rows, c, r)
+        for j in range(rows.shape[0]):
+            want_dist, want_steps = ea_euclidean_distance(rows[j], c, r)
+            assert steps[j] == want_steps
+            if math.isinf(want_dist):
+                assert math.isinf(distances[j])
+            else:
+                assert distances[j] == pytest.approx(want_dist, rel=1e-12, abs=1e-12)
+
+    @given(matrix_and_target())
+    @settings(max_examples=50, deadline=None)
+    def test_workspace_does_not_change_results(self, data):
+        rows, c = data
+        workspace = BatchWorkspace()
+        plain = batch_ea_euclidean(rows, c, 1.5)
+        scratched = batch_ea_euclidean(rows, c, 1.5, workspace=workspace)
+        np.testing.assert_array_equal(plain[0], scratched[0])
+        np.testing.assert_array_equal(plain[1], scratched[1])
+
+
+class TestBatchLbKeogh:
+    @given(matrix_and_target(), radii)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_elementwise(self, data, r):
+        rows, c = data
+        # Build a genuine envelope around c so some rows fall inside it.
+        upper = c + 0.5
+        lower = c - 0.5
+        bounds, steps = batch_lb_keogh(rows, upper, lower, r)
+        for j in range(rows.shape[0]):
+            want_lb, want_steps = _ea_envelope_lb(rows[j], upper, lower, r)
+            assert steps[j] == want_steps
+            if math.isinf(want_lb):
+                assert math.isinf(bounds[j])
+            else:
+                assert bounds[j] == pytest.approx(want_lb, rel=1e-12, abs=1e-12)
+
+    @given(matrix_and_target())
+    @settings(max_examples=50, deadline=None)
+    def test_weights_scale_contributions(self, data):
+        rows, c = data
+        n = c.size
+        upper, lower = c + 0.2, c - 0.2
+        weights = np.full(n, 4.0)
+        plain, _ = batch_lb_keogh(rows, upper, lower)
+        weighted, _ = batch_lb_keogh(rows, upper, lower, weights=weights)
+        np.testing.assert_allclose(weighted, 2.0 * plain, rtol=1e-12, atol=1e-12)
+
+
+def reference_running_scan(rows, c, r):
+    """The scalar Table 2 loop the batched scans must reproduce."""
+    best = r
+    best_idx = -1
+    steps = 0
+    abandons = 0
+    for j in range(rows.shape[0]):
+        dist, pair_steps = ea_euclidean_distance(rows[j], c, best)
+        steps += pair_steps
+        if math.isinf(dist):
+            abandons += 1
+        elif dist < best:
+            best = dist
+            best_idx = j
+    best_sq = best * best if math.isfinite(best) else math.inf
+    return best_sq, best_idx, steps, abandons
+
+
+class TestRunningScans:
+    @given(matrix_and_target(max_rows=12), radii)
+    @settings(max_examples=150, deadline=None)
+    def test_running_scan_matches_sequential_loop(self, data, r):
+        rows, c = data
+        prefix = np.cumsum(np.square(rows - c[np.newaxis, :]), axis=1)
+        best_sq, best_idx, steps, abandons = running_scan(prefix, r)
+        want_sq, want_idx, want_steps, want_abandons = reference_running_scan(rows, c, r)
+        assert best_idx == want_idx
+        assert steps == want_steps
+        assert abandons == want_abandons
+        if math.isfinite(want_sq):
+            assert best_sq == pytest.approx(want_sq, rel=1e-9, abs=1e-12)
+
+    @given(matrix_and_target(max_rows=12), radii, st.integers(1, 20))
+    @settings(max_examples=150, deadline=None)
+    def test_two_tier_scan_matches_sequential_loop(self, data, r, probe_width):
+        rows, c = data
+        best_sq, best_idx, steps, abandons = ea_running_min_scan(
+            rows, c, r, probe_width=probe_width
+        )
+        want_sq, want_idx, want_steps, want_abandons = reference_running_scan(rows, c, r)
+        assert best_idx == want_idx
+        assert steps == want_steps
+        assert abandons == want_abandons
+        if math.isfinite(want_sq):
+            assert best_sq == pytest.approx(want_sq, rel=1e-9, abs=1e-12)
+
+    def test_empty_candidate_matrix(self):
+        best_sq, best_idx, steps, abandons = running_scan(np.empty((0, 4)), 2.0)
+        assert (best_sq, best_idx, steps, abandons) == (4.0, -1, 0, 0)
+
+
+class TestRotationMatrix:
+    @given(arrays(np.float64, st.integers(2, 24), elements=floats))
+    @settings(max_examples=100, deadline=None)
+    def test_equals_all_rotations(self, series):
+        np.testing.assert_array_equal(rotation_matrix(series), all_rotations(series))
+
+    def test_is_a_view_not_copies(self):
+        series = np.arange(64, dtype=np.float64)
+        matrix = rotation_matrix(series)
+        # O(n) backing storage, not n copies of the series.
+        assert matrix.base is not None
+        backing = matrix
+        while backing.base is not None:
+            backing = backing.base
+        assert backing.size == 2 * series.size - 1
+        assert not matrix.flags.writeable
+
+
+class TestBatchWorkspace:
+    def test_scratch_reuses_backing_buffer(self):
+        workspace = BatchWorkspace()
+        first = workspace.scratch("probe", (8, 8))
+        again = workspace.scratch("probe", (4, 4))
+        assert again.base is first.base
+        bigger = workspace.scratch("probe", (16, 16))
+        assert bigger.size == 256
+
+    def test_shared_workspace_is_stable_per_thread(self):
+        assert shared_workspace() is shared_workspace()
+
+
+def small_archive(m, n, seed):
+    rng = np.random.default_rng(seed)
+    walks = np.cumsum(rng.normal(size=(m, n)), axis=1)
+    walks -= walks.mean(axis=1, keepdims=True)
+    walks /= walks.std(axis=1, keepdims=True)
+    return walks
+
+
+class TestSearchMany:
+    @pytest.mark.parametrize(
+        "measure,executor",
+        [(EuclideanMeasure(), "thread"), (DTWMeasure(radius=2), "process")],
+        ids=["euclidean-threads", "dtw-processes"],
+    )
+    def test_parallel_matches_sequential(self, measure, executor):
+        archive = small_archive(20, 32, seed=11)
+        database = list(archive[:16])
+        queries = list(archive[16:])
+        sequential = search_many(database, queries, measure, n_jobs=1)
+        parallel = search_many(database, queries, measure, n_jobs=4, executor=executor)
+        assert len(sequential) == len(parallel) == len(queries)
+        for seq, par in zip(sequential, parallel):
+            assert par.index == seq.index
+            assert par.rotation == seq.rotation
+            assert par.distance == pytest.approx(seq.distance, rel=1e-12)
+            assert par.counter.steps == seq.counter.steps
+            assert par.counter.distance_calls == seq.counter.distance_calls
+            assert par.counter.lb_calls == seq.counter.lb_calls
+            assert par.counter.early_abandons == seq.counter.early_abandons
+
+    def test_matches_direct_wedge_search(self):
+        archive = small_archive(14, 24, seed=3)
+        database = list(archive[:12])
+        queries = list(archive[12:])
+        many = search_many(database, queries, EuclideanMeasure(), n_jobs=1)
+        for query, result in zip(queries, many):
+            direct = wedge_search(database, query, EuclideanMeasure())
+            assert result.index == direct.index
+            assert result.counter.steps == direct.counter.steps
+
+    def test_merge_counters_totals(self):
+        archive = small_archive(12, 24, seed=5)
+        results = search_many(list(archive[:10]), list(archive[10:]), EuclideanMeasure())
+        merged = merge_counters(r.counter for r in results)
+        assert isinstance(merged, StepCounter)
+        assert merged.steps == sum(r.counter.steps for r in results)
+        assert merged.distance_calls == sum(r.counter.distance_calls for r in results)
+
+    def test_rejects_unknown_strategy_and_executor(self):
+        archive = small_archive(6, 16, seed=1)
+        database, queries = list(archive[:5]), [archive[5]]
+        with pytest.raises(ValueError):
+            search_many(database, queries, EuclideanMeasure(), strategy="psychic")
+        with pytest.raises(ValueError):
+            search_many(database, queries, EuclideanMeasure(), executor="fork-bomb")
+
+    def test_empty_queries(self):
+        archive = small_archive(5, 16, seed=2)
+        assert search_many(list(archive), [], EuclideanMeasure()) == []

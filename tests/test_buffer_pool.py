@@ -1,6 +1,5 @@
 """Tests for the page/buffer-pool disk model."""
 
-import numpy as np
 import pytest
 
 from repro.index.disk import DiskStore

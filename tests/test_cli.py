@@ -32,10 +32,7 @@ class TestDatasetsCommand:
 
 class TestSearchCommand:
     def test_wedge_search_runs(self, capsys):
-        code = main(
-            ["search", "--collection", "lightcurves", "--size", "20",
-             "--length", "48", "--query-index", "3"]
-        )
+        code = main(["search", "--collection", "lightcurves", "--size", "20", "--length", "48", "--query-index", "3"])
         assert code == 0
         out = capsys.readouterr().out
         assert "best match" in out
@@ -44,16 +41,43 @@ class TestSearchCommand:
     def test_strategies_agree(self, capsys):
         answers = {}
         for strategy in ("wedge", "brute", "early-abandon", "fft"):
-            main(["search", "--collection", "points", "--size", "15", "--length",
-                  "32", "--query-index", "2", "--strategy", strategy])
+            main(
+                [
+                    "search",
+                    "--collection",
+                    "points",
+                    "--size",
+                    "15",
+                    "--length",
+                    "32",
+                    "--query-index",
+                    "2",
+                    "--strategy",
+                    strategy,
+                ]
+            )
             out = capsys.readouterr().out
             answers[strategy] = [line for line in out.splitlines() if "best match" in line][0]
         assert len(set(answers.values())) == 1
 
     def test_dtw_and_options(self, capsys):
         code = main(
-            ["search", "--collection", "points", "--size", "12", "--length", "32",
-             "--measure", "dtw", "--radius", "2", "--mirror", "--max-degrees", "90"]
+            [
+                "search",
+                "--collection",
+                "points",
+                "--size",
+                "12",
+                "--length",
+                "32",
+                "--measure",
+                "dtw",
+                "--radius",
+                "2",
+                "--mirror",
+                "--max-degrees",
+                "90",
+            ]
         )
         assert code == 0
         assert "best match" in capsys.readouterr().out
@@ -61,10 +85,7 @@ class TestSearchCommand:
 
 class TestClassifyCommand:
     def test_runs_one_dataset(self, capsys):
-        code = main(
-            ["classify", "--dataset", "Yoga", "--per-class", "3", "--length", "32",
-             "--max-instances", "6"]
-        )
+        code = main(["classify", "--dataset", "Yoga", "--per-class", "3", "--length", "32", "--max-instances", "6"])
         assert code == 0
         out = capsys.readouterr().out
         assert "Yoga" in out
@@ -77,10 +98,7 @@ class TestClassifyCommand:
 
 class TestMiningCommands:
     def test_discords(self, capsys):
-        code = main(
-            ["discords", "--collection", "lightcurves", "--size", "15",
-             "--length", "48", "--top", "2"]
-        )
+        code = main(["discords", "--collection", "lightcurves", "--size", "15", "--length", "48", "--top", "2"])
         assert code == 0
         out = capsys.readouterr().out
         assert "NN distance" in out

@@ -94,8 +94,9 @@ class TestArchetypeDatasets:
         from repro.distances.euclidean import EuclideanMeasure
 
         rng = np.random.default_rng(0)
-        ds = make_archetype_dataset("probe", rng, n_classes=4, per_class=5, length=48,
-                                    jitter=0.08, warp_strength=0.1, noise=0.01)
+        ds = make_archetype_dataset(
+            "probe", rng, n_classes=4, per_class=5, length=48, jitter=0.08, warp_strength=0.1, noise=0.01
+        )
         measure = EuclideanMeasure()
         hits = 0
         for i in range(len(ds)):
@@ -111,8 +112,9 @@ class TestArchetypeDatasets:
         from repro.distances.euclidean import EuclideanMeasure
 
         rng = np.random.default_rng(7)
-        warped = make_archetype_dataset("warped", rng, n_classes=3, per_class=6,
-                                        length=40, jitter=0.05, warp_strength=0.9, noise=0.01)
+        warped = make_archetype_dataset(
+            "warped", rng, n_classes=3, per_class=6, length=40, jitter=0.05, warp_strength=0.9, noise=0.01
+        )
         ed = leave_one_out_error(warped, EuclideanMeasure())
         dtw = leave_one_out_error(warped, DTWMeasure(radius=3))
         assert dtw <= ed

@@ -13,7 +13,6 @@ import pytest
 from repro.core.counters import StepCounter
 from repro.core.rotation import RotationSet
 from repro.core.search import (
-    RotationQuery,
     brute_force_search,
     early_abandon_search,
     fft_search,

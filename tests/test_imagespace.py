@@ -1,6 +1,5 @@
 """Tests for the Chamfer / Hausdorff image-space baselines (Section 2)."""
 
-import math
 
 import numpy as np
 import pytest

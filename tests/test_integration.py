@@ -8,7 +8,6 @@ examples and benchmarks rely on.
 import math
 
 import numpy as np
-import pytest
 
 from repro import (
     DTWMeasure,

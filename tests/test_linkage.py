@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clustering.linkage import LINKAGES, Merge, linkage
+from repro.clustering.linkage import LINKAGES, linkage
 
 
 def points_to_distance_matrix(points):

@@ -18,8 +18,7 @@ def closed_loop(rng, n=24, d=2):
     """A smooth closed trajectory in R^d."""
     t = np.linspace(0, 2 * np.pi, n, endpoint=False)
     base = np.column_stack(
-        [np.cos(t) + 0.3 * np.cos(3 * t + rng.uniform(0, 6)),
-         np.sin(t) + 0.3 * np.sin(2 * t + rng.uniform(0, 6))]
+        [np.cos(t) + 0.3 * np.cos(3 * t + rng.uniform(0, 6)), np.sin(t) + 0.3 * np.sin(2 * t + rng.uniform(0, 6))]
         + [np.sin((k + 2) * t + rng.uniform(0, 6)) * 0.2 for k in range(d - 2)]
     )
     return base

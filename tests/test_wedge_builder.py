@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.counters import StepCounter
 from repro.core.rotation import RotationSet
-from repro.core.wedge_builder import WedgeTree, build_wedge_tree
+from repro.core.wedge_builder import build_wedge_tree
 
 
 @pytest.fixture
