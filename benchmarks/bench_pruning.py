@@ -1,0 +1,205 @@
+"""Pruning-cascade benchmark: LB_Improved on vs off, machine-readable.
+
+A Figure-20-style rotation-invariant DTW search (projectile-point corpus,
+Sakoe-Chiba band R=5) run twice through ``wedge_search`` -- once with the
+LB_Improved tier disabled, once enabled -- recording for each configuration
+the wall clock, the paper's ``num_steps``, the number of full DTW
+computations, the per-tier rejection counts, and the envelope-cache
+hit/miss stats.  The two runs must return identical nearest neighbours
+(zero false dismissals) and the improved run must need strictly fewer full
+DTW computations; either violation exits non-zero.
+
+The numbers land in ``benchmarks/results/BENCH_pruning.json`` so the perf
+trajectory is tracked across PRs.  ``--check-baseline`` re-runs the
+benchmark and fails if the full-distance computation count regressed
+against the committed baseline (with a small tolerance); the committed
+file is refreshed by running this script with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_pruning.json"
+
+#: Allowed relative growth of the full-distance computation count before
+#: --check-baseline fails.  The corpus and seeds are fixed, so the count is
+#: deterministic; the slack only absorbs intentional small reorderings.
+TOLERANCE = 0.05
+
+CONFIG = {
+    "corpus": "projectile-points",
+    "m": 40,
+    "n": 64,
+    "radius": 5,
+    "seed": 17,
+    "n_queries": 3,
+}
+
+
+def _setup_path() -> None:
+    src = BENCH_DIR.parent / "src"
+    for path in (str(BENCH_DIR), str(src)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _run_config(archive, query_ids, measure, use_improved: bool) -> dict:
+    import numpy as np
+
+    from repro.core.search import wedge_search
+
+    totals = {
+        "wall_clock_s": 0.0,
+        "steps": 0,
+        "full_distance_computations": 0,
+        "tier_rejections": {"kim": 0, "keogh": 0, "improved": 0},
+        "envelope_cache": {"hits": 0, "misses": 0},
+    }
+    answers = []
+    for qid in query_ids:
+        database = list(np.delete(archive, qid, axis=0))
+        query = archive[qid]
+        t0 = time.perf_counter()
+        result = wedge_search(database, query, measure, use_improved=use_improved)
+        totals["wall_clock_s"] += time.perf_counter() - t0
+        totals["steps"] += result.counter.steps
+        totals["full_distance_computations"] += result.tier_stats["full_computations"]
+        totals["tier_rejections"]["kim"] += result.tier_stats["kim_rejections"]
+        totals["tier_rejections"]["keogh"] += result.tier_stats["keogh_rejections"]
+        totals["tier_rejections"]["improved"] += result.tier_stats["improved_rejections"]
+        totals["envelope_cache"]["hits"] += result.counter.envelope_cache_hits
+        totals["envelope_cache"]["misses"] += result.counter.envelope_cache_misses
+        answers.append((result.index, result.distance))
+    totals["wall_clock_s"] = round(totals["wall_clock_s"], 4)
+    return {"totals": totals, "answers": answers}
+
+
+def run_benchmark() -> dict:
+    """One deterministic LB_Improved on/off comparison; returns the report."""
+    _setup_path()
+    import numpy as np
+
+    from repro.datasets.shapes_data import projectile_point_collection
+    from repro.distances.dtw import DTWMeasure
+
+    archive = projectile_point_collection(
+        np.random.default_rng(CONFIG["seed"]), CONFIG["m"], length=CONFIG["n"]
+    )
+    rng = np.random.default_rng(CONFIG["seed"] + 1)
+    query_ids = sorted(rng.choice(CONFIG["m"], size=CONFIG["n_queries"], replace=False))
+    measure = DTWMeasure(radius=CONFIG["radius"])
+
+    # Untimed warm-up so the first timed configuration does not absorb
+    # one-off import and allocator costs (it would bias the comparison).
+    from repro.core.search import wedge_search
+
+    wedge_search(list(archive[1:8]), archive[0], measure)
+
+    off = _run_config(archive, query_ids, measure, use_improved=False)
+    on = _run_config(archive, query_ids, measure, use_improved=True)
+
+    identical = all(
+        a[0] == b[0] and math.isclose(a[1], b[1], rel_tol=1e-9)
+        for a, b in zip(off["answers"], on["answers"])
+    )
+    return {
+        "config": CONFIG,
+        "improved_off": off["totals"],
+        "improved_on": on["totals"],
+        "answers_identical": identical,
+    }
+
+
+def _invariant_failures(report: dict) -> list[str]:
+    """The hard guarantees every run must uphold."""
+    failures = []
+    if not report["answers_identical"]:
+        failures.append("LB_Improved changed a nearest-neighbour answer (false dismissal)")
+    full_off = report["improved_off"]["full_distance_computations"]
+    full_on = report["improved_on"]["full_distance_computations"]
+    if full_on >= full_off:
+        failures.append(
+            f"LB_Improved did not reduce full DTW computations ({full_on} >= {full_off})"
+        )
+    return failures
+
+
+def _print_report(report: dict) -> None:
+    off, on = report["improved_off"], report["improved_on"]
+    full_off = off["full_distance_computations"]
+    full_on = on["full_distance_computations"]
+    print(
+        f"full DTW computations: {full_off} -> {full_on} "
+        f"({(1 - full_on / full_off) * 100:.1f}% fewer)"
+    )
+    print(f"wall clock: {off['wall_clock_s']:.3f}s -> {on['wall_clock_s']:.3f}s")
+    print(f"steps: {off['steps']} -> {on['steps']}")
+    print(
+        "tier rejections (improved on): "
+        f"kim={on['tier_rejections']['kim']} keogh={on['tier_rejections']['keogh']} "
+        f"improved={on['tier_rejections']['improved']}"
+    )
+    print(
+        f"envelope cache: {on['envelope_cache']['hits']} hits / "
+        f"{on['envelope_cache']['misses']} misses"
+    )
+    if on["wall_clock_s"] > off["wall_clock_s"]:
+        print("warning: wall clock did not improve this run (noisy machine?)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail if full-distance computations regressed vs the committed baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh benchmarks/results/BENCH_pruning.json with this run",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    _print_report(report)
+    failures = _invariant_failures(report)
+
+    if args.check_baseline:
+        if not BASELINE_PATH.exists():
+            failures.append(f"no baseline at {BASELINE_PATH}; run with --write-baseline first")
+        else:
+            baseline = json.loads(BASELINE_PATH.read_text())
+            base_full = baseline["improved_on"]["full_distance_computations"]
+            fresh_full = report["improved_on"]["full_distance_computations"]
+            limit = base_full * (1 + TOLERANCE)
+            print(f"baseline full DTW computations: {base_full} (limit {limit:.0f})")
+            if fresh_full > limit:
+                failures.append(
+                    f"full-distance computations regressed: {fresh_full} > "
+                    f"baseline {base_full} (+{TOLERANCE:.0%} tolerance)"
+                )
+
+    if args.write_baseline:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+
+    if failures:
+        print("\nBENCH_pruning FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

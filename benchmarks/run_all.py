@@ -10,10 +10,12 @@ The per-experiment tables land in ``benchmarks/results/`` either way.
 ``--quick`` switches to the CI smoke mode: instead of the full experiment
 sweep it checks, on tiny synthetic inputs, the invariants the experiments
 rest on -- ``wedge_search`` must never examine more steps than
-``brute_force_search`` while returning the same nearest neighbour, and the
+``brute_force_search`` while returning the same nearest neighbour, the
 batched query engine must match the per-pair reference exactly
-(``bench_batch_engine --quick``).  Any violation exits non-zero, making
-this a perf-regression tripwire cheap enough to run on every push.
+(``bench_batch_engine --quick``), and the pruning cascade must hold its
+recorded pruning power (``bench_pruning --check-baseline`` against
+``benchmarks/results/BENCH_pruning.json``).  Any violation exits non-zero,
+making this a perf-regression tripwire cheap enough to run on every push.
 """
 
 from __future__ import annotations
@@ -114,7 +116,18 @@ def quick_smoke() -> int:
     print("\n=== bench_batch_engine --quick ===", flush=True)
     import bench_batch_engine
 
-    return bench_batch_engine.main(["--quick"])
+    rc = bench_batch_engine.main(["--quick"])
+    if rc != 0:
+        return rc
+
+    # Third tripwire: the tiered pruning cascade must keep its recorded
+    # pruning power -- identical answers with LB_Improved on/off, strictly
+    # fewer full DTW computations, and no regression of that count against
+    # the committed BENCH_pruning.json baseline.
+    print("\n=== bench_pruning --check-baseline ===", flush=True)
+    import bench_pruning
+
+    return bench_pruning.main(["--check-baseline"])
 
 
 def main(argv=None) -> int:

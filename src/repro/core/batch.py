@@ -42,6 +42,8 @@ __all__ = [
     "rotation_matrix",
     "batch_ea_euclidean",
     "batch_lb_keogh",
+    "batch_sliding_envelope",
+    "batch_lb_improved",
     "running_scan",
     "ea_running_min_scan",
 ]
@@ -226,6 +228,113 @@ def batch_lb_keogh(
     bounds = np.full(m, math.inf)
     bounds[finished] = np.sqrt(totals[finished])
     steps = np.where(finished, n, np.minimum(cuts + 1, n)).astype(np.int64)
+    return bounds, steps
+
+
+def batch_sliding_envelope(rows, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row Sakoe-Chiba envelope expansion: the batched
+    :func:`repro.timeseries.ops.sliding_envelope` with ``upper == lower ==
+    rows``.
+
+    Returns ``(uppers, lowers)`` where ``uppers[j, i] = max(rows[j, i-R :
+    i+R+1])`` (window clipped at the boundaries) and ``lowers`` the matching
+    minima -- one vectorised pass over an ``(m, n)`` matrix instead of ``m``
+    scalar calls.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    m, n = rows.shape
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if radius == 0:
+        return rows.copy(), rows.copy()
+    radius = min(int(radius), n - 1)
+    width = 2 * radius + 1
+    pad_hi = np.full((m, radius), -np.inf)
+    pad_lo = np.full((m, radius), np.inf)
+    padded_hi = np.concatenate([pad_hi, rows, pad_hi], axis=1)
+    padded_lo = np.concatenate([pad_lo, rows, pad_lo], axis=1)
+    windows_hi = np.lib.stride_tricks.sliding_window_view(padded_hi, width, axis=1)
+    windows_lo = np.lib.stride_tricks.sliding_window_view(padded_lo, width, axis=1)
+    return windows_hi.max(axis=2), windows_lo.min(axis=2)
+
+
+def batch_lb_improved(
+    candidates,
+    upper,
+    lower,
+    raw_upper,
+    raw_lower,
+    radius: int,
+    r: float = math.inf,
+    workspace: BatchWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The two-pass LB_Improved bound, batched and broadcast.
+
+    Accepts either many candidate rows against one envelope (``candidates``
+    ``(m, n)``, envelope arms 1-D) or one candidate against many stacked
+    envelopes (``candidates`` 1-D, arms ``(m, n)``) -- every argument is
+    broadcast to a common ``(m, n)`` shape.  ``(upper, lower)`` are the
+    measure-expanded arms, ``(raw_upper, raw_lower)`` the unexpanded wedge
+    arms, and ``radius`` the band used to expand each row's projection in
+    the second pass (``radius == 0`` -- the Euclidean-into-wedge case --
+    skips the second pass, whose violations are provably zero under an
+    identity expansion).
+
+    Per row: pass 1 is the early-abandoning LB_Keogh of
+    :func:`batch_lb_keogh` (``math.inf`` and the scalar loop's step count on
+    abandonment); survivors pay a second pass -- project the candidate onto
+    the envelope, expand the projection by ``radius``, and add the squared
+    gap between the raw arms and the projection's envelope -- charged the
+    ``2n`` steps of the envelope build plus the violation scan.  Returns
+    ``(bounds, steps)``; second-pass survivors report their *exact* bound
+    even when it lands at or above ``r``, so callers can distinguish the
+    LB_Keogh tier (``inf``) from the LB_Improved tier (finite, ``>= r``).
+    """
+    rows = np.asarray(candidates, dtype=np.float64)
+    u = np.asarray(upper, dtype=np.float64)
+    lo = np.asarray(lower, dtype=np.float64)
+    raw_u = np.asarray(raw_upper, dtype=np.float64)
+    raw_lo = np.asarray(raw_lower, dtype=np.float64)
+    rows, u, lo, raw_u, raw_lo = np.broadcast_arrays(rows, u, lo, raw_u, raw_lo)
+    rows = np.atleast_2d(rows)
+    u, lo = np.atleast_2d(u), np.atleast_2d(lo)
+    raw_u, raw_lo = np.atleast_2d(raw_u), np.atleast_2d(raw_lo)
+    m, n = rows.shape
+
+    if workspace is not None:
+        contributions = workspace.scratch("batch_improved_contrib", (m, n))
+        above = np.subtract(rows, u, out=contributions)
+        np.maximum(above, 0.0, out=above)
+        np.square(above, out=above)
+    else:
+        contributions = np.maximum(rows - u, 0.0)
+        np.square(contributions, out=contributions)
+    below = np.maximum(lo - rows, 0.0)
+    np.square(below, out=below)
+    contributions += below
+
+    prefix = np.cumsum(contributions, axis=1, out=contributions)
+    totals = prefix[:, -1].copy()
+    if math.isfinite(r):
+        threshold = float(r) * float(r)
+        cuts = _cuts_against(prefix, threshold)
+        finished = cuts >= n
+        steps = np.where(finished, n, np.minimum(cuts + 1, n)).astype(np.int64)
+    else:
+        finished = np.ones(m, dtype=bool)
+        steps = np.full(m, n, dtype=np.int64)
+
+    bounds = np.full(m, math.inf)
+    if radius > 0 and finished.any():
+        # Second pass over the survivors only: clip -> expand -> gap.
+        projection = np.clip(rows[finished], lo[finished], u[finished])
+        env_hi, env_lo = batch_sliding_envelope(projection, radius)
+        gap = np.maximum(env_lo - raw_u[finished], raw_lo[finished] - env_hi)
+        np.maximum(gap, 0.0, out=gap)
+        np.square(gap, out=gap)
+        totals[finished] += gap.sum(axis=1)
+        steps[finished] += 2 * n
+    bounds[finished] = np.sqrt(totals[finished])
     return bounds, steps
 
 

@@ -1,4 +1,4 @@
-"""Cascading lower bounds: LB_Kim in front of LB_Keogh in front of DTW.
+"""Cascading lower bounds: LB_Kim -> LB_Keogh -> LB_Improved -> distance.
 
 The lower-bounding literature the paper founded settled on a *cascade*:
 test the cheapest bound first and escalate only on survival.  LB_Kim
@@ -8,17 +8,24 @@ test the cheapest bound first and escalate only on survival.  LB_Kim
     LB_Kim  <=  LB_Keogh  (not in general -- but both <= DTW, which is
                             what admissibility requires)
 
+Between LB_Keogh and the full distance sits Lemire's two-pass LB_Improved
+("Faster Retrieval with a Two-Pass Dynamic-Time-Warping Lower Bound"):
+for the O(n) cost of a second envelope pass it often rejects candidates
+LB_Keogh lets through, saving an O(nR) dynamic program.
+
 This module provides:
 
 * :func:`lb_kim` -- the 4-point bound (first, last, global min, global
   max) against a wedge envelope, admissible for DTW into the wedge;
+* :func:`candidate_extremes` -- the once-per-candidate landmark scan,
+  so repeated Kim tests really cost the 4 comparisons they are charged;
 * :class:`CascadePolicy` -- a pluggable leaf policy for H-Merge-style
   search loops: given a candidate, a leaf wedge, and the current
   threshold, run the cascade and return the exact distance or prove the
-  leaf hopeless after O(1) work.
+  leaf hopeless after as little work as possible.
 
 The ablation benchmark quantifies how many full DTW computations the
-extra tier removes.
+extra tiers remove.
 """
 
 from __future__ import annotations
@@ -31,10 +38,26 @@ from repro.core.counters import StepCounter
 from repro.core.wedge import Wedge
 from repro.distances.base import Measure
 
-__all__ = ["lb_kim", "CascadePolicy"]
+__all__ = ["lb_kim", "candidate_extremes", "CascadePolicy"]
 
 
-def lb_kim(candidate: np.ndarray, upper: np.ndarray, lower: np.ndarray) -> float:
+def candidate_extremes(candidate: np.ndarray) -> tuple[float, float, float, float]:
+    """The four landmark values LB_Kim needs: first, last, max, min.
+
+    One O(n) scan; callers that test the same candidate against many wedges
+    (every H-Merge descent) compute this once and pass it to :func:`lb_kim`,
+    so each Kim test afterwards really is the 4 comparisons it is charged.
+    """
+    c = np.asarray(candidate, dtype=np.float64)
+    return float(c[0]), float(c[-1]), float(c.max()), float(c.min())
+
+
+def lb_kim(
+    candidate: np.ndarray,
+    upper: np.ndarray,
+    lower: np.ndarray,
+    extremes: tuple[float, float, float, float] | None = None,
+) -> float:
     """The 4-point Kim bound against an (already measure-expanded) envelope.
 
     Admissibility: any warping path aligns the *first* points of the two
@@ -43,9 +66,16 @@ def lb_kim(candidate: np.ndarray, upper: np.ndarray, lower: np.ndarray) -> float
     including its extremes -- must pay at least its distance to the
     envelope.  The bound is the largest single unavoidable violation,
     which can never exceed the full accumulated LB_Keogh (hence <= DTW).
+
+    ``extremes`` is the output of :func:`candidate_extremes`; omitting it
+    recomputes the landmarks here (an O(n) scan the caller then owns --
+    honest step accounting charges that scan once per candidate, not per
+    wedge, which is why cascades precompute).
     """
-    c = np.asarray(candidate, dtype=np.float64)
-    n = c.size
+    if extremes is None:
+        extremes = candidate_extremes(candidate)
+    c_first, c_last, c_max, c_min = extremes
+    n = upper.shape[0]
 
     def violation(value: float, hi: float, lo: float) -> float:
         if value > hi:
@@ -54,33 +84,120 @@ def lb_kim(candidate: np.ndarray, upper: np.ndarray, lower: np.ndarray) -> float
             return lo - value
         return 0.0
 
-    first = violation(c[0], upper[0], lower[0])
-    last = violation(c[n - 1], upper[n - 1], lower[n - 1])
+    first = violation(c_first, upper[0], lower[0])
+    last = violation(c_last, upper[n - 1], lower[n - 1])
     env_hi = float(upper.max())
     env_lo = float(lower.min())
-    cmax = violation(float(c.max()), env_hi, env_lo)
-    cmin = violation(float(c.min()), env_hi, env_lo)
+    cmax = violation(c_max, env_hi, env_lo)
+    cmin = violation(c_min, env_hi, env_lo)
     return max(first, last, cmax, cmin)
 
 
 class CascadePolicy:
-    """Evaluate a leaf through the LB_Kim -> LB_Keogh -> distance cascade.
+    """Evaluate a leaf through the LB_Kim -> LB_Keogh -> LB_Improved ->
+    distance cascade.
 
     Parameters
     ----------
     measure:
         The final (expensive) measure; for Euclidean distance the second
-        tier is already exact and the third never runs.
+        tier is already exact and the later ones never run.
     use_kim:
-        Toggle the O(1) first tier (the ablation knob).
+        Toggle the O(1) first tier (the ablation knob).  Forced off when
+        the measure declares itself ``kim_compatible = False`` (LCSS: the
+        value-space Kim bound is inadmissible in match-count space).
+    use_improved:
+        Toggle the two-pass LB_Improved tier between LB_Keogh and the full
+        distance.  It only ever runs when the measure declares
+        ``has_improved_bound`` and the threshold is finite (an infinite
+        threshold rejects nothing, so the second pass would be pure cost).
     """
 
-    def __init__(self, measure: Measure, use_kim: bool = True):
+    def __init__(self, measure: Measure, use_kim: bool = True, use_improved: bool = True):
         self.measure = measure
-        self.use_kim = use_kim
+        self.use_kim = use_kim and measure.kim_compatible
+        self.use_improved = use_improved and measure.has_improved_bound
         self.kim_rejections = 0
         self.keogh_rejections = 0
+        self.improved_rejections = 0
         self.full_computations = 0
+        self._prepared: np.ndarray | None = None
+        self._extremes: tuple[float, float, float, float] | None = None
+        self._env_extremes: dict[Wedge, tuple[float, float]] = {}
+
+    def prepare(self, candidate: np.ndarray, counter: StepCounter | None = None) -> None:
+        """Memoize the candidate's Kim landmarks (one O(n) scan, charged here).
+
+        Called automatically by :meth:`leaf_distance` / :meth:`wedge_bound`
+        when the candidate changes; callers looping one candidate over many
+        wedges pay the scan exactly once.
+        """
+        if self._prepared is candidate:
+            return
+        self._prepared = candidate
+        if self.use_kim:
+            self._extremes = candidate_extremes(candidate)
+            if counter is not None:
+                counter.add(np.asarray(candidate).size)
+        else:
+            self._extremes = None
+
+    def _kim(
+        self,
+        candidate: np.ndarray,
+        wedge: Wedge,
+        upper: np.ndarray,
+        lower: np.ndarray,
+        counter: StepCounter | None,
+    ) -> float:
+        """One Kim test: 4 comparisons after the memoized landmark scans."""
+        self.prepare(candidate, counter)
+        env = self._env_extremes.get(wedge)
+        if env is None:
+            env = (float(upper.max()), float(lower.min()))
+            self._env_extremes[wedge] = env
+            if counter is not None:
+                counter.add(upper.shape[0])
+        c_first, c_last, c_max, c_min = self._extremes
+        n = upper.shape[0]
+        env_hi, env_lo = env
+
+        def violation(value: float, hi: float, lo: float) -> float:
+            if value > hi:
+                return value - hi
+            if value < lo:
+                return lo - value
+            return 0.0
+
+        if counter is not None:
+            counter.lb_calls += 1
+            counter.add(4)  # four landmark comparisons
+        return max(
+            violation(c_first, upper[0], lower[0]),
+            violation(c_last, upper[n - 1], lower[n - 1]),
+            violation(c_max, env_hi, env_lo),
+            violation(c_min, env_hi, env_lo),
+        )
+
+    def wedge_bound(
+        self,
+        candidate: np.ndarray,
+        wedge: Wedge,
+        threshold: float,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """Lower bound of ``candidate`` against any (internal) wedge.
+
+        Runs the cheap Kim tier first when enabled, then LB_Keogh; used by
+        H-Merge to decide whether a subtree can be pruned wholesale.
+        """
+        upper, lower = wedge.envelope_for(self.measure, counter=counter)
+        if self.use_kim:
+            kim = self._kim(candidate, wedge, upper, lower, counter)
+            if kim >= threshold:
+                self.kim_rejections += 1
+                return kim
+        return self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
 
     def leaf_distance(
         self,
@@ -91,12 +208,9 @@ class CascadePolicy:
     ) -> float:
         """Exact distance to the leaf's series, or ``inf`` once provably
         >= ``threshold`` -- after as little work as the cascade allows."""
-        upper, lower = leaf.envelope_for(self.measure)
+        upper, lower = leaf.envelope_for(self.measure, counter=counter)
         if self.use_kim:
-            kim = lb_kim(candidate, upper, lower)
-            if counter is not None:
-                counter.lb_calls += 1
-                counter.add(4)  # four landmark comparisons
+            kim = self._kim(candidate, leaf, upper, lower, counter)
             if kim >= threshold:
                 self.kim_rejections += 1
                 return math.inf
@@ -106,6 +220,20 @@ class CascadePolicy:
             return math.inf
         if self.measure.lb_exact_for_singleton:
             return keogh
+        if self.use_improved and math.isfinite(threshold):
+            improved = self.measure.improved_lower_bound(
+                candidate,
+                upper,
+                lower,
+                leaf.upper,
+                leaf.lower,
+                threshold,
+                keogh=keogh,
+                counter=counter,
+            )
+            if improved >= threshold:
+                self.improved_rejections += 1
+                return math.inf
         self.full_computations += 1
         return self.measure.distance(candidate, leaf.series, threshold, counter=counter)
 
@@ -114,5 +242,6 @@ class CascadePolicy:
         return {
             "kim_rejections": self.kim_rejections,
             "keogh_rejections": self.keogh_rejections,
+            "improved_rejections": self.improved_rejections,
             "full_computations": self.full_computations,
         }

@@ -43,6 +43,12 @@ class StepCounter:
         How many computations were cut short by early abandoning.
     disk_accesses:
         How many full objects were fetched from (simulated) disk.
+    envelope_cache_hits:
+        How many measure-expanded envelopes were served from a wedge's
+        memoized cache.
+    envelope_cache_misses:
+        How many measure-expanded envelopes had to be computed (and were
+        then cached).
     """
 
     steps: int = 0
@@ -50,6 +56,8 @@ class StepCounter:
     lb_calls: int = 0
     early_abandons: int = 0
     disk_accesses: int = 0
+    envelope_cache_hits: int = 0
+    envelope_cache_misses: int = 0
     _checkpoints: list[int] = field(default_factory=list, repr=False)
 
     def add(self, n: int) -> None:
@@ -63,6 +71,8 @@ class StepCounter:
         self.lb_calls += other.lb_calls
         self.early_abandons += other.early_abandons
         self.disk_accesses += other.disk_accesses
+        self.envelope_cache_hits += other.envelope_cache_hits
+        self.envelope_cache_misses += other.envelope_cache_misses
 
     def reset(self) -> None:
         """Zero every count."""
@@ -71,6 +81,8 @@ class StepCounter:
         self.lb_calls = 0
         self.early_abandons = 0
         self.disk_accesses = 0
+        self.envelope_cache_hits = 0
+        self.envelope_cache_misses = 0
         self._checkpoints.clear()
 
     def checkpoint(self) -> None:
@@ -93,6 +105,8 @@ class StepCounter:
             "lb_calls": self.lb_calls,
             "early_abandons": self.early_abandons,
             "disk_accesses": self.disk_accesses,
+            "envelope_cache_hits": self.envelope_cache_hits,
+            "envelope_cache_misses": self.envelope_cache_misses,
         }
 
 

@@ -36,6 +36,8 @@ def h_merge(
     r: float = math.inf,
     counter: StepCounter | None = None,
     order: str = "dfs",
+    pruner=None,
+    batch_leaves: bool = True,
 ) -> tuple[float, int]:
     """Distance from ``candidate`` to the nearest sequence under the wedges.
 
@@ -57,6 +59,18 @@ def h_merge(
     order:
         ``"dfs"`` follows the paper's stack traversal; ``"best-first"``
         expands the wedge with the smallest lower bound first (an ablation).
+    pruner:
+        Optional :class:`~repro.core.cascade.CascadePolicy`.  When given,
+        internal wedges go through its Kim tier, leaves through its full
+        LB_Kim -> LB_Keogh -> LB_Improved -> distance cascade, and tier
+        rejection counts accumulate on the policy.  ``None`` keeps the
+        plain LB_Keogh-only traversal.
+    batch_leaves:
+        Evaluate runs of consecutive sibling leaves on the frontier through
+        the measure's batched kernels (one vectorised bound pass, then full
+        distances in best-bound order) instead of one scalar call per leaf.
+        Answers are identical; only the evaluation order inside a run
+        changes.
 
     Returns
     -------
@@ -71,27 +85,141 @@ def h_merge(
     best_idx = -1
 
     if order == "best-first":
-        return _h_merge_best_first(candidate, wedge_set, measure, best, counter)
+        return _h_merge_best_first(candidate, wedge_set, measure, best, counter, pruner)
 
     stack: list[Wedge] = list(reversed(wedge_set))
     while stack:
         wedge = stack.pop()
-        upper, lower = wedge.envelope_for(measure)
-        lb = measure.lower_bound(candidate, upper, lower, best, counter=counter)
+        if wedge.is_leaf:
+            run = [wedge]
+            if batch_leaves:
+                # The frontier often exposes whole sibling groups of leaves
+                # at once; drain the contiguous run and evaluate it in one
+                # batched pass.
+                while stack and stack[-1].is_leaf:
+                    run.append(stack.pop())
+            if len(run) == 1:
+                dist = _leaf_distance(candidate, wedge, measure, best, counter, pruner)
+                if dist < best:
+                    best = dist
+                    best_idx = wedge.indices[0]
+            else:
+                best, best_idx = _evaluate_leaf_run(
+                    candidate, run, measure, best, best_idx, counter, pruner
+                )
+            continue
+        if pruner is not None:
+            lb = pruner.wedge_bound(candidate, wedge, best, counter)
+        else:
+            upper, lower = wedge.envelope_for(measure, counter=counter)
+            lb = measure.lower_bound(candidate, upper, lower, best, counter=counter)
         if lb >= best:
             continue  # early-abandoned (inf) or provably no better than best
-        if wedge.is_leaf:
-            if measure.lb_exact_for_singleton:
-                dist = lb
-            else:
-                dist = measure.distance(candidate, wedge.series, best, counter=counter)
-            if dist < best:
-                best = dist
-                best_idx = wedge.indices[0]
-        else:
-            stack.extend(reversed(wedge.children))
+        stack.extend(reversed(wedge.children))
     if best_idx < 0:
         return math.inf, -1
+    return best, best_idx
+
+
+def _leaf_distance(
+    candidate: np.ndarray,
+    leaf: Wedge,
+    measure: Measure,
+    threshold: float,
+    counter: StepCounter | None,
+    pruner,
+) -> float:
+    """Scalar cascade for a single frontier leaf."""
+    if pruner is not None:
+        return pruner.leaf_distance(candidate, leaf, threshold, counter)
+    upper, lower = leaf.envelope_for(measure, counter=counter)
+    lb = measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+    if lb >= threshold:
+        return math.inf
+    if measure.lb_exact_for_singleton:
+        return lb
+    return measure.distance(candidate, leaf.series, threshold, counter=counter)
+
+
+def _evaluate_leaf_run(
+    candidate: np.ndarray,
+    run: list[Wedge],
+    measure: Measure,
+    best: float,
+    best_idx: int,
+    counter: StepCounter | None,
+    pruner,
+) -> tuple[float, int]:
+    """Batched frontier evaluation of a run of sibling leaves.
+
+    One vectorised lower-bound pass (LB_Keogh, tightened by LB_Improved
+    when the measure supports it) over the whole run, then full distances
+    over the survivors in best-bound order -- the tightest candidates
+    shrink the threshold first, so later survivors abandon sooner.  The
+    entering threshold of the bound pass is the fixed ``best`` (looser
+    than the strictly sequential scan would use), so no leaf the scalar
+    path would keep is ever dropped: answers are identical.
+    """
+    leaves = run
+    if pruner is not None and pruner.use_kim:
+        kept = []
+        for leaf in leaves:
+            upper, lower = leaf.envelope_for(measure, counter=counter)
+            kim = pruner._kim(candidate, leaf, upper, lower, counter)
+            if kim >= best:
+                pruner.kim_rejections += 1
+            else:
+                kept.append(leaf)
+        leaves = kept
+        if not leaves:
+            return best, best_idx
+
+    if measure.lb_exact_for_singleton:
+        # Euclidean: the leaf bound IS the distance; one running scan with
+        # the cumulative-minimum threshold discipline gives bit-identical
+        # sequential step accounting.
+        rows = np.stack([leaf.series for leaf in leaves])
+        abandons_before = counter.early_abandons if counter is not None else 0
+        dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
+        if pruner is not None and counter is not None:
+            pruner.keogh_rejections += counter.early_abandons - abandons_before
+        if dist < best:
+            return dist, leaves[j].indices[0]
+        return best, best_idx
+
+    envelopes = [leaf.envelope_for(measure, counter=counter) for leaf in leaves]
+    uppers = np.stack([env[0] for env in envelopes])
+    lowers = np.stack([env[1] for env in envelopes])
+    raw = np.stack([leaf.series for leaf in leaves])
+    use_improved = pruner.use_improved if pruner is not None else True
+    bounds = measure.batch_wedge_bounds(
+        candidate,
+        uppers,
+        lowers,
+        raw,
+        raw,
+        r=best,
+        counter=counter,
+        use_improved=use_improved,
+    )
+    if pruner is not None:
+        finite = np.isfinite(bounds)
+        pruner.keogh_rejections += int((~finite).sum())
+        rejected = int((finite & (bounds >= best)).sum())
+        if use_improved and measure.has_improved_bound and math.isfinite(best):
+            pruner.improved_rejections += rejected
+        else:
+            pruner.keogh_rejections += rejected
+    surviving = np.flatnonzero(bounds < best)
+    if surviving.size == 0:
+        return best, best_idx
+    by_bound = surviving[np.argsort(bounds[surviving], kind="stable")]
+    if pruner is not None:
+        pruner.full_computations += int(by_bound.size)
+    rows = raw[by_bound]
+    dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
+    if dist < best:
+        return dist, leaves[int(by_bound[j])].indices[0]
     return best, best_idx
 
 
@@ -101,15 +229,21 @@ def _h_merge_best_first(
     measure: Measure,
     best: float,
     counter: StepCounter | None,
+    pruner=None,
 ) -> tuple[float, int]:
     """Priority-queue variant: always expand the most promising wedge."""
     import heapq
 
+    def bound(wedge: Wedge, threshold: float) -> float:
+        if pruner is not None:
+            return pruner.wedge_bound(candidate, wedge, threshold, counter)
+        upper, lower = wedge.envelope_for(measure, counter=counter)
+        return measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+
     tie = 0
     heap: list[tuple[float, int, Wedge]] = []
     for wedge in wedge_set:
-        upper, lower = wedge.envelope_for(measure)
-        lb = measure.lower_bound(candidate, upper, lower, best, counter=counter)
+        lb = bound(wedge, best)
         if lb < best:
             heapq.heappush(heap, (lb, tie, wedge))
             tie += 1
@@ -121,6 +255,8 @@ def _h_merge_best_first(
         if wedge.is_leaf:
             if measure.lb_exact_for_singleton:
                 dist = lb
+            elif pruner is not None:
+                dist = pruner.leaf_distance(candidate, wedge, best, counter)
             else:
                 dist = measure.distance(candidate, wedge.series, best, counter=counter)
             if dist < best:
@@ -128,8 +264,7 @@ def _h_merge_best_first(
                 best_idx = wedge.indices[0]
         else:
             for child in wedge.children:
-                upper, lower = child.envelope_for(measure)
-                child_lb = measure.lower_bound(candidate, upper, lower, best, counter=counter)
+                child_lb = bound(child, best)
                 if child_lb < best:
                     heapq.heappush(heap, (child_lb, tie, child))
                     tie += 1

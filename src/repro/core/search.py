@@ -79,6 +79,10 @@ class SearchResult:
         Full step accounting for the query, start-up costs included.
     strategy:
         Which algorithm produced this result.
+    tier_stats:
+        Per-tier rejection counts from the pruning cascade
+        (:meth:`repro.core.cascade.CascadePolicy.stats`) for strategies
+        that run one; ``None`` otherwise.
     """
 
     index: int
@@ -86,6 +90,7 @@ class SearchResult:
     rotation: int
     counter: StepCounter = field(default_factory=StepCounter)
     strategy: str = ""
+    tier_stats: dict | None = None
 
     @property
     def found(self) -> bool:
@@ -273,6 +278,9 @@ def wedge_search(
     k_policy: DynamicKPolicy | FixedKPolicy | None = None,
     order: str = "dfs",
     charge_setup: bool = True,
+    use_kim: bool = False,
+    use_improved: bool = True,
+    batch_leaves: bool = True,
 ) -> SearchResult:
     """The paper's wedge-based search (Section 4.1).
 
@@ -281,11 +289,22 @@ def wedge_search(
     H-Merge.  The wedge-set size ``K`` follows ``k_policy`` -- by default
     the dynamic scheme that re-tunes K (by probing candidate values on the
     next object, probe cost included) every time the best-so-far improves.
+
+    Every object runs through one shared
+    :class:`~repro.core.cascade.CascadePolicy`: LB_Keogh against each
+    frontier wedge, then (for DTW/LCSS with ``use_improved``) the two-pass
+    LB_Improved tier, then the full distance; ``use_kim`` switches the
+    O(1) Kim pre-tier on; ``batch_leaves`` evaluates runs of sibling
+    leaves through the batched kernels.  The per-tier rejection counts are
+    returned on ``SearchResult.tier_stats``.
     """
+    from repro.core.cascade import CascadePolicy
+
     rq = _as_query(query, mirror, max_degrees, linkage_method)
     counter = StepCounter()
     tree = rq.wedge_tree(counter if charge_setup else None)
     policy = k_policy if k_policy is not None else DynamicKPolicy()
+    pruner = CascadePolicy(measure, use_kim=use_kim, use_improved=use_improved)
     max_k = tree.max_k
     best = math.inf
     best_index, best_rotation = -1, -1
@@ -297,19 +316,35 @@ def wedge_search(
             for k in probe_ks:
                 counter.checkpoint()
                 dist, rotation = h_merge(
-                    obj, tree.frontier(k), measure, r=best, counter=counter, order=order
+                    obj,
+                    tree.frontier(k),
+                    measure,
+                    r=best,
+                    counter=counter,
+                    order=order,
+                    pruner=pruner,
+                    batch_leaves=batch_leaves,
                 )
                 policy.observe_probe(k, counter.since_checkpoint())
             probe_ks = []
         else:
             k = policy.current_k(max_k)
             dist, rotation = h_merge(
-                obj, tree.frontier(k), measure, r=best, counter=counter, order=order
+                obj,
+                tree.frontier(k),
+                measure,
+                r=best,
+                counter=counter,
+                order=order,
+                pruner=pruner,
+                batch_leaves=batch_leaves,
             )
         if dist < best:
             best, best_index, best_rotation = dist, i, rotation
             probe_ks = policy.candidates_after_improvement(max_k)
-    return SearchResult(best_index, best, best_rotation, counter, "wedge")
+    return SearchResult(
+        best_index, best, best_rotation, counter, "wedge", tier_stats=pruner.stats()
+    )
 
 
 @dataclass

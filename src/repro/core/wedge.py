@@ -122,13 +122,23 @@ class Wedge:
         eps = 1e-9
         return bool(np.all(arr <= self.upper + eps) and np.all(arr >= self.lower - eps))
 
-    def envelope_for(self, measure) -> tuple[np.ndarray, np.ndarray]:
-        """The envelope expanded as ``measure`` requires, cached per measure."""
+    def envelope_for(self, measure, counter=None) -> tuple[np.ndarray, np.ndarray]:
+        """The envelope expanded as ``measure`` requires, cached per measure.
+
+        ``counter`` (a :class:`~repro.core.counters.StepCounter`) records a
+        cache hit or miss, so benchmarks can report how much re-expansion
+        the memoization removes across H-Merge descents and repeated
+        queries.
+        """
         key = measure.cache_key()
         cached = self._envelopes.get(key)
         if cached is None:
             cached = measure.expand_envelope(self.upper, self.lower)
             self._envelopes[key] = cached
+            if counter is not None:
+                counter.envelope_cache_misses += 1
+        elif counter is not None:
+            counter.envelope_cache_hits += 1
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,6 +45,19 @@ class Measure(abc.ABC):
     #: DTW or LCSS, whose envelopes are widened by the warping band.
     lb_exact_for_singleton: bool = False
 
+    #: True when :meth:`improved_lower_bound` can tighten LB_Keogh -- i.e.
+    #: when :meth:`expand_envelope` genuinely widens the wedge, leaving room
+    #: for a second pass over the projection (Lemire's LB_Improved).  False
+    #: for Euclidean distance, whose expansion is the identity and whose
+    #: second-pass violations are provably zero.
+    has_improved_bound: bool = False
+
+    #: True when the value-space LB_Kim landmark bound is admissible for
+    #: this measure.  Holds for Euclidean distance and DTW (both accumulate
+    #: value differences); not for LCSS, whose distance lives in match-count
+    #: space where a single large value violation proves nothing.
+    kim_compatible: bool = True
+
     def cache_key(self) -> tuple:
         """Hashable identity of this measure's envelope expansion.
 
@@ -93,6 +106,85 @@ class Measure(abc.ABC):
         envelope encloses (Propositions 1 and 2).  Returns ``math.inf`` when
         early-abandoned at ``r``.
         """
+
+    def improved_lower_bound(
+        self,
+        q: np.ndarray,
+        upper: np.ndarray,
+        lower: np.ndarray,
+        raw_upper: np.ndarray,
+        raw_lower: np.ndarray,
+        r: float = math.inf,
+        keogh: float | None = None,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """The two-pass LB_Improved bound (Lemire 2009), wedge-generalised.
+
+        Pass 1 is plain :meth:`lower_bound` of ``q`` against the expanded
+        envelope ``(upper, lower)``.  Pass 2 projects ``q`` onto that
+        envelope, expands the projection the same way, and accumulates the
+        gap between the *raw* (unexpanded) wedge arms ``(raw_upper,
+        raw_lower)`` and the projection's envelope.  For a leaf wedge
+        (``raw_upper == raw_lower == series``) this is exactly Lemire's
+        pairwise LB_Improved; for an internal wedge it lower-bounds the
+        distance to every enclosed sequence, so admissibility (no false
+        dismissals) is preserved throughout the hierarchy.
+
+        ``keogh`` lets callers that already ran the first pass skip its
+        recomputation; ``math.inf`` (an abandoned first pass) is returned
+        unchanged.  The base implementation has no second pass and simply
+        returns LB_Keogh -- measures opt in by setting
+        :attr:`has_improved_bound` and overriding.
+        """
+        if keogh is None:
+            keogh = self.lower_bound(q, upper, lower, r, counter=counter)
+        return keogh
+
+    def batch_wedge_bounds(
+        self,
+        candidate: np.ndarray,
+        uppers: np.ndarray,
+        lowers: np.ndarray,
+        raw_uppers: np.ndarray,
+        raw_lowers: np.ndarray,
+        r: float = math.inf,
+        counter: StepCounter | None = None,
+        use_improved: bool = True,
+    ) -> np.ndarray:
+        """Lower bounds of one ``candidate`` against ``k`` stacked envelopes.
+
+        ``uppers``/``lowers`` are ``(k, n)`` expanded envelope arms and
+        ``raw_uppers``/``raw_lowers`` the matching raw wedge arms (for leaf
+        wedges, ``k`` copies of each enclosed series).  Returns a ``(k,)``
+        array of per-envelope bounds: ``math.inf`` where the first pass
+        early-abandoned against ``r``, otherwise LB_Keogh tightened by the
+        second pass when ``use_improved`` and the measure supports it.
+
+        The base implementation loops over the scalar bounds; measures
+        override it with the batched kernels of :mod:`repro.core.batch`.
+        """
+        uppers = np.atleast_2d(uppers)
+        lowers = np.atleast_2d(lowers)
+        raw_uppers = np.atleast_2d(raw_uppers)
+        raw_lowers = np.atleast_2d(raw_lowers)
+        k = uppers.shape[0]
+        bounds = np.empty(k)
+        improve = use_improved and self.has_improved_bound and math.isfinite(r)
+        for i in range(k):
+            lb = self.lower_bound(candidate, uppers[i], lowers[i], r, counter=counter)
+            if improve and math.isfinite(lb):
+                lb = self.improved_lower_bound(
+                    candidate,
+                    uppers[i],
+                    lowers[i],
+                    raw_uppers[i],
+                    raw_lowers[i],
+                    r,
+                    keogh=lb,
+                    counter=counter,
+                )
+            bounds[i] = lb
+        return bounds
 
     def batch_min_distance(
         self,

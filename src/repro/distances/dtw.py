@@ -314,6 +314,7 @@ class DTWMeasure(Measure):
     """
 
     name = "dtw"
+    has_improved_bound = True
 
     def __init__(self, radius: int, chunk_size: int = 32):
         if radius < 0:
@@ -346,6 +347,72 @@ class DTWMeasure(Measure):
             if math.isinf(lb):
                 counter.early_abandons += 1
         return lb
+
+    def improved_lower_bound(
+        self,
+        q,
+        upper,
+        lower,
+        raw_upper,
+        raw_lower,
+        r=math.inf,
+        keogh: float | None = None,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """Lemire's LB_Improved, generalised to wedges.
+
+        Pass 2: project ``q`` onto the expanded envelope, expand the
+        projection by the same Sakoe-Chiba band, and accumulate the squared
+        gap between the *raw* wedge arms and the projection's envelope.  For
+        a leaf wedge (``raw_upper == raw_lower``) this is exactly Lemire's
+        pairwise bound; for internal wedges the gap is a lower bound on the
+        second-pass violation of every enclosed series, so no false
+        dismissals are introduced.  Charged ``2n`` steps (envelope build +
+        violation scan) on top of the first pass.
+        """
+        if keogh is None:
+            keogh = self.lower_bound(q, upper, lower, r, counter=counter)
+        if not math.isfinite(keogh) or self.radius == 0:
+            return keogh
+        q = np.asarray(q, dtype=np.float64)
+        projection = np.clip(q, lower, upper)
+        env_hi, env_lo = sliding_envelope(projection, projection, self.radius)
+        gap = np.maximum(env_lo - np.asarray(raw_upper), np.asarray(raw_lower) - env_hi)
+        np.maximum(gap, 0.0, out=gap)
+        if counter is not None:
+            counter.lb_calls += 1
+            counter.add(2 * q.size)
+        return math.sqrt(keogh * keogh + float(np.dot(gap, gap)))
+
+    def batch_wedge_bounds(
+        self,
+        candidate,
+        uppers,
+        lowers,
+        raw_uppers,
+        raw_lowers,
+        r=math.inf,
+        counter: StepCounter | None = None,
+        use_improved: bool = True,
+    ) -> np.ndarray:
+        from repro.core.batch import batch_lb_improved, shared_workspace
+
+        radius = self.radius if (use_improved and math.isfinite(r)) else 0
+        bounds, steps = batch_lb_improved(
+            candidate,
+            uppers,
+            lowers,
+            raw_uppers,
+            raw_lowers,
+            radius,
+            r=r,
+            workspace=shared_workspace(),
+        )
+        if counter is not None:
+            counter.lb_calls += bounds.size
+            counter.add(int(steps.sum()))
+            counter.early_abandons += int(np.isinf(bounds).sum())
+        return bounds
 
     def batch_min_distance(
         self,

@@ -106,6 +106,41 @@ class EuclideanMeasure(Measure):
                 counter.early_abandons += 1
         return lb
 
+    def batch_wedge_bounds(
+        self,
+        candidate,
+        uppers,
+        lowers,
+        raw_uppers,
+        raw_lowers,
+        r=math.inf,
+        counter: StepCounter | None = None,
+        use_improved: bool = True,
+    ) -> np.ndarray:
+        """Batched LB_Keogh against stacked envelopes (no second pass).
+
+        Euclidean expansion is the identity, so LB_Improved's second pass is
+        provably zero (``has_improved_bound`` is False); the batched kernel
+        runs with ``radius=0``, i.e. pure first-pass LB_Keogh per row.
+        """
+        from repro.core.batch import batch_lb_improved
+
+        bounds, steps = batch_lb_improved(
+            candidate,
+            uppers,
+            lowers,
+            raw_uppers,
+            raw_lowers,
+            0,
+            r=r,
+            workspace=shared_workspace(),
+        )
+        if counter is not None:
+            counter.lb_calls += bounds.size
+            counter.add(int(steps.sum()))
+            counter.early_abandons += int(np.isinf(bounds).sum())
+        return bounds
+
     def batch_min_distance(
         self,
         q,

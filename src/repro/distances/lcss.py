@@ -170,6 +170,10 @@ class LCSSMeasure(Measure):
     """
 
     name = "lcss"
+    has_improved_bound = True
+    # LB_Kim compares raw values; LCSS distance lives in match-count space,
+    # where one large value discrepancy proves nothing about the distance.
+    kim_compatible = False
 
     def __init__(self, delta: int, epsilon: float):
         if delta < 0:
@@ -230,6 +234,98 @@ class LCSSMeasure(Measure):
         if counter is not None:
             counter.add(n)
         return float(int(outside.sum())) / n
+
+    def improved_lower_bound(
+        self,
+        q,
+        upper,
+        lower,
+        raw_upper,
+        raw_lower,
+        r=math.inf,
+        keogh: float | None = None,
+        counter: StepCounter | None = None,
+    ) -> float:
+        """The sign-flipped LCSS analogue of LB_Improved.
+
+        Pass 1 counts points of ``q`` no enclosed series can match.  Pass 2
+        counts wedge positions ``j`` whose whole raw interval lies outside
+        the ``delta``/``epsilon`` band of the projection ``H = clip(q, L,
+        U)`` -- unmatchable by *any* point of ``q``: a matchable pair needs
+        ``q_i`` inside the expanded envelope (else pass 1 already excludes
+        it), and there ``H_i == q_i``.  Each match consumes one position on
+        either side, so ``matches <= n - max(pass1, pass2)`` and the bound
+        is the *max* of the two passes (summing would be inadmissible --
+        unlike DTW's additive cost, a match blocked twice is still just one
+        lost match).
+        """
+        if keogh is None:
+            keogh = self.lower_bound(q, upper, lower, r, counter=counter)
+        if not math.isfinite(keogh):
+            return keogh
+        q = np.asarray(q, dtype=np.float64)
+        n = q.size
+        projection = np.clip(q, lower, upper)
+        env_hi, env_lo = sliding_envelope(projection, projection, self.delta)
+        unmatchable = (np.asarray(raw_upper) < env_lo - self.epsilon) | (
+            np.asarray(raw_lower) > env_hi + self.epsilon
+        )
+        if counter is not None:
+            counter.lb_calls += 1
+            counter.add(2 * n)
+        return max(keogh, float(int(unmatchable.sum())) / n)
+
+    def batch_wedge_bounds(
+        self,
+        candidate,
+        uppers,
+        lowers,
+        raw_uppers,
+        raw_lowers,
+        r=math.inf,
+        counter: StepCounter | None = None,
+        use_improved: bool = True,
+    ) -> np.ndarray:
+        """Vectorised mismatch-count bounds against ``k`` stacked envelopes."""
+        q = np.asarray(candidate, dtype=np.float64)
+        uppers = np.atleast_2d(np.asarray(uppers, dtype=np.float64))
+        lowers = np.atleast_2d(np.asarray(lowers, dtype=np.float64))
+        raw_uppers = np.atleast_2d(np.asarray(raw_uppers, dtype=np.float64))
+        raw_lowers = np.atleast_2d(np.asarray(raw_lowers, dtype=np.float64))
+        k, n = uppers.shape
+        outside = (q[np.newaxis, :] > uppers) | (q[np.newaxis, :] < lowers)
+        bounds = np.full(k, math.inf)
+        if math.isfinite(r):
+            misses = np.cumsum(outside, axis=1)
+            allowed = r * n
+            # First column whose running mismatch count exceeds r*n, per row
+            # (n when the row finishes the scan).
+            cuts = (misses <= allowed).sum(axis=1)
+            finished = cuts >= n
+            steps = np.where(finished, n, np.minimum(cuts + 1, n)).astype(np.int64)
+        else:
+            misses = None
+            finished = np.ones(k, dtype=bool)
+            steps = np.full(k, n, dtype=np.int64)
+        first = outside.sum(axis=1) / n
+        bounds[finished] = first[finished]
+        improve = use_improved and math.isfinite(r) and finished.any()
+        if improve:
+            from repro.core.batch import batch_sliding_envelope
+
+            projection = np.clip(q[np.newaxis, :], lowers[finished], uppers[finished])
+            env_hi, env_lo = batch_sliding_envelope(projection, self.delta)
+            unmatchable = (raw_uppers[finished] < env_lo - self.epsilon) | (
+                raw_lowers[finished] > env_hi + self.epsilon
+            )
+            second = unmatchable.sum(axis=1) / n
+            bounds[finished] = np.maximum(bounds[finished], second)
+            steps[finished] += 2 * n
+        if counter is not None:
+            counter.lb_calls += k
+            counter.add(int(steps.sum()))
+            counter.early_abandons += int((~finished).sum())
+        return bounds
 
     def pairwise_cost(self, n: int) -> int:
         from repro.distances.dtw import band_cell_count

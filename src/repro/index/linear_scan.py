@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.batch import batch_lb_keogh, shared_workspace
+from repro.core.cascade import CascadePolicy
 from repro.core.counters import StepCounter
 from repro.core.hmerge import h_merge
 from repro.core.search import RotationQuery, SearchResult
@@ -125,6 +126,7 @@ class SignatureFilteredScan:
         max_degrees: float | None = None,
         k: int | None = None,
         index_wedges: int | None = None,
+        use_improved: bool = True,
     ) -> IndexedSearchResult:
         """Exact rotation-invariant 1-NN with minimal disk retrievals.
 
@@ -134,7 +136,9 @@ class SignatureFilteredScan:
         anything, so -- as Section 4.2 prescribes ("it would be necessary
         to search for the best match to K envelopes in the wedge set W") --
         the bound is the minimum of the PAA bounds against ``index_wedges``
-        wedges cut from the query's wedge tree.
+        wedges cut from the query's wedge tree.  Refinement of fetched
+        objects runs the tiered pruning cascade; ``use_improved`` toggles
+        its LB_Improved tier.
         """
         if measure.name not in ("euclidean", "dtw"):
             raise ValueError(f"index supports euclidean and dtw, got {measure.name!r}")
@@ -144,6 +148,7 @@ class SignatureFilteredScan:
         counter = StepCounter()
         tree = rq.wedge_tree(counter)
         frontier = tree.frontier(k if k is not None else min(4, tree.max_k))
+        pruner = CascadePolicy(measure, use_kim=False, use_improved=use_improved)
         self._store.reset()
 
         best = math.inf
@@ -156,7 +161,9 @@ class SignatureFilteredScan:
             before = eval_probe()
             for _lb, i in stream:
                 obj = self._store.fetch(i)
-                dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
+                dist, rotation = h_merge(
+                    obj, frontier, measure, r=best, counter=counter, pruner=pruner
+                )
                 if dist < best:
                     best, best_index, best_rotation = dist, i, rotation
             signature_tests = eval_probe() - before
@@ -168,11 +175,15 @@ class SignatureFilteredScan:
                 if bounds[i] >= best:
                     break  # ascending bounds: nothing further can win
                 obj = self._store.fetch(int(i))
-                dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
+                dist, rotation = h_merge(
+                    obj, frontier, measure, r=best, counter=counter, pruner=pruner
+                )
                 if dist < best:
                     best, best_index, best_rotation = dist, int(i), rotation
 
-        result = SearchResult(best_index, best, best_rotation, counter, "indexed")
+        result = SearchResult(
+            best_index, best, best_rotation, counter, "indexed", tier_stats=pruner.stats()
+        )
         return IndexedSearchResult(
             result=result,
             objects_retrieved=self._store.retrievals,
@@ -189,6 +200,7 @@ class SignatureFilteredScan:
         max_degrees: float | None = None,
         refine_wedges: int | None = None,
         index_wedges: int | None = None,
+        use_improved: bool = True,
     ):
         """Exact k-NN through the index: fetch until the bound passes the
         k-th best verified distance.
@@ -214,6 +226,7 @@ class SignatureFilteredScan:
         frontier = tree.frontier(
             refine_wedges if refine_wedges is not None else min(4, tree.max_k)
         )
+        pruner = CascadePolicy(measure, use_kim=False, use_improved=use_improved)
         self._store.reset()
 
         heap: list[tuple[float, int, int]] = []  # max-heap via negation
@@ -223,7 +236,9 @@ class SignatureFilteredScan:
 
         def refine(i: int) -> None:
             obj = self._store.fetch(int(i))
-            dist, rotation = h_merge(obj, frontier, measure, r=radius(), counter=counter)
+            dist, rotation = h_merge(
+                obj, frontier, measure, r=radius(), counter=counter, pruner=pruner
+            )
             if math.isfinite(dist):
                 entry = (-dist, int(i), rotation)
                 if len(heap) < k:
@@ -258,6 +273,7 @@ class SignatureFilteredScan:
             top.rotation if top else -1,
             counter,
             "indexed-knn",
+            tier_stats=pruner.stats(),
         )
         accounting = IndexedSearchResult(
             result=result,
@@ -276,7 +292,7 @@ class SignatureFilteredScan:
         """
         if measure.name == "euclidean" and self._vptree is not None:
             stream = self._vptree.candidates_within(
-                rq.signature(self.n_coefficients), radius_provider
+                rq.signature(self.n_coefficients), radius_provider, counter=counter
             )
             return stream, lambda: self._vptree.distance_evaluations
         if measure.name == "euclidean" and self._fourier_rtree is not None:
@@ -289,7 +305,7 @@ class SignatureFilteredScan:
             k_idx = index_wedges if index_wedges is not None else min(32, tree.max_k)
             rects = []
             for wedge in tree.frontier(k_idx):
-                upper, lower = wedge.envelope_for(measure)
+                upper, lower = wedge.envelope_for(measure, counter=counter)
                 u_paa, l_paa = paa_envelope(upper, lower, self._paa_segments)
                 rects.append(
                     Rect.from_bounds(l_paa * self._paa_scale, u_paa * self._paa_scale)
@@ -322,7 +338,7 @@ class SignatureFilteredScan:
         workspace = shared_workspace()
         best = np.full(len(self), np.inf)
         for wedge in tree.frontier(k_idx):
-            upper, lower = wedge.envelope_for(measure)
+            upper, lower = wedge.envelope_for(measure, counter=counter)
             u_paa, l_paa = paa_envelope(upper, lower, self._paa_segments)
             bound, _steps = batch_lb_keogh(
                 self._paa, u_paa, l_paa, weights=lengths, workspace=workspace

@@ -83,7 +83,7 @@ class VPTree:
             bucket=None,
         )
 
-    def candidates_within(self, query, radius_provider):
+    def candidates_within(self, query, radius_provider, counter=None):
         """Yield point indices in ascending signature-distance order.
 
         ``radius_provider()`` is consulted as the pruning radius on every
@@ -92,13 +92,27 @@ class VPTree:
         index)`` pairs, each guaranteed ``signature_distance <`` the radius
         at the time it was emitted.
 
+        ``counter`` (a :class:`~repro.core.counters.StepCounter`) charges
+        ``d`` steps and one ``lb_calls`` per signature-metric evaluation,
+        so index-space work shows up in the same accounting as the rest of
+        the cascade.
+
         The traversal is exact: any point whose signature distance is below
         the final radius is guaranteed to have been yielded.
         """
         query = np.asarray(query, dtype=np.float64)
+        dim = self._points.shape[1]
+
+        def metric(i: int) -> float:
+            self.distance_evaluations += 1
+            if counter is not None:
+                counter.lb_calls += 1
+                counter.add(dim)
+            return self._metric(i, query)
+
         # Heap entries: (optimistic lower bound on sig-distance, tiebreak, payload)
-        counter = 0
-        heap: list[tuple[float, int, object]] = [(0.0, counter, self._root)]
+        tie = 0
+        heap: list[tuple[float, int, object]] = [(0.0, tie, self._root)]
         while heap:
             bound, _, payload = heapq.heappop(heap)
             if bound >= radius_provider():
@@ -107,27 +121,25 @@ class VPTree:
                 node = payload
                 if node.bucket is not None:
                     for i in node.bucket:
-                        d = self._metric(i, query)
-                        self.distance_evaluations += 1
+                        d = metric(i)
                         if d < radius_provider():
-                            counter += 1
-                            heapq.heappush(heap, (d, counter, int(i)))
+                            tie += 1
+                            heapq.heappush(heap, (d, tie, int(i)))
                     continue
-                d_vp = self._metric(node.vantage, query)
-                self.distance_evaluations += 1
+                d_vp = metric(node.vantage)
                 if d_vp < radius_provider():
-                    counter += 1
-                    heapq.heappush(heap, (d_vp, counter, int(node.vantage)))
+                    tie += 1
+                    heapq.heappush(heap, (d_vp, tie, int(node.vantage)))
                 # Triangle-inequality bounds for the two shells: a point in
                 # the inside shell is at least d(q, vp) - radius away, one
                 # in the outside shell at least radius - d(q, vp).
                 inside_bound = max(bound, d_vp - node.radius)
                 outside_bound = max(bound, node.radius - d_vp)
                 if inside_bound < radius_provider():
-                    counter += 1
-                    heapq.heappush(heap, (inside_bound, counter, node.inside))
+                    tie += 1
+                    heapq.heappush(heap, (inside_bound, tie, node.inside))
                 if outside_bound < radius_provider():
-                    counter += 1
-                    heapq.heappush(heap, (outside_bound, counter, node.outside))
+                    tie += 1
+                    heapq.heappush(heap, (outside_bound, tie, node.outside))
             else:
                 yield bound, int(payload)

@@ -80,11 +80,18 @@ class TestCascadePolicy:
         counter = StepCounter()
         series = rng.normal(size=50)
         leaf = Wedge.from_series(series, 0)
-        dist = policy.leaf_distance(series + 100.0, leaf, threshold=1.0, counter=counter)
+        candidate = series + 100.0
+        dist = policy.leaf_distance(candidate, leaf, threshold=1.0, counter=counter)
         assert math.isinf(dist)
         assert policy.kim_rejections == 1
         assert policy.keogh_rejections == 0
         assert policy.full_computations == 0
+        # First test pays the two O(n) landmark scans (candidate extremes +
+        # envelope extremes) once; the Kim test itself is 4 comparisons.
+        assert counter.steps <= 2 * series.size + 4
+        counter.reset()
+        dist = policy.leaf_distance(candidate, leaf, threshold=1.0, counter=counter)
+        assert math.isinf(dist)
         assert counter.steps <= 4
 
     def test_keogh_tier_catches_what_kim_misses(self, rng):
@@ -131,5 +138,6 @@ class TestCascadePolicy:
         assert policy.stats() == {
             "kim_rejections": 0,
             "keogh_rejections": 0,
+            "improved_rejections": 0,
             "full_computations": 0,
         }

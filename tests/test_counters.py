@@ -29,14 +29,32 @@ class TestStepCounter:
         assert isinstance(counter.steps, int)
 
     def test_merge_folds_all_fields(self):
-        a = StepCounter(steps=5, distance_calls=1, lb_calls=2, early_abandons=3, disk_accesses=4)
-        b = StepCounter(steps=7, distance_calls=10, lb_calls=20, early_abandons=30, disk_accesses=40)
+        a = StepCounter(
+            steps=5,
+            distance_calls=1,
+            lb_calls=2,
+            early_abandons=3,
+            disk_accesses=4,
+            envelope_cache_hits=5,
+            envelope_cache_misses=6,
+        )
+        b = StepCounter(
+            steps=7,
+            distance_calls=10,
+            lb_calls=20,
+            early_abandons=30,
+            disk_accesses=40,
+            envelope_cache_hits=50,
+            envelope_cache_misses=60,
+        )
         a.merge(b)
         assert a.steps == 12
         assert a.distance_calls == 11
         assert a.lb_calls == 22
         assert a.early_abandons == 33
         assert a.disk_accesses == 44
+        assert a.envelope_cache_hits == 55
+        assert a.envelope_cache_misses == 66
 
     def test_reset(self):
         counter = StepCounter(steps=5, distance_calls=1)
@@ -77,6 +95,8 @@ class TestStepCounter:
             "lb_calls": 1,
             "early_abandons": 0,
             "disk_accesses": 0,
+            "envelope_cache_hits": 0,
+            "envelope_cache_misses": 0,
         }
 
 
