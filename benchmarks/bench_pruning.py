@@ -82,10 +82,18 @@ def _run_config(archive, query_ids, measure, use_improved: bool) -> dict:
     return {"totals": totals, "answers": answers}
 
 
-def run_benchmark() -> dict:
-    """One deterministic LB_Improved on/off comparison; returns the report."""
+def run_benchmark() -> tuple[dict, dict]:
+    """One deterministic LB_Improved on/off comparison.
+
+    Returns ``(report, phase_timings)``: the machine-readable report plus
+    per-phase wall-clock seconds (setup/warm-up vs the two measured
+    configurations) destined for the artifact's provenance block.
+    """
     _setup_path()
     import numpy as np
+
+    phases: dict[str, float] = {}
+    t0 = time.perf_counter()
 
     from repro.datasets.shapes_data import projectile_point_collection
     from repro.distances.dtw import DTWMeasure
@@ -102,20 +110,26 @@ def run_benchmark() -> dict:
     from repro.core.search import wedge_search
 
     wedge_search(list(archive[1:8]), archive[0], measure)
+    phases["setup"] = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
     off = _run_config(archive, query_ids, measure, use_improved=False)
+    phases["improved_off"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
     on = _run_config(archive, query_ids, measure, use_improved=True)
+    phases["improved_on"] = time.perf_counter() - t0
 
     identical = all(
         a[0] == b[0] and math.isclose(a[1], b[1], rel_tol=1e-9)
         for a, b in zip(off["answers"], on["answers"])
     )
-    return {
+    report = {
         "config": CONFIG,
         "improved_off": off["totals"],
         "improved_on": on["totals"],
         "answers_identical": identical,
     }
+    return report, phases
 
 
 def _invariant_failures(report: dict) -> list[str]:
@@ -169,7 +183,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmark()
+    report, phase_timings = run_benchmark()
     _print_report(report)
     failures = _invariant_failures(report)
 
@@ -189,9 +203,9 @@ def main(argv=None) -> int:
                 )
 
     if args.write_baseline:
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {BASELINE_PATH}")
+        import harness
+
+        harness.write_json_result("BENCH_pruning", report, phase_timings)
 
     if failures:
         print("\nBENCH_pruning FAILED:", file=sys.stderr)

@@ -20,6 +20,7 @@ grow databases toward the paper's sizes.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,6 +82,31 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def write_json_result(
+    name: str, payload: dict, phase_timings: dict[str, float] | None = None
+) -> Path:
+    """Write a ``BENCH_*.json`` artifact with an embedded provenance block.
+
+    The provenance (git SHA + dirty flag, platform, interpreter/NumPy
+    versions, ``REPRO_SCALE``, UTC timestamp) answers "what produced this
+    number" when two artifacts disagree; ``phase_timings`` adds per-phase
+    wall-clock seconds (setup vs measured runs) so a slow artifact can be
+    blamed on the right phase.
+    """
+    from repro.obs.provenance import provenance_block
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    extra: dict = {"benchmark": name}
+    if phase_timings:
+        extra["phase_timings_s"] = {k: round(v, 4) for k, v in phase_timings.items()}
+    document = dict(payload)
+    document["provenance"] = provenance_block(extra)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"[written to {path}]")
+    return path
 
 
 def brute_force_steps(m: int, n_rotations: int, pairwise_cost: int) -> int:

@@ -12,16 +12,22 @@ sweep it checks, on tiny synthetic inputs, the invariants the experiments
 rest on -- ``wedge_search`` must never examine more steps than
 ``brute_force_search`` while returning the same nearest neighbour, the
 batched query engine must match the per-pair reference exactly
-(``bench_batch_engine --quick``), and the pruning cascade must hold its
+(``bench_batch_engine --quick``), the pruning cascade must hold its
 recorded pruning power (``bench_pruning --check-baseline`` against
-``benchmarks/results/BENCH_pruning.json``).  Any violation exits non-zero,
-making this a perf-regression tripwire cheap enough to run on every push.
+``benchmarks/results/BENCH_pruning.json``), and the observability layer
+must be a pure observer (bit-identical step counts with tracing on/off, a
+monotone cascade tier funnel, and a parseable artifact written to
+``benchmarks/results/obs_quick/`` for CI to upload).  Any violation exits
+non-zero, making this a perf-regression tripwire cheap enough to run on
+every push.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import shutil
 import subprocess
 import sys
 import time
@@ -48,10 +54,131 @@ EXPERIMENTS = [
 ]
 
 
+def _obs_artifact_smoke(walks, m: int) -> int:
+    """Observability tripwire: instrumentation must be a pure observer.
+
+    Runs a handful of wedge queries twice -- bare, then with the full
+    observability stack attached (tracer + metrics registry + query log) --
+    and fails on any of:
+
+    * step counts or answers differing between the two runs (tracing must
+      never perturb the paper's ``num_steps`` accounting);
+    * a non-monotone cascade tier funnel, per-query or aggregated
+      (kim >= keogh-reached >= improved-reached >= full-distance);
+    * the written artifact (``metrics.prom``, ``metrics.json``,
+      ``trace.json``, ``queries.jsonl``, ``provenance.json`` under
+      ``benchmarks/results/obs_quick/``) failing to parse back.
+
+    CI uploads the directory on every run, so each workflow leaves behind
+    an inspectable trace + metrics snapshot of the smoke queries.
+    """
+    import numpy as np
+
+    from repro.core.search import wedge_search
+    from repro.distances.dtw import DTWMeasure
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.provenance import provenance_block
+    from repro.obs.querylog import QueryLogger, read_query_log
+    from repro.obs.report import funnel_is_monotone, tier_funnel
+    from repro.obs.trace import Tracer
+
+    obs_dir = RESULTS_DIR / "obs_quick"
+    if obs_dir.exists():
+        shutil.rmtree(obs_dir)
+    obs_dir.mkdir(parents=True)
+
+    measure = DTWMeasure(radius=2)
+    query_ids = (3, 19, 41)
+    failures: list[str] = []
+    phases: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    bare = {}
+    for qid in query_ids:
+        db = list(np.delete(walks[:m], qid, axis=0))
+        bare[qid] = wedge_search(db, walks[qid], measure)
+    phases["bare_runs"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with QueryLogger(obs_dir / "queries.jsonl") as log:
+        for qid in query_ids:
+            db = list(np.delete(walks[:m], qid, axis=0))
+            observed = wedge_search(
+                db,
+                walks[qid],
+                measure,
+                tracer=tracer,
+                metrics=registry,
+                query_log=log,
+                query_id=int(qid),
+            )
+            if observed.counter.steps != bare[qid].counter.steps:
+                failures.append(
+                    f"query#{qid}: tracing changed the step count "
+                    f"({observed.counter.steps} != {bare[qid].counter.steps})"
+                )
+            if observed.index != bare[qid].index:
+                failures.append(
+                    f"query#{qid}: tracing changed the answer "
+                    f"({observed.index} != {bare[qid].index})"
+                )
+            if not funnel_is_monotone(observed.tier_stats):
+                failures.append(
+                    f"query#{qid}: non-monotone tier funnel {tier_funnel(observed.tier_stats)}"
+                )
+            print(
+                f"    obs query#{qid:>2}: {observed.counter.steps:>7} steps"
+                " (bit-identical to untraced run)"
+            )
+    phases["instrumented_runs"] = time.perf_counter() - t0
+
+    (obs_dir / "metrics.prom").write_text(registry.to_prometheus())
+    (obs_dir / "metrics.json").write_text(registry.to_json() + "\n")
+    (obs_dir / "trace.json").write_text(json.dumps(tracer.to_dict(), indent=2) + "\n")
+    provenance = provenance_block(
+        {
+            "benchmark": "obs_quick",
+            "phase_timings_s": {k: round(v, 4) for k, v in phases.items()},
+        }
+    )
+    (obs_dir / "provenance.json").write_text(json.dumps(provenance, indent=2) + "\n")
+
+    # The artifact must parse back: a trace nobody can read is no trace.
+    records = read_query_log(obs_dir / "queries.jsonl")
+    if len(records) != len(query_ids):
+        failures.append(f"query log holds {len(records)} records, expected {len(query_ids)}")
+    aggregated: dict[str, int] = {}
+    for record in records:
+        for key, value in (record.get("tier_stats") or {}).items():
+            aggregated[key] = aggregated.get(key, 0) + int(value)
+    funnel = tier_funnel(aggregated)
+    if not funnel_is_monotone(aggregated):
+        failures.append(f"aggregated tier funnel is not monotone: {funnel}")
+    for artifact in ("metrics.json", "trace.json", "provenance.json"):
+        json.loads((obs_dir / artifact).read_text())
+    prom_text = (obs_dir / "metrics.prom").read_text()
+    for family in ("queries_total", "query_steps", "cascade_reached_total"):
+        if family not in prom_text:
+            failures.append(f"metrics.prom is missing the {family} family")
+
+    stages = "  ->  ".join(f"{stage} {count}" for stage, count in funnel)
+    print(f"    tier funnel: {stages}")
+    print(f"    artifact written to {obs_dir}")
+
+    if failures:
+        print("\nOBSERVABILITY SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def quick_smoke() -> int:
     """CI smoke: hard invariants on tiny inputs instead of the full sweep.
 
-    Two tripwires, both fatal:
+    Four tripwires, all fatal:
 
     1. For every (measure, query) pair, ``wedge_search`` must report at most
        as many steps as ``brute_force_search`` and agree on the nearest
@@ -59,6 +186,11 @@ def quick_smoke() -> int:
        exactness, is a regression no figure would surface this cheaply.
     2. The batched engine must match the scalar per-pair path bit for bit
        (``bench_batch_engine --quick`` exits non-zero on any divergence).
+    3. The pruning cascade must hold its recorded pruning power
+       (``bench_pruning --check-baseline``).
+    4. The observability stack must observe without perturbing
+       (:func:`_obs_artifact_smoke`), leaving a parseable artifact behind
+       for CI to upload.
     """
     src = BENCH_DIR.parent / "src"
     for path in (str(BENCH_DIR), str(src)):
@@ -127,7 +259,15 @@ def quick_smoke() -> int:
     print("\n=== bench_pruning --check-baseline ===", flush=True)
     import bench_pruning
 
-    return bench_pruning.main(["--check-baseline"])
+    rc = bench_pruning.main(["--check-baseline"])
+    if rc != 0:
+        return rc
+
+    # Fourth tripwire: instrumentation is a pure observer -- step counts
+    # bit-identical with tracing on/off, a monotone tier funnel, and an
+    # observability artifact that parses back (CI uploads it every run).
+    print("\n=== observability artifact (results/obs_quick) ===", flush=True)
+    return _obs_artifact_smoke(walks, m)
 
 
 def main(argv=None) -> int:

@@ -31,6 +31,9 @@ Package map (see DESIGN.md for the full inventory):
     dendrogram sanity checks).
 ``repro.index``
     Fourier/PAA signatures, VP-tree, and the disk-resident index.
+``repro.obs``
+    Opt-in observability: query tracing, metrics registry, structured
+    run logs, benchmark provenance.
 ``repro.classify``
     Rotation-invariant 1-NN classification (Table 8).
 ``repro.datasets``
@@ -49,7 +52,7 @@ from repro.core.batch import (
     shared_workspace,
 )
 from repro.core.counters import StepCounter
-from repro.core.cascade import CascadePolicy, lb_kim
+from repro.core.cascade import CascadePolicy, empty_tier_stats, lb_kim
 from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
 from repro.core.rotation import RotationSet
 from repro.core.search import (
@@ -83,6 +86,21 @@ from repro.mining.queries import Neighbor, knn_search, range_search
 from repro.mining.scaling import scaled_candidates, scaling_invariant_search
 from repro.mining.streaming import StreamMatch, StreamMonitor
 from repro.mining.trajectories import trajectory_dtw, trajectory_search
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    QueryLogger,
+    Span,
+    Tracer,
+    format_summary,
+    funnel_is_monotone,
+    global_registry,
+    provenance_block,
+    read_query_log,
+    record_query,
+    summarize_query_log,
+    tier_funnel,
+)
 from repro.persistence import load_dataset_file, load_index, save_dataset, save_index
 from repro.viz import plot_series, plot_warping_matrix, plot_wedge
 from repro.index.linear_scan import SignatureFilteredScan
@@ -125,6 +143,7 @@ __all__ = [
     "anytime_wedge_search",
     "AnytimeResult",
     "CascadePolicy",
+    "empty_tier_stats",
     "lb_kim",
     "test_all_rotations",
     "search_many",
@@ -186,6 +205,20 @@ __all__ = [
     "scaling_invariant_search",
     "trajectory_search",
     "trajectory_dtw",
+    # observability
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "global_registry",
+    "record_query",
+    "QueryLogger",
+    "read_query_log",
+    "summarize_query_log",
+    "format_summary",
+    "tier_funnel",
+    "funnel_is_monotone",
+    "provenance_block",
     # persistence & viz
     "save_dataset",
     "load_dataset_file",

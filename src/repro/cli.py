@@ -17,6 +17,11 @@ Reproduce one Table-8 row::
 Mine a light-curve archive for outliers::
 
     python -m repro discords --collection lightcurves --size 40 --top 3
+
+Trace one query and summarize a structured run log::
+
+    python -m repro search --size 50 --trace --obs-log runs.jsonl
+    python -m repro obs runs.jsonl
 """
 
 from __future__ import annotations
@@ -99,15 +104,64 @@ def cmd_search(args) -> int:
     kwargs = dict(mirror=args.mirror)
     if args.max_degrees is not None:
         kwargs["max_degrees"] = args.max_degrees
+
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    metrics = None
+    if args.metrics_out:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    query_log = None
+    if args.obs_log:
+        from repro.obs.querylog import QueryLogger
+
+        query_log = QueryLogger(args.obs_log)
+    obs_kwargs = dict(tracer=tracer, metrics=metrics, query_log=query_log)
+
     if args.strategy == "fft":
-        result = search(database, query, mirror=args.mirror)
+        result = search(database, query, mirror=args.mirror, **obs_kwargs)
     else:
-        result = search(database, query, measure, **kwargs)
+        result = search(database, query, measure, **kwargs, **obs_kwargs)
+    if query_log is not None:
+        query_log.close()
 
     brute_steps = len(database) * archive.shape[1] * measure.pairwise_cost(archive.shape[1])
     print(f"query: object {query_index} of the {args.collection} collection")
     print(f"best match: object {result.index} at distance {result.distance:.4f} (rotation {result.rotation})")
     print(f"steps: {result.counter.steps:,} ({result.counter.steps / brute_steps:.2%} of brute force)")
+    if any(result.tier_stats.values()):
+        stats = result.tier_stats
+        print(
+            "cascade funnel: "
+            f"{stats['leaf_candidates']} leaves -> {stats['keogh_reached']} past kim -> "
+            f"{stats['improved_reached']} past keogh -> {stats['full_computations']} full distances"
+        )
+    if tracer is not None:
+        print("\ntrace:")
+        print(tracer.format_tree())
+    if metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"\nmetrics written to {args.metrics_out}")
+    if args.obs_log:
+        print(f"query record appended to {args.obs_log}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.obs.report import format_summary, summarize_query_log
+
+    summary = summarize_query_log(args.log, top=args.top)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
     return 0
 
 
@@ -191,7 +245,23 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--strategy", default="wedge", choices=("wedge", "brute", "early-abandon", "fft"))
     search.add_argument("--mirror", action="store_true")
     search.add_argument("--max-degrees", type=float, default=None)
+    search.add_argument("--trace", action="store_true", help="print the query's span tree")
+    search.add_argument(
+        "--obs-log", default=None, metavar="FILE", help="append a JSONL query record to FILE"
+    )
+    search.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write Prometheus-text metrics for the query to FILE",
+    )
     search.set_defaults(func=cmd_search)
+
+    obs = sub.add_parser("obs", help="summarize a JSONL query log (tier funnel, slow queries)")
+    obs.add_argument("log", help="path to a query log written by QueryLogger / --obs-log")
+    obs.add_argument("--top", type=int, default=5, help="how many slow queries to list")
+    obs.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    obs.set_defaults(func=cmd_obs)
 
     classify = sub.add_parser("classify", help="Table-8 protocol on one dataset")
     classify.add_argument("--dataset", required=True)

@@ -57,12 +57,19 @@ class BatchWorkspace:
     per buffer for the whole scan instead of one per (query, candidate)
     pair.  A workspace is **not** thread-safe; use one per thread (see
     :func:`shared_workspace`).
+
+    The workspace also keeps lightweight usage telemetry: per-key request
+    and (re)allocation counts, surfaced by :meth:`stats` so observability
+    code can verify that buffer reuse is actually amortising (requests far
+    above allocations) rather than thrashing.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_buffers", "_requests", "_allocations")
 
     def __init__(self):
         self._buffers: dict[str, np.ndarray] = {}
+        self._requests: dict[str, int] = {}
+        self._allocations: dict[str, int] = {}
 
     def scratch(self, key: str, shape: tuple[int, ...]) -> np.ndarray:
         """A float64 scratch array of ``shape``, reused across calls.
@@ -75,11 +82,27 @@ class BatchWorkspace:
         size = 1
         for dim in shape:
             size *= int(dim)
+        self._requests[key] = self._requests.get(key, 0) + 1
         buf = self._buffers.get(key)
         if buf is None or buf.size < size:
             buf = np.empty(size, dtype=np.float64)
             self._buffers[key] = buf
+            self._allocations[key] = self._allocations.get(key, 0) + 1
         return buf[:size].reshape(shape)
+
+    def stats(self) -> dict:
+        """Usage telemetry: held bytes plus per-key request/allocation counts.
+
+        ``kernel_calls`` is the total number of scratch requests -- one per
+        batched kernel invocation that routed through this workspace.
+        """
+        return {
+            "buffers": len(self._buffers),
+            "bytes_held": int(sum(buf.nbytes for buf in self._buffers.values())),
+            "kernel_calls": int(sum(self._requests.values())),
+            "requests": dict(self._requests),
+            "allocations": dict(self._allocations),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         held = sum(buf.nbytes for buf in self._buffers.values())
@@ -338,6 +361,32 @@ def batch_lb_improved(
     return bounds, steps
 
 
+def _pick_winner(
+    totals: np.ndarray, survived: np.ndarray, r: float, r_sq: float
+) -> tuple[float, int]:
+    """The sequential loop's winner: first minimal *distance* among survivors.
+
+    The scalar Table 2 loop decides improvement with ``dist < best`` in
+    distance space -- after the square root -- and only completed rows ever
+    produce a finite ``dist``.  Two consequences the squared-space shortcut
+    ``argmin(totals)`` gets wrong: (1) two totals one ulp apart can round
+    to the *same* distance, where the loop keeps the earlier row; (2) an
+    abandoned row can hold the smallest total (its threshold was the
+    sqrt-then-square round trip of the running best, which may sit one ulp
+    below it) yet the loop never sees its distance.  So: sqrt the
+    survivors, take the first minimum, and return the same ``best * best``
+    round trip the loop's ``best_sq`` performs.
+    """
+    survived_idx = np.flatnonzero(survived)
+    if survived_idx.size:
+        dists = np.sqrt(totals[survived_idx])
+        k = int(np.argmin(dists))
+        best = float(dists[k])
+        if best < float(r):
+            return best * best, int(survived_idx[k])
+    return r_sq, -1
+
+
 def _thresholds_before(totals: np.ndarray, r: float) -> np.ndarray:
     """Squared threshold in force when each row of a sequential scan is reached.
 
@@ -398,13 +447,7 @@ def running_scan(
     if n_abandoned:
         cuts = _cuts_against(prefix[abandoned], before[abandoned])
         steps += int(np.minimum(cuts + 1, n).sum())
-    best_sq = float(totals.min()) if m else math.inf
-    # Improvement is decided in distance space, like the scalar loop's
-    # ``dist < best`` test.
-    if math.sqrt(best_sq) < float(r):
-        best_index = int(np.argmin(totals))
-        return best_sq, best_index, steps, n_abandoned
-    return r_sq, -1, steps, n_abandoned
+    return _pick_winner(totals, survived, r, r_sq) + (steps, n_abandoned)
 
 
 def ea_running_min_scan(
@@ -496,7 +539,4 @@ def ea_running_min_scan(
         cuts = _cuts_against(full_prefix[late], before[alive_idx[late]])
         steps += int(np.minimum(cuts + 1, n).sum())
 
-    best_sq = float(totals.min())
-    if math.sqrt(best_sq) < float(r):
-        return best_sq, int(np.argmin(totals)), steps, abandons
-    return r_sq, -1, steps, abandons
+    return _pick_winner(totals, survived, r, r_sq) + (steps, abandons)

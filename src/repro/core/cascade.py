@@ -37,8 +37,28 @@ import numpy as np
 from repro.core.counters import StepCounter
 from repro.core.wedge import Wedge
 from repro.distances.base import Measure
+from repro.obs.trace import NULL_TRACER
 
-__all__ = ["lb_kim", "candidate_extremes", "CascadePolicy"]
+__all__ = ["lb_kim", "candidate_extremes", "CascadePolicy", "empty_tier_stats"]
+
+#: Keys every tier-stats dict exposes, cascade or not.  Non-cascade search
+#: strategies report this zeroed sentinel on ``SearchResult.tier_stats`` so
+#: downstream reporting (the ``repro obs`` funnel above all) never branches
+#: on ``None``.
+TIER_STAT_KEYS = (
+    "leaf_candidates",
+    "kim_rejections",
+    "keogh_reached",
+    "keogh_rejections",
+    "improved_reached",
+    "improved_rejections",
+    "full_computations",
+)
+
+
+def empty_tier_stats() -> dict[str, int]:
+    """A zeroed tier-stats dict with the full :data:`TIER_STAT_KEYS` schema."""
+    return dict.fromkeys(TIER_STAT_KEYS, 0)
 
 
 def candidate_extremes(candidate: np.ndarray) -> tuple[float, float, float, float]:
@@ -111,12 +131,35 @@ class CascadePolicy:
         distance.  It only ever runs when the measure declares
         ``has_improved_bound`` and the threshold is finite (an infinite
         threshold rejects nothing, so the second pass would be pure cost).
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` receiving one event per tier
+        decision (and a span around each full distance computation).
+        Defaults to the no-op null tracer; tracing never touches the step
+        accounting.
+
+    Besides the per-tier *rejection* counts, the policy tracks the tier
+    **funnel**: how many leaf candidates entered the cascade
+    (``leaf_candidates``), survived into the LB_Keogh tier
+    (``keogh_reached``), survived into the LB_Improved stage
+    (``improved_reached``), and paid a full distance
+    (``full_computations``).  Exactness makes the funnel monotonically
+    non-increasing; observability code asserts that.
     """
 
-    def __init__(self, measure: Measure, use_kim: bool = True, use_improved: bool = True):
+    def __init__(
+        self,
+        measure: Measure,
+        use_kim: bool = True,
+        use_improved: bool = True,
+        tracer=None,
+    ):
         self.measure = measure
         self.use_kim = use_kim and measure.kim_compatible
         self.use_improved = use_improved and measure.has_improved_bound
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.leaf_candidates = 0
+        self.keogh_reached = 0
+        self.improved_reached = 0
         self.kim_rejections = 0
         self.keogh_rejections = 0
         self.improved_rejections = 0
@@ -192,12 +235,30 @@ class CascadePolicy:
         H-Merge to decide whether a subtree can be pruned wholesale.
         """
         upper, lower = wedge.envelope_for(self.measure, counter=counter)
+        tracer = self.tracer
         if self.use_kim:
             kim = self._kim(candidate, wedge, upper, lower, counter)
             if kim >= threshold:
                 self.kim_rejections += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "cascade.kim",
+                        outcome="reject",
+                        kind="wedge",
+                        cardinality=wedge.cardinality,
+                        bound=float(kim),
+                    )
                 return kim
-        return self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+        lb = self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+        if tracer.enabled:
+            tracer.event(
+                "cascade.keogh",
+                outcome="reject" if lb >= threshold else "pass",
+                kind="wedge",
+                cardinality=wedge.cardinality,
+                bound=float(lb),
+            )
+        return lb
 
     def leaf_distance(
         self,
@@ -208,18 +269,30 @@ class CascadePolicy:
     ) -> float:
         """Exact distance to the leaf's series, or ``inf`` once provably
         >= ``threshold`` -- after as little work as the cascade allows."""
+        self.leaf_candidates += 1
+        tracer = self.tracer
         upper, lower = leaf.envelope_for(self.measure, counter=counter)
         if self.use_kim:
             kim = self._kim(candidate, leaf, upper, lower, counter)
             if kim >= threshold:
                 self.kim_rejections += 1
+                if tracer.enabled:
+                    tracer.event("cascade.kim", outcome="reject", kind="leaf", bound=float(kim))
                 return math.inf
+            if tracer.enabled:
+                tracer.event("cascade.kim", outcome="pass", kind="leaf", bound=float(kim))
+        self.keogh_reached += 1
         keogh = self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
         if keogh >= threshold:
             self.keogh_rejections += 1
+            if tracer.enabled:
+                tracer.event("cascade.keogh", outcome="reject", kind="leaf", bound=float(keogh))
             return math.inf
+        if tracer.enabled:
+            tracer.event("cascade.keogh", outcome="pass", kind="leaf", bound=float(keogh))
         if self.measure.lb_exact_for_singleton:
             return keogh
+        self.improved_reached += 1
         if self.use_improved and math.isfinite(threshold):
             improved = self.measure.improved_lower_bound(
                 candidate,
@@ -233,15 +306,36 @@ class CascadePolicy:
             )
             if improved >= threshold:
                 self.improved_rejections += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "cascade.improved", outcome="reject", kind="leaf", bound=float(improved)
+                    )
                 return math.inf
+            if tracer.enabled:
+                tracer.event(
+                    "cascade.improved", outcome="pass", kind="leaf", bound=float(improved)
+                )
         self.full_computations += 1
-        return self.measure.distance(candidate, leaf.series, threshold, counter=counter)
+        with tracer.span("cascade.full_distance") as span:
+            dist = self.measure.distance(candidate, leaf.series, threshold, counter=counter)
+            span.set(distance=float(dist))
+        return dist
 
     def stats(self) -> dict[str, int]:
-        """Rejection counts per tier (for the ablation report)."""
+        """Tier funnel and rejection counts (for reports and ``repro obs``).
+
+        Same key schema as :func:`empty_tier_stats`; the ``*_reached`` keys
+        count leaf candidates *entering* each tier, the ``*_rejections``
+        keys count candidates each tier removed (internal-wedge Kim/Keogh
+        rejections from :meth:`wedge_bound` are folded into the same
+        rejection buckets).
+        """
         return {
+            "leaf_candidates": self.leaf_candidates,
             "kim_rejections": self.kim_rejections,
+            "keogh_reached": self.keogh_reached,
             "keogh_rejections": self.keogh_rejections,
+            "improved_reached": self.improved_reached,
             "improved_rejections": self.improved_rejections,
             "full_computations": self.full_computations,
         }

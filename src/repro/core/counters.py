@@ -65,7 +65,22 @@ class StepCounter:
         self.steps += int(n)
 
     def merge(self, other: "StepCounter") -> None:
-        """Fold the counts of ``other`` into this counter."""
+        """Fold the counts of ``other`` into this counter.
+
+        Contract: ``other`` must be *settled* -- no pending checkpoints.
+        Checkpoints are positions in ``other``'s private step history and
+        are meaningless after its steps are folded into a different
+        counter, so merging a counter mid-measurement is almost certainly
+        a bug (the pending ``since_checkpoint`` would silently report
+        garbage).  Raises :class:`ValueError` instead of dropping them.
+        This counter's own checkpoints are unaffected: its step history
+        keeps growing, so deltas against them stay well-defined.
+        """
+        if other._checkpoints:
+            raise ValueError(
+                f"cannot merge a counter with {len(other._checkpoints)} pending "
+                "checkpoint(s); resolve them with since_checkpoint() first"
+            )
         self.steps += other.steps
         self.distance_calls += other.distance_calls
         self.lb_calls += other.lb_calls
@@ -73,6 +88,29 @@ class StepCounter:
         self.disk_accesses += other.disk_accesses
         self.envelope_cache_hits += other.envelope_cache_hits
         self.envelope_cache_misses += other.envelope_cache_misses
+
+    def __iadd__(self, other: "StepCounter") -> "StepCounter":
+        """``counter += other`` is :meth:`merge`; composes with fold loops."""
+        self.merge(other)
+        return self
+
+    def __add__(self, other: "StepCounter") -> "StepCounter":
+        """A new counter holding both operands' counts.
+
+        Lets counters compose with ``sum(counters, StepCounter())``-style
+        folds; both operands must satisfy the :meth:`merge` contract (no
+        pending checkpoints).
+        """
+        if not isinstance(other, StepCounter):
+            return NotImplemented
+        if self._checkpoints:
+            raise ValueError(
+                f"cannot add a counter with {len(self._checkpoints)} pending checkpoint(s)"
+            )
+        merged = StepCounter()
+        merged.merge(self)
+        merged.merge(other)
+        return merged
 
     def reset(self) -> None:
         """Zero every count."""

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.counters import StepCounter
 from repro.core.wedge import Wedge
 from repro.distances.base import Measure
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["h_merge", "DynamicKPolicy", "FixedKPolicy"]
 
@@ -38,6 +39,7 @@ def h_merge(
     order: str = "dfs",
     pruner=None,
     batch_leaves: bool = True,
+    tracer=None,
 ) -> tuple[float, int]:
     """Distance from ``candidate`` to the nearest sequence under the wedges.
 
@@ -71,6 +73,11 @@ def h_merge(
         distances in best-bound order) instead of one scalar call per leaf.
         Answers are identical; only the evaluation order inside a run
         changes.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` receiving one event per frontier
+        pop and a span per batched leaf run.  ``None`` (the default) uses
+        the no-op null tracer; per-tier cascade events come from the
+        ``pruner``'s own tracer.  Tracing never changes step accounting.
 
     Returns
     -------
@@ -81,6 +88,7 @@ def h_merge(
     if order not in ("dfs", "best-first"):
         raise ValueError(f"unknown traversal order {order!r}")
     candidate = np.asarray(candidate, dtype=np.float64)
+    tracer = NULL_TRACER if tracer is None else tracer
     best = float(r)
     best_idx = -1
 
@@ -104,15 +112,28 @@ def h_merge(
                     best = dist
                     best_idx = wedge.indices[0]
             else:
-                best, best_idx = _evaluate_leaf_run(
-                    candidate, run, measure, best, best_idx, counter, pruner
-                )
+                if tracer.enabled:
+                    with tracer.span("hmerge.leaf_run", size=len(run)):
+                        best, best_idx = _evaluate_leaf_run(
+                            candidate, run, measure, best, best_idx, counter, pruner, tracer
+                        )
+                else:
+                    best, best_idx = _evaluate_leaf_run(
+                        candidate, run, measure, best, best_idx, counter, pruner, tracer
+                    )
             continue
         if pruner is not None:
             lb = pruner.wedge_bound(candidate, wedge, best, counter)
         else:
             upper, lower = wedge.envelope_for(measure, counter=counter)
             lb = measure.lower_bound(candidate, upper, lower, best, counter=counter)
+        if tracer.enabled:
+            tracer.event(
+                "hmerge.pop",
+                cardinality=wedge.cardinality,
+                bound=float(lb),
+                pruned=bool(lb >= best),
+            )
         if lb >= best:
             continue  # early-abandoned (inf) or provably no better than best
         stack.extend(reversed(wedge.children))
@@ -149,6 +170,7 @@ def _evaluate_leaf_run(
     best_idx: int,
     counter: StepCounter | None,
     pruner,
+    tracer=NULL_TRACER,
 ) -> tuple[float, int]:
     """Batched frontier evaluation of a run of sibling leaves.
 
@@ -161,6 +183,8 @@ def _evaluate_leaf_run(
     path would keep is ever dropped: answers are identical.
     """
     leaves = run
+    if pruner is not None:
+        pruner.leaf_candidates += len(run)
     if pruner is not None and pruner.use_kim:
         kept = []
         for leaf in leaves:
@@ -168,11 +192,15 @@ def _evaluate_leaf_run(
             kim = pruner._kim(candidate, leaf, upper, lower, counter)
             if kim >= best:
                 pruner.kim_rejections += 1
+                if tracer.enabled:
+                    tracer.event("cascade.kim", outcome="reject", kind="leaf", bound=float(kim))
             else:
                 kept.append(leaf)
         leaves = kept
         if not leaves:
             return best, best_idx
+    if pruner is not None:
+        pruner.keogh_reached += len(leaves)
 
     if measure.lb_exact_for_singleton:
         # Euclidean: the leaf bound IS the distance; one running scan with
@@ -180,7 +208,8 @@ def _evaluate_leaf_run(
         # sequential step accounting.
         rows = np.stack([leaf.series for leaf in leaves])
         abandons_before = counter.early_abandons if counter is not None else 0
-        dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
+        with tracer.span("batch.min_distance", rows=len(leaves)):
+            dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
         if pruner is not None and counter is not None:
             pruner.keogh_rejections += counter.early_abandons - abandons_before
         if dist < best:
@@ -192,23 +221,29 @@ def _evaluate_leaf_run(
     lowers = np.stack([env[1] for env in envelopes])
     raw = np.stack([leaf.series for leaf in leaves])
     use_improved = pruner.use_improved if pruner is not None else True
-    bounds = measure.batch_wedge_bounds(
-        candidate,
-        uppers,
-        lowers,
-        raw,
-        raw,
-        r=best,
-        counter=counter,
-        use_improved=use_improved,
-    )
+    with tracer.span("batch.wedge_bounds", rows=len(leaves)):
+        bounds = measure.batch_wedge_bounds(
+            candidate,
+            uppers,
+            lowers,
+            raw,
+            raw,
+            r=best,
+            counter=counter,
+            use_improved=use_improved,
+        )
     if pruner is not None:
         finite = np.isfinite(bounds)
         pruner.keogh_rejections += int((~finite).sum())
         rejected = int((finite & (bounds >= best)).sum())
         if use_improved and measure.has_improved_bound and math.isfinite(best):
+            # Finite bounds survived the LB_Keogh pass and entered the
+            # LB_Improved stage; rows abandoned in pass 1 came back inf.
+            pruner.improved_reached += int(finite.sum())
             pruner.improved_rejections += rejected
         else:
+            # No improved tier ran: only the survivors proceed past Keogh.
+            pruner.improved_reached += int((bounds < best).sum())
             pruner.keogh_rejections += rejected
     surviving = np.flatnonzero(bounds < best)
     if surviving.size == 0:
@@ -217,7 +252,8 @@ def _evaluate_leaf_run(
     if pruner is not None:
         pruner.full_computations += int(by_bound.size)
     rows = raw[by_bound]
-    dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
+    with tracer.span("batch.min_distance", rows=int(by_bound.size)):
+        dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
     if dist < best:
         return dist, leaves[int(by_bound[j])].indices[0]
     return best, best_idx

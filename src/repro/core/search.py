@@ -35,16 +35,20 @@ import concurrent.futures
 import math
 import os
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.cascade import CascadePolicy, empty_tier_stats
 from repro.core.counters import StepCounter, fft_step_cost
 from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
 from repro.core.rotation import RotationSet
 from repro.core.wedge_builder import WedgeTree, build_wedge_tree
 from repro.distances.base import Measure
 from repro.distances.euclidean import EuclideanMeasure
+from repro.obs.metrics import MetricsRegistry, record_query
+from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "SearchResult",
@@ -80,9 +84,11 @@ class SearchResult:
     strategy:
         Which algorithm produced this result.
     tier_stats:
-        Per-tier rejection counts from the pruning cascade
-        (:meth:`repro.core.cascade.CascadePolicy.stats`) for strategies
-        that run one; ``None`` otherwise.
+        Per-tier funnel and rejection counts from the pruning cascade
+        (:meth:`repro.core.cascade.CascadePolicy.stats`).  Strategies that
+        run no cascade report the zeroed
+        :func:`~repro.core.cascade.empty_tier_stats` sentinel with the
+        same key schema, so reporting code never branches on ``None``.
     """
 
     index: int
@@ -90,7 +96,7 @@ class SearchResult:
     rotation: int
     counter: StepCounter = field(default_factory=StepCounter)
     strategy: str = ""
-    tier_stats: dict | None = None
+    tier_stats: dict = field(default_factory=empty_tier_stats)
 
     @property
     def found(self) -> bool:
@@ -183,25 +189,68 @@ def test_all_rotations(
     )
 
 
+def _observe_query(
+    result: SearchResult,
+    measure: Measure,
+    wall_seconds: float,
+    metrics,
+    query_log,
+    query_id,
+    extra: dict | None = None,
+) -> SearchResult:
+    """Opt-in telemetry fan-out shared by every strategy.
+
+    Records the finished query into a :class:`~repro.obs.metrics.MetricsRegistry`
+    and/or appends one JSONL record to a
+    :class:`~repro.obs.querylog.QueryLogger`.  Both sinks are post-hoc:
+    nothing here runs inside the scan, so step accounting and answers are
+    untouched.
+    """
+    if metrics is not None:
+        record_query(result, measure.name, wall_seconds, registry=metrics)
+    if query_log is not None:
+        query_log.log_result(
+            result,
+            measure=measure.name,
+            wall_seconds=wall_seconds,
+            query_id=query_id,
+            **(extra or {}),
+        )
+    return result
+
+
 def brute_force_search(
     database: Sequence,
     query,
     measure: Measure,
     mirror: bool = False,
     max_degrees: float | None = None,
+    *,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
+    query_id=None,
 ) -> SearchResult:
     """Exhaustive search with no pruning at all (the paper's "Brute force")."""
+    tracer = NULL_TRACER if tracer is None else tracer
+    t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     best = math.inf
     best_index, best_rotation = -1, -1
-    for i, obj in enumerate(database):
-        dist, rotation = test_all_rotations(
-            obj, rq, measure, r=math.inf, counter=counter, early_abandon=False
-        )
-        if dist < best:
-            best, best_index, best_rotation = dist, i, rotation
-    return SearchResult(best_index, best, best_rotation, counter, "brute-force")
+    with tracer.span("query", strategy="brute-force", measure=measure.name):
+        for i, obj in enumerate(database):
+            dist, rotation = test_all_rotations(
+                obj, rq, measure, r=math.inf, counter=counter, early_abandon=False
+            )
+            if dist < best:
+                best, best_index, best_rotation = dist, i, rotation
+                if tracer.enabled:
+                    tracer.event("best_so_far", index=i, distance=float(best))
+    result = SearchResult(best_index, best, best_rotation, counter, "brute-force")
+    return _observe_query(
+        result, measure, perf_counter() - t0, metrics, query_log, query_id
+    )
 
 
 def early_abandon_search(
@@ -210,19 +259,32 @@ def early_abandon_search(
     measure: Measure,
     mirror: bool = False,
     max_degrees: float | None = None,
+    *,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
+    query_id=None,
 ) -> SearchResult:
     """Linear scan with early abandoning everywhere (the "Early abandon" line)."""
+    tracer = NULL_TRACER if tracer is None else tracer
+    t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     best = math.inf
     best_index, best_rotation = -1, -1
-    for i, obj in enumerate(database):
-        dist, rotation = test_all_rotations(
-            obj, rq, measure, r=best, counter=counter, early_abandon=True
-        )
-        if dist < best:
-            best, best_index, best_rotation = dist, i, rotation
-    return SearchResult(best_index, best, best_rotation, counter, "early-abandon")
+    with tracer.span("query", strategy="early-abandon", measure=measure.name):
+        for i, obj in enumerate(database):
+            dist, rotation = test_all_rotations(
+                obj, rq, measure, r=best, counter=counter, early_abandon=True
+            )
+            if dist < best:
+                best, best_index, best_rotation = dist, i, rotation
+                if tracer.enabled:
+                    tracer.event("best_so_far", index=i, distance=float(best))
+    result = SearchResult(best_index, best, best_rotation, counter, "early-abandon")
+    return _observe_query(
+        result, measure, perf_counter() - t0, metrics, query_log, query_id
+    )
 
 
 def fft_search(
@@ -231,6 +293,11 @@ def fft_search(
     measure: Measure | None = None,
     mirror: bool = False,
     max_degrees: float | None = None,
+    *,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
+    query_id=None,
 ) -> SearchResult:
     """Fourier-magnitude screening before the early-abandoning scan.
 
@@ -247,25 +314,35 @@ def fft_search(
         )
     from repro.index.fourier import fourier_signature, signature_distance
 
+    tracer = NULL_TRACER if tracer is None else tracer
+    t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     n = rq.length
     query_sig = rq.signature()
     best = math.inf
     best_index, best_rotation = -1, -1
-    for i, obj in enumerate(database):
-        counter.lb_calls += 1
-        counter.add(fft_step_cost(n))
-        lb = signature_distance(query_sig, fourier_signature(obj))
-        if lb >= best:
-            counter.early_abandons += 1
-            continue
-        dist, rotation = test_all_rotations(
-            obj, rq, measure, r=best, counter=counter, early_abandon=True
-        )
-        if dist < best:
-            best, best_index, best_rotation = dist, i, rotation
-    return SearchResult(best_index, best, best_rotation, counter, "fft")
+    with tracer.span("query", strategy="fft", measure=measure.name):
+        for i, obj in enumerate(database):
+            counter.lb_calls += 1
+            counter.add(fft_step_cost(n))
+            lb = signature_distance(query_sig, fourier_signature(obj))
+            if lb >= best:
+                counter.early_abandons += 1
+                if tracer.enabled:
+                    tracer.event("fft.screen", outcome="reject", index=i, bound=float(lb))
+                continue
+            dist, rotation = test_all_rotations(
+                obj, rq, measure, r=best, counter=counter, early_abandon=True
+            )
+            if dist < best:
+                best, best_index, best_rotation = dist, i, rotation
+                if tracer.enabled:
+                    tracer.event("best_so_far", index=i, distance=float(best))
+    result = SearchResult(best_index, best, best_rotation, counter, "fft")
+    return _observe_query(
+        result, measure, perf_counter() - t0, metrics, query_log, query_id
+    )
 
 
 def wedge_search(
@@ -281,6 +358,10 @@ def wedge_search(
     use_kim: bool = False,
     use_improved: bool = True,
     batch_leaves: bool = True,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
+    query_id=None,
 ) -> SearchResult:
     """The paper's wedge-based search (Section 4.1).
 
@@ -297,24 +378,56 @@ def wedge_search(
     O(1) Kim pre-tier on; ``batch_leaves`` evaluates runs of sibling
     leaves through the batched kernels.  The per-tier rejection counts are
     returned on ``SearchResult.tier_stats``.
-    """
-    from repro.core.cascade import CascadePolicy
 
+    ``tracer``/``metrics``/``query_log`` are the opt-in observability
+    hooks: the tracer receives the full span tree (wedge-tree build,
+    H-Merge pops, cascade tiers, batch kernel calls), the registry and
+    logger record the finished query.  With a query log attached the
+    record additionally carries the K trajectory (the wedge-set size used
+    per object, probes included) and the best-so-far radius trace.
+    """
+    tracer = NULL_TRACER if tracer is None else tracer
+    t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees, linkage_method)
     counter = StepCounter()
-    tree = rq.wedge_tree(counter if charge_setup else None)
-    policy = k_policy if k_policy is not None else DynamicKPolicy()
-    pruner = CascadePolicy(measure, use_kim=use_kim, use_improved=use_improved)
-    max_k = tree.max_k
-    best = math.inf
-    best_index, best_rotation = -1, -1
-    probe_ks: list[int] = []
-    for i, obj in enumerate(database):
-        obj = np.asarray(obj, dtype=np.float64)
-        if probe_ks:
-            dist, rotation = math.inf, -1
-            for k in probe_ks:
-                counter.checkpoint()
+    with tracer.span("query", strategy="wedge", measure=measure.name):
+        with tracer.span("wedge_tree.build") as build_span:
+            tree = rq.wedge_tree(counter if charge_setup else None)
+            build_span.set(max_k=tree.max_k, length=rq.length)
+        policy = k_policy if k_policy is not None else DynamicKPolicy()
+        pruner = CascadePolicy(
+            measure, use_kim=use_kim, use_improved=use_improved, tracer=tracer
+        )
+        max_k = tree.max_k
+        best = math.inf
+        best_index, best_rotation = -1, -1
+        probe_ks: list[int] = []
+        trajectories = query_log is not None or tracer.enabled
+        k_trajectory: list[int] = []
+        radius_trace: list[float] = []
+        for i, obj in enumerate(database):
+            obj = np.asarray(obj, dtype=np.float64)
+            if probe_ks:
+                dist, rotation = math.inf, -1
+                for k in probe_ks:
+                    counter.checkpoint()
+                    dist, rotation = h_merge(
+                        obj,
+                        tree.frontier(k),
+                        measure,
+                        r=best,
+                        counter=counter,
+                        order=order,
+                        pruner=pruner,
+                        batch_leaves=batch_leaves,
+                        tracer=tracer,
+                    )
+                    policy.observe_probe(k, counter.since_checkpoint())
+                    if trajectories:
+                        k_trajectory.append(k)
+                probe_ks = []
+            else:
+                k = policy.current_k(max_k)
                 dist, rotation = h_merge(
                     obj,
                     tree.frontier(k),
@@ -324,26 +437,27 @@ def wedge_search(
                     order=order,
                     pruner=pruner,
                     batch_leaves=batch_leaves,
+                    tracer=tracer,
                 )
-                policy.observe_probe(k, counter.since_checkpoint())
-            probe_ks = []
-        else:
-            k = policy.current_k(max_k)
-            dist, rotation = h_merge(
-                obj,
-                tree.frontier(k),
-                measure,
-                r=best,
-                counter=counter,
-                order=order,
-                pruner=pruner,
-                batch_leaves=batch_leaves,
-            )
-        if dist < best:
-            best, best_index, best_rotation = dist, i, rotation
-            probe_ks = policy.candidates_after_improvement(max_k)
-    return SearchResult(
+                if trajectories:
+                    k_trajectory.append(k)
+            if dist < best:
+                best, best_index, best_rotation = dist, i, rotation
+                probe_ks = policy.candidates_after_improvement(max_k)
+                if trajectories:
+                    radius_trace.append(float(best))
+                if tracer.enabled:
+                    tracer.event("best_so_far", index=i, distance=float(best))
+    result = SearchResult(
         best_index, best, best_rotation, counter, "wedge", tier_stats=pruner.stats()
+    )
+    extra = (
+        {"k_trajectory": k_trajectory, "radius_trace": radius_trace}
+        if query_log is not None
+        else None
+    )
+    return _observe_query(
+        result, measure, perf_counter() - t0, metrics, query_log, query_id, extra
     )
 
 
@@ -372,6 +486,8 @@ def anytime_wedge_search(
     max_degrees: float | None = None,
     order_by_signature: bool = True,
     wedge_set_size: int = 8,
+    *,
+    tracer=None,
 ) -> AnytimeResult:
     """Wedge search under a hard step budget (anytime semantics).
 
@@ -384,6 +500,7 @@ def anytime_wedge_search(
     """
     if step_budget < 1:
         raise ValueError(f"step_budget must be positive, got {step_budget}")
+    tracer = NULL_TRACER if tracer is None else tracer
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     tree = rq.wedge_tree(counter)
@@ -403,14 +520,19 @@ def anytime_wedge_search(
     best = math.inf
     best_index, best_rotation = -1, -1
     scanned = 0
-    for i in order:
-        if counter.steps >= step_budget:
-            break
-        obj = np.asarray(database[int(i)], dtype=np.float64)
-        dist, rotation = h_merge(obj, frontier, measure, r=best, counter=counter)
-        scanned += 1
-        if dist < best:
-            best, best_index, best_rotation = dist, int(i), rotation
+    with tracer.span("query", strategy="anytime-wedge", measure=measure.name):
+        for i in order:
+            if counter.steps >= step_budget:
+                if tracer.enabled:
+                    tracer.event("budget_exhausted", steps=counter.steps, scanned=scanned)
+                break
+            obj = np.asarray(database[int(i)], dtype=np.float64)
+            dist, rotation = h_merge(
+                obj, frontier, measure, r=best, counter=counter, tracer=tracer
+            )
+            scanned += 1
+            if dist < best:
+                best, best_index, best_rotation = dist, int(i), rotation
     result = SearchResult(best_index, best, best_rotation, counter, "anytime-wedge")
     return AnytimeResult(result=result, exact=scanned == len(database), objects_scanned=scanned)
 
@@ -435,16 +557,28 @@ _STRATEGIES = {
 _CPU_BOUND_MEASURES = frozenset({"dtw", "lcss"})
 
 
-def _search_chunk(args) -> list[SearchResult]:
+def _search_chunk(args) -> tuple[list[SearchResult], MetricsRegistry | None]:
     """Pool worker: run one strategy over a contiguous chunk of queries.
 
     Module-level (not a closure) so :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle it.  Each query gets its own :class:`StepCounter` inside the
     strategy call, so chunk results carry independent, exact accounting.
+
+    When ``record_metrics`` is set, the chunk runs against a private
+    per-worker :class:`MetricsRegistry` that rides back with the results;
+    the parent folds the worker registries together with
+    :meth:`MetricsRegistry.merge` -- the same reduce shape as
+    :func:`merge_counters` for step counts.  (File-backed sinks like
+    :class:`~repro.obs.querylog.QueryLogger` stay parent-side: handles do
+    not pickle.)
     """
-    strategy, database, queries, measure, kwargs = args
+    strategy, database, queries, measure, kwargs, record_metrics = args
     fn = _STRATEGIES[strategy]
-    return [fn(database, query, measure, **kwargs) for query in queries]
+    registry = MetricsRegistry() if record_metrics else None
+    results = [
+        fn(database, query, measure, metrics=registry, **kwargs) for query in queries
+    ]
+    return results, registry
 
 
 def merge_counters(results) -> StepCounter:
@@ -468,6 +602,8 @@ def search_many(
     strategy: str = "wedge",
     n_jobs: int | None = None,
     executor: str | None = None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
     **strategy_kwargs,
 ) -> list[SearchResult]:
     """Answer many rotation-invariant 1-NN queries, optionally in parallel.
@@ -499,6 +635,16 @@ def search_many(
         ``"thread"``, ``"process"``, or ``None`` to choose automatically:
         processes for CPU-bound scalar dynamic programs (DTW, LCSS),
         threads for Euclidean, whose NumPy kernels release the GIL.
+    metrics:
+        Optional :class:`MetricsRegistry`.  Each pool worker records into
+        a private registry; the parent merges them into this one after the
+        pool drains, so counts equal a sequential run's (counters and
+        histograms sum; merge order only affects gauges).
+    query_log:
+        Optional :class:`~repro.obs.querylog.QueryLogger`.  Records are
+        written parent-side after results return (file handles do not
+        cross process boundaries), one JSONL line per query in query
+        order.
     **strategy_kwargs:
         Forwarded to the strategy (``mirror``, ``max_degrees``, ...).
         Do not pass a shared stateful ``k_policy`` instance when running
@@ -514,8 +660,15 @@ def search_many(
     if n_jobs is not None and n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     jobs = min(n_jobs or 1, len(queries))
+    record_metrics = metrics is not None
     if jobs <= 1:
-        return _search_chunk((strategy, database, queries, measure, strategy_kwargs))
+        results, registry = _search_chunk(
+            (strategy, database, queries, measure, strategy_kwargs, record_metrics)
+        )
+        if registry is not None:
+            metrics.merge(registry)
+        _log_batch(results, measure, query_log)
+        return results
 
     if executor is None:
         executor = "process" if measure.name in _CPU_BOUND_MEASURES else "thread"
@@ -526,12 +679,27 @@ def search_many(
         if executor == "process"
         else concurrent.futures.ThreadPoolExecutor
     )
-    results: list[SearchResult] = []
+    results = []
     with pool_cls(max_workers=jobs) as pool:
         futures = [
-            pool.submit(_search_chunk, (strategy, database, chunk, measure, strategy_kwargs))
+            pool.submit(
+                _search_chunk,
+                (strategy, database, chunk, measure, strategy_kwargs, record_metrics),
+            )
             for chunk in chunks
         ]
         for future in futures:  # submission order == query order
-            results.extend(future.result())
+            chunk_results, registry = future.result()
+            results.extend(chunk_results)
+            if registry is not None:
+                metrics.merge(registry)
+    _log_batch(results, measure, query_log)
     return results
+
+
+def _log_batch(results: list[SearchResult], measure: Measure, query_log) -> None:
+    """Append one JSONL record per batch result (parent-side, query order)."""
+    if query_log is None:
+        return
+    for result in results:
+        query_log.log_result(result, measure=measure.name, wall_seconds=None)

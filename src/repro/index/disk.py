@@ -22,6 +22,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.counters import StepCounter
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["DiskStore"]
 
@@ -36,6 +37,10 @@ class DiskStore:
     counter:
         Optional shared counter whose ``disk_accesses`` field is bumped on
         every fetch.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every fetch emits a
+        ``disk.fetch`` event (index, page, whether it was a buffer hit).
+        Never affects the retrieval accounting.
     """
 
     def __init__(
@@ -44,6 +49,7 @@ class DiskStore:
         counter: StepCounter | None = None,
         page_size: int = 1,
         buffer_pages: int = 0,
+        tracer=None,
     ):
         data = np.asarray(series, dtype=np.float64)
         if data.ndim != 2 or data.shape[0] == 0:
@@ -54,6 +60,7 @@ class DiskStore:
             raise ValueError(f"buffer_pages must be non-negative, got {buffer_pages}")
         self._data = data
         self._counter = counter
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.page_size = page_size
         self.buffer_pages = buffer_pages
         self._pool: OrderedDict[int, None] = OrderedDict()
@@ -84,7 +91,8 @@ class DiskStore:
             raise IndexError(f"object {index} out of range [0, {len(self)})")
         self.retrievals += 1
         page = index // self.page_size
-        if self.buffer_pages > 0 and page in self._pool:
+        buffer_hit = self.buffer_pages > 0 and page in self._pool
+        if buffer_hit:
             self._pool.move_to_end(page)  # LRU touch
         else:
             self.page_faults += 1
@@ -94,6 +102,10 @@ class DiskStore:
                     self._pool.popitem(last=False)
         if self._counter is not None:
             self._counter.disk_accesses += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "disk.fetch", index=int(index), page=int(page), buffer_hit=buffer_hit
+            )
         return self._data[index]
 
     def peek_all(self) -> np.ndarray:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -38,6 +39,8 @@ from repro.index.fourier import fourier_signature
 from repro.index.paa import paa, paa_envelope, segment_lengths
 from repro.index.rtree import Rect, RTree
 from repro.index.vptree import VPTree
+from repro.obs.metrics import record_query
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["IndexedSearchResult", "SignatureFilteredScan"]
 
@@ -127,6 +130,10 @@ class SignatureFilteredScan:
         k: int | None = None,
         index_wedges: int | None = None,
         use_improved: bool = True,
+        tracer=None,
+        metrics=None,
+        query_log=None,
+        query_id=None,
     ) -> IndexedSearchResult:
         """Exact rotation-invariant 1-NN with minimal disk retrievals.
 
@@ -139,57 +146,100 @@ class SignatureFilteredScan:
         wedges cut from the query's wedge tree.  Refinement of fetched
         objects runs the tiered pruning cascade; ``use_improved`` toggles
         its LB_Improved tier.
+
+        ``tracer`` receives the query's span tree (wedge-tree build,
+        VP-tree visits, disk fetches, cascade tiers); ``metrics`` /
+        ``query_log`` record the finished query, the log record carrying
+        the retrieval accounting (``objects_retrieved``,
+        ``fraction_retrieved``, ``signature_tests``).
         """
         if measure.name not in ("euclidean", "dtw"):
             raise ValueError(f"index supports euclidean and dtw, got {measure.name!r}")
+        tracer = NULL_TRACER if tracer is None else tracer
+        t0 = perf_counter()
         rq = query if isinstance(query, RotationQuery) else RotationQuery(
             query, mirror=mirror, max_degrees=max_degrees
         )
         counter = StepCounter()
-        tree = rq.wedge_tree(counter)
-        frontier = tree.frontier(k if k is not None else min(4, tree.max_k))
-        pruner = CascadePolicy(measure, use_kim=False, use_improved=use_improved)
-        self._store.reset()
-
-        best = math.inf
-        best_index, best_rotation = -1, -1
-
-        stream, eval_probe = self._candidate_stream(
-            rq, measure, counter, index_wedges, lambda: best
-        )
-        if stream is not None:
-            before = eval_probe()
-            for _lb, i in stream:
-                obj = self._store.fetch(i)
-                dist, rotation = h_merge(
-                    obj, frontier, measure, r=best, counter=counter, pruner=pruner
+        store_tracer = self._store.tracer
+        self._store.tracer = tracer
+        try:
+            with tracer.span("query", strategy="indexed", measure=measure.name):
+                with tracer.span("wedge_tree.build"):
+                    tree = rq.wedge_tree(counter)
+                frontier = tree.frontier(k if k is not None else min(4, tree.max_k))
+                pruner = CascadePolicy(
+                    measure, use_kim=False, use_improved=use_improved, tracer=tracer
                 )
-                if dist < best:
-                    best, best_index, best_rotation = dist, i, rotation
-            signature_tests = eval_probe() - before
-        else:
-            signature_tests = len(self)
-            bounds = self._bounds_for(rq, measure, counter, index_wedges)
-            order = np.argsort(bounds, kind="stable")
-            for i in order:
-                if bounds[i] >= best:
-                    break  # ascending bounds: nothing further can win
-                obj = self._store.fetch(int(i))
-                dist, rotation = h_merge(
-                    obj, frontier, measure, r=best, counter=counter, pruner=pruner
+                self._store.reset()
+
+                best = math.inf
+                best_index, best_rotation = -1, -1
+
+                stream, eval_probe = self._candidate_stream(
+                    rq, measure, counter, index_wedges, lambda: best, tracer=tracer
                 )
-                if dist < best:
-                    best, best_index, best_rotation = dist, int(i), rotation
+                if stream is not None:
+                    before = eval_probe()
+                    for _lb, i in stream:
+                        obj = self._store.fetch(i)
+                        dist, rotation = h_merge(
+                            obj,
+                            frontier,
+                            measure,
+                            r=best,
+                            counter=counter,
+                            pruner=pruner,
+                            tracer=tracer,
+                        )
+                        if dist < best:
+                            best, best_index, best_rotation = dist, i, rotation
+                    signature_tests = eval_probe() - before
+                else:
+                    signature_tests = len(self)
+                    bounds = self._bounds_for(rq, measure, counter, index_wedges)
+                    order = np.argsort(bounds, kind="stable")
+                    for i in order:
+                        if bounds[i] >= best:
+                            break  # ascending bounds: nothing further can win
+                        obj = self._store.fetch(int(i))
+                        dist, rotation = h_merge(
+                            obj,
+                            frontier,
+                            measure,
+                            r=best,
+                            counter=counter,
+                            pruner=pruner,
+                            tracer=tracer,
+                        )
+                        if dist < best:
+                            best, best_index, best_rotation = dist, int(i), rotation
+        finally:
+            self._store.tracer = store_tracer
 
         result = SearchResult(
             best_index, best, best_rotation, counter, "indexed", tier_stats=pruner.stats()
         )
-        return IndexedSearchResult(
+        indexed = IndexedSearchResult(
             result=result,
             objects_retrieved=self._store.retrievals,
             fraction_retrieved=self._store.fraction_retrieved,
             signature_tests=signature_tests,
         )
+        wall = perf_counter() - t0
+        if metrics is not None:
+            record_query(result, measure.name, wall, registry=metrics)
+        if query_log is not None:
+            query_log.log_result(
+                result,
+                measure=measure.name,
+                wall_seconds=wall,
+                query_id=query_id,
+                objects_retrieved=indexed.objects_retrieved,
+                fraction_retrieved=indexed.fraction_retrieved,
+                signature_tests=indexed.signature_tests,
+            )
+        return indexed
 
     def query_knn(
         self,
@@ -201,6 +251,7 @@ class SignatureFilteredScan:
         refine_wedges: int | None = None,
         index_wedges: int | None = None,
         use_improved: bool = True,
+        tracer=None,
     ):
         """Exact k-NN through the index: fetch until the bound passes the
         k-th best verified distance.
@@ -218,49 +269,60 @@ class SignatureFilteredScan:
             raise ValueError(f"k must be positive, got {k}")
         if measure.name not in ("euclidean", "dtw"):
             raise ValueError(f"index supports euclidean and dtw, got {measure.name!r}")
+        tracer = NULL_TRACER if tracer is None else tracer
         rq = query if isinstance(query, RotationQuery) else RotationQuery(
             query, mirror=mirror, max_degrees=max_degrees
         )
         counter = StepCounter()
-        tree = rq.wedge_tree(counter)
-        frontier = tree.frontier(
-            refine_wedges if refine_wedges is not None else min(4, tree.max_k)
-        )
-        pruner = CascadePolicy(measure, use_kim=False, use_improved=use_improved)
-        self._store.reset()
-
-        heap: list[tuple[float, int, int]] = []  # max-heap via negation
-
-        def radius() -> float:
-            return -heap[0][0] if len(heap) == k else math.inf
-
-        def refine(i: int) -> None:
-            obj = self._store.fetch(int(i))
-            dist, rotation = h_merge(
-                obj, frontier, measure, r=radius(), counter=counter, pruner=pruner
+        with tracer.span("query", strategy="indexed-knn", measure=measure.name):
+            with tracer.span("wedge_tree.build"):
+                tree = rq.wedge_tree(counter)
+            frontier = tree.frontier(
+                refine_wedges if refine_wedges is not None else min(4, tree.max_k)
             )
-            if math.isfinite(dist):
-                entry = (-dist, int(i), rotation)
-                if len(heap) < k:
-                    heapq.heappush(heap, entry)
-                else:
-                    heapq.heappushpop(heap, entry)
+            pruner = CascadePolicy(
+                measure, use_kim=False, use_improved=use_improved, tracer=tracer
+            )
+            self._store.reset()
 
-        stream, eval_probe = self._candidate_stream(
-            rq, measure, counter, index_wedges, radius
-        )
-        if stream is not None:
-            before = eval_probe()
-            for _lb, i in stream:
-                refine(i)
-            signature_tests = eval_probe() - before
-        else:
-            signature_tests = len(self)
-            bounds = self._bounds_for(rq, measure, counter, index_wedges)
-            for i in np.argsort(bounds, kind="stable"):
-                if bounds[i] >= radius():
-                    break
-                refine(int(i))
+            heap: list[tuple[float, int, int]] = []  # max-heap via negation
+
+            def radius() -> float:
+                return -heap[0][0] if len(heap) == k else math.inf
+
+            def refine(i: int) -> None:
+                obj = self._store.fetch(int(i))
+                dist, rotation = h_merge(
+                    obj,
+                    frontier,
+                    measure,
+                    r=radius(),
+                    counter=counter,
+                    pruner=pruner,
+                    tracer=tracer,
+                )
+                if math.isfinite(dist):
+                    entry = (-dist, int(i), rotation)
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    else:
+                        heapq.heappushpop(heap, entry)
+
+            stream, eval_probe = self._candidate_stream(
+                rq, measure, counter, index_wedges, radius, tracer=tracer
+            )
+            if stream is not None:
+                before = eval_probe()
+                for _lb, i in stream:
+                    refine(i)
+                signature_tests = eval_probe() - before
+            else:
+                signature_tests = len(self)
+                bounds = self._bounds_for(rq, measure, counter, index_wedges)
+                for i in np.argsort(bounds, kind="stable"):
+                    if bounds[i] >= radius():
+                        break
+                    refine(int(i))
 
         neighbours = sorted(
             (Neighbor(i, -negd, rot) for negd, i, rot in heap),
@@ -283,7 +345,9 @@ class SignatureFilteredScan:
         )
         return neighbours, accounting
 
-    def _candidate_stream(self, rq, measure, counter, index_wedges, radius_provider):
+    def _candidate_stream(
+        self, rq, measure, counter, index_wedges, radius_provider, tracer=NULL_TRACER
+    ):
         """An ascending-bound candidate generator for tree structures.
 
         Returns ``(generator, evaluation_probe)`` or ``(None, None)`` when
@@ -292,7 +356,10 @@ class SignatureFilteredScan:
         """
         if measure.name == "euclidean" and self._vptree is not None:
             stream = self._vptree.candidates_within(
-                rq.signature(self.n_coefficients), radius_provider, counter=counter
+                rq.signature(self.n_coefficients),
+                radius_provider,
+                counter=counter,
+                tracer=tracer,
             )
             return stream, lambda: self._vptree.distance_evaluations
         if measure.name == "euclidean" and self._fourier_rtree is not None:

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER
+
 __all__ = ["VPTree"]
 
 
@@ -83,7 +85,7 @@ class VPTree:
             bucket=None,
         )
 
-    def candidates_within(self, query, radius_provider, counter=None):
+    def candidates_within(self, query, radius_provider, counter=None, tracer=None):
         """Yield point indices in ascending signature-distance order.
 
         ``radius_provider()`` is consulted as the pruning radius on every
@@ -95,11 +97,15 @@ class VPTree:
         ``counter`` (a :class:`~repro.core.counters.StepCounter`) charges
         ``d`` steps and one ``lb_calls`` per signature-metric evaluation,
         so index-space work shows up in the same accounting as the rest of
-        the cascade.
+        the cascade.  ``tracer`` receives one ``vptree.visit`` event per
+        expanded tree node (bucket or internal) and a ``vptree.cutoff``
+        event when the heap's best bound crosses the radius; it never
+        touches the counter.
 
         The traversal is exact: any point whose signature distance is below
         the final radius is guaranteed to have been yielded.
         """
+        tracer = NULL_TRACER if tracer is None else tracer
         query = np.asarray(query, dtype=np.float64)
         dim = self._points.shape[1]
 
@@ -116,16 +122,32 @@ class VPTree:
         while heap:
             bound, _, payload = heapq.heappop(heap)
             if bound >= radius_provider():
+                if tracer.enabled:
+                    tracer.event("vptree.cutoff", bound=float(bound), pending=len(heap))
                 return  # everything left is at least this far
             if isinstance(payload, _Node):
                 node = payload
                 if node.bucket is not None:
+                    if tracer.enabled:
+                        tracer.event(
+                            "vptree.visit",
+                            kind="bucket",
+                            size=len(node.bucket),
+                            bound=float(bound),
+                        )
                     for i in node.bucket:
                         d = metric(i)
                         if d < radius_provider():
                             tie += 1
                             heapq.heappush(heap, (d, tie, int(i)))
                     continue
+                if tracer.enabled:
+                    tracer.event(
+                        "vptree.visit",
+                        kind="internal",
+                        vantage=int(node.vantage),
+                        bound=float(bound),
+                    )
                 d_vp = metric(node.vantage)
                 if d_vp < radius_provider():
                     tie += 1

@@ -1,0 +1,63 @@
+"""repro.obs: observability for the search stack.
+
+Three pillars, all dependency-free and opt-in:
+
+* **Tracing** (:mod:`repro.obs.trace`) -- :class:`Tracer`/:class:`Span`
+  build a nested, wall-clock-timed span tree of one query's lifecycle
+  (envelope build, H-Merge frontier pops, cascade tier decisions, VP-tree
+  visits, disk fetches, batch kernel calls).  Disabled tracing is the
+  :data:`NULL_TRACER` singleton: one attribute lookup on the hot path.
+* **Metrics** (:mod:`repro.obs.metrics`) -- a process-wide
+  :class:`MetricsRegistry` of labeled counters/gauges/histograms with
+  Prometheus-text and JSON exposition; :func:`record_query` folds one
+  finished query into the standard family set, and registries
+  :meth:`~MetricsRegistry.merge` across pool workers.
+* **Query logs** (:mod:`repro.obs.querylog`) -- :class:`QueryLogger`
+  appends one JSONL record per query; :mod:`repro.obs.report` summarizes
+  a log into the tier funnel / slow-query / cache-ratio report behind
+  ``python -m repro obs``.
+
+:func:`provenance_block` stamps benchmark artifacts with git SHA,
+platform, and versions so BENCH_*.json results are attributable.
+
+Step accounting is never touched by any of this: tracing on or off, the
+paper's ``num_steps`` numbers are bit-identical (regression-tested).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_query,
+)
+from repro.obs.provenance import provenance_block
+from repro.obs.querylog import QueryLogger, read_query_log
+from repro.obs.report import (
+    format_summary,
+    funnel_is_monotone,
+    summarize_query_log,
+    tier_funnel,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "record_query",
+    "QueryLogger",
+    "read_query_log",
+    "summarize_query_log",
+    "format_summary",
+    "tier_funnel",
+    "funnel_is_monotone",
+    "provenance_block",
+]

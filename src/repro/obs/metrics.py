@@ -1,0 +1,390 @@
+"""Process-wide metrics registry: counters, gauges, histograms with labels.
+
+A tiny, dependency-free subset of the Prometheus data model, enough to put
+dashboards over the search stack: monotone **counters**
+(``cascade_rejections_total{tier="keogh",measure="dtw"}``), last-write
+**gauges** (envelope-cache hit ratio), and fixed-bucket **histograms**
+(``query_steps``).  The registry serializes to the Prometheus text
+exposition format (:meth:`MetricsRegistry.to_prometheus`) and to plain
+JSON (:meth:`MetricsRegistry.to_dict`), and registries merge
+(:meth:`MetricsRegistry.merge`) the way
+:func:`repro.core.search.merge_counters` folds per-query step counters --
+the contract :func:`repro.core.search.search_many` relies on to combine
+per-worker registries from a process pool.
+
+Nothing in this module imports the rest of the library, so the hot search
+paths can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "record_query",
+]
+
+#: Default histogram buckets for second-scale durations.
+DURATION_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+#: Default histogram buckets for the paper's ``num_steps`` cost model.
+STEP_BUCKETS = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _format_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping for one metric family (name + label schema)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._label_names: frozenset | None = None
+
+    def _key(self, labels: dict) -> tuple:
+        names = frozenset(labels)
+        if self._label_names is None:
+            self._label_names = names
+        elif names != self._label_names:
+            raise ValueError(
+                f"metric {self.name!r} expects labels {sorted(self._label_names)}, "
+                f"got {sorted(names)}"
+            )
+        return _label_key(labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self):
+        return [(dict(key), value) for key, value in sorted(self._values.items())]
+
+
+class Gauge(_Metric):
+    """A value that can go up or down; last write wins."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self):
+        return [(dict(key), value) for key, value in sorted(self._values.items())]
+
+
+class Histogram(_Metric):
+    """Cumulative fixed-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are ascending upper bounds; a final ``+Inf`` bucket is
+    implicit.  Each label set keeps per-bucket counts plus the sum and
+    count of observed values.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock, buckets=DURATION_BUCKETS):
+        super().__init__(name, help, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be non-empty and strictly ascending, got {buckets}")
+        self.buckets = bounds
+        self._values: dict[tuple, dict] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+                self._values[key] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["counts"][i] += 1
+                    break
+            else:
+                state["counts"][-1] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    def state(self, **labels) -> dict:
+        empty = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+        found = self._values.get(_label_key(labels))
+        return {k: (list(v) if isinstance(v, list) else v) for k, v in (found or empty).items()}
+
+    def samples(self):
+        return [
+            (dict(key), {"counts": list(s["counts"]), "sum": s["sum"], "count": s["count"]})
+            for key, s in sorted(self._values.items())
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``counter``/``gauge``/``histogram`` create-or-return a family by name
+    (re-registering with a different kind raises), so library code can
+    grab its metrics lazily without coordinating setup.  Mutation is
+    thread-safe; one registry can serve every thread of a process, and
+    per-worker registries from a process pool fold together with
+    :meth:`merge`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Metric] = {}
+
+    def _family(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, threading.Lock(), **kwargs)
+                self._families[name] = family
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, not {cls.kind}"
+                )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Create-or-return the monotone counter family ``name``."""
+        return self._family(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Create-or-return the last-write-wins gauge family ``name``."""
+        return self._family(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", buckets=DURATION_BUCKETS) -> Histogram:
+        """Create-or-return the fixed-bucket histogram family ``name``."""
+        return self._family(Histogram, name, help, buckets=buckets)
+
+    def families(self) -> list[_Metric]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every family and its samples."""
+        with self._lock:
+            self._families.clear()
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add; gauges take ``other``'s value (last
+        write wins, matching their point-in-time semantics).  Mirrors
+        :meth:`repro.core.counters.StepCounter.merge` so per-worker
+        registries compose exactly like per-worker step counters.
+        """
+        for family in other.families():
+            if isinstance(family, Counter):
+                mine = self.counter(family.name, family.help)
+                for labels, value in family.samples():
+                    mine.inc(value, **labels)
+            elif isinstance(family, Gauge):
+                mine = self.gauge(family.name, family.help)
+                for labels, value in family.samples():
+                    mine.set(value, **labels)
+            elif isinstance(family, Histogram):
+                mine = self.histogram(family.name, family.help, buckets=family.buckets)
+                if mine.buckets != family.buckets:
+                    raise ValueError(f"histogram {family.name!r} bucket layouts differ")
+                for labels, state in family.samples():
+                    key = mine._key(labels)
+                    with mine._lock:
+                        dest = mine._values.get(key)
+                        if dest is None:
+                            dest = {
+                                "counts": [0] * (len(mine.buckets) + 1),
+                                "sum": 0.0,
+                                "count": 0,
+                            }
+                            mine._values[key] = dest
+                        dest["counts"] = [
+                            a + b for a, b in zip(dest["counts"], state["counts"])
+                        ]
+                        dest["sum"] += state["sum"]
+                        dest["count"] += state["count"]
+        return self
+
+    def to_dict(self) -> dict:
+        """All families and samples as JSON-ready plain data."""
+        out = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": [
+                    {"labels": labels, "value": value} for labels, value in family.samples()
+                ],
+            }
+            if isinstance(family, Histogram):
+                out[family.name]["buckets"] = list(family.buckets)
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """:meth:`to_dict` rendered as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if isinstance(family, Histogram):
+                for labels, state in family.samples():
+                    cumulative = 0
+                    base = _label_key(labels)
+                    for bound, count in zip(family.buckets, state["counts"]):
+                        cumulative += count
+                        le = _format_labels(base + (("le", _format_bound(bound)),))
+                        lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    cumulative += state["counts"][-1]
+                    le = _format_labels(base + (("le", "+Inf"),))
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    lines.append(f"{family.name}_sum{_format_labels(base)} {state['sum']:g}")
+                    lines.append(f"{family.name}_count{_format_labels(base)} {state['count']}")
+            else:
+                for labels, value in family.samples():
+                    lines.append(f"{family.name}{_format_labels(_label_key(labels))} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (what benchmarks export)."""
+    return _GLOBAL
+
+
+def record_query(result, measure: str, wall_seconds: float = 0.0, registry=None) -> None:
+    """Fold one finished query into a registry.
+
+    ``result`` is duck-typed on the :class:`~repro.core.search.SearchResult`
+    surface (``strategy``, ``counter``, ``tier_stats``), so index results
+    and plain counters-with-stats records work too.  Populates the standard
+    family set:
+
+    * ``queries_total{strategy,measure}``
+    * ``query_steps`` / ``query_wall_seconds`` histograms
+    * ``cascade_rejections_total{tier,measure}`` and
+      ``cascade_reached_total{tier,measure}`` (the tier funnel)
+    * ``full_distance_computations_total{measure}``
+    * ``envelope_cache_hits_total`` / ``..misses_total`` and the derived
+      ``envelope_cache_hit_ratio`` gauge
+    * ``early_abandons_total{measure}`` and ``disk_fetches_total{measure}``
+    """
+    reg = registry if registry is not None else _GLOBAL
+    strategy = getattr(result, "strategy", "") or "unknown"
+    counter = result.counter
+    reg.counter("queries_total", "Finished 1-NN queries").inc(
+        1, strategy=strategy, measure=measure
+    )
+    reg.histogram(
+        "query_steps", "Paper num_steps per query", buckets=STEP_BUCKETS
+    ).observe(counter.steps, strategy=strategy, measure=measure)
+    reg.histogram(
+        "query_wall_seconds", "Wall-clock seconds per query"
+    ).observe(wall_seconds, strategy=strategy, measure=measure)
+    reg.counter("early_abandons_total", "Early-abandoned computations").inc(
+        counter.early_abandons, measure=measure
+    )
+    if counter.disk_accesses:
+        reg.counter("disk_fetches_total", "Full objects fetched from disk").inc(
+            counter.disk_accesses, measure=measure
+        )
+    hits = reg.counter("envelope_cache_hits_total", "Envelope expansions served from cache")
+    misses = reg.counter("envelope_cache_misses_total", "Envelope expansions computed")
+    hits.inc(counter.envelope_cache_hits)
+    misses.inc(counter.envelope_cache_misses)
+    total = hits.value() + misses.value()
+    if total:
+        reg.gauge(
+            "envelope_cache_hit_ratio", "Fraction of envelope expansions served from cache"
+        ).set(hits.value() / total)
+
+    stats = getattr(result, "tier_stats", None)
+    if stats:
+        rejections = reg.counter(
+            "cascade_rejections_total", "Leaf candidates rejected, by cascade tier"
+        )
+        for tier in ("kim", "keogh", "improved"):
+            count = stats.get(f"{tier}_rejections", 0)
+            if count:
+                rejections.inc(count, tier=tier, measure=measure)
+        reached = reg.counter(
+            "cascade_reached_total", "Leaf candidates reaching each cascade tier"
+        )
+        for tier, key in (
+            ("kim", "leaf_candidates"),
+            ("keogh", "keogh_reached"),
+            ("improved", "improved_reached"),
+            ("full", "full_computations"),
+        ):
+            count = stats.get(key, 0)
+            if count:
+                reached.inc(count, tier=tier, measure=measure)
+        full = stats.get("full_computations", 0)
+        if full:
+            reg.counter(
+                "full_distance_computations_total", "Exact distance computations"
+            ).inc(full, measure=measure)

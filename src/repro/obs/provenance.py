@@ -1,0 +1,68 @@
+"""Reproducible provenance blocks for benchmark artifacts.
+
+A benchmark number without its context is a trap: two BENCH_*.json files
+can disagree because the code changed, the machine changed, or the scale
+knob changed, and nothing in a bare number says which.  Every benchmark
+artifact therefore embeds a provenance block -- git SHA (and dirty flag),
+platform, interpreter and NumPy versions, the ``REPRO_SCALE`` in force,
+and a UTC timestamp -- so a regression dashboard can partition results by
+what actually produced them.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["provenance_block"]
+
+
+def _git(args: list[str], cwd: Path) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def provenance_block(extra: dict | None = None) -> dict:
+    """Describe "what produced this artifact" as a JSON-ready dict.
+
+    Never raises: outside a git checkout (an installed wheel, say) the git
+    fields are ``None``.  ``extra`` entries are merged on top -- use it
+    for per-benchmark knobs (corpus, seeds, phase timings).
+    """
+    here = Path(__file__).resolve().parent
+    sha = _git(["rev-parse", "HEAD"], here)
+    status = _git(["status", "--porcelain"], here) if sha is not None else None
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    block = {
+        "git_sha": sha,
+        "git_dirty": bool(status) if status is not None else None,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "repro_scale": os.environ.get("REPRO_SCALE") or "1",
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    if extra:
+        block.update(extra)
+    return block

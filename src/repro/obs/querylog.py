@@ -1,0 +1,141 @@
+"""Structured per-query run logs: one JSONL record per answered query.
+
+Benchmarks and services need to answer "why did run A differ from run B"
+without re-running anything.  A :class:`QueryLogger` is an opt-in sink the
+search strategies write to: each finished query appends one JSON line
+carrying the query id, strategy, measure, the answer, the full
+:class:`~repro.core.counters.StepCounter` snapshot, the cascade tier
+stats, the wedge-set-size ``K`` trajectory and the best-so-far radius
+trace (for strategies that track them), and wall-clock totals.  The file
+is plain JSONL -- greppable, ``jq``-able, and summarized by
+``python -m repro obs`` (see :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+__all__ = ["QueryLogger", "read_query_log"]
+
+
+def _jsonable(value):
+    """Coerce numpy scalars / inf / tuples into JSON-safe plain data."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    return value
+
+
+class QueryLogger:
+    """Append-only JSONL sink for per-query telemetry records.
+
+    Parameters
+    ----------
+    path:
+        Destination file; parent directories are created.  Pass a
+        file-like object (anything with ``write``) to stream elsewhere.
+    append:
+        Open mode for path destinations; ``False`` truncates.
+
+    Use as a context manager or call :meth:`close` explicitly.  Records
+    missing a ``query_id`` get a monotonically increasing sequence number.
+    """
+
+    def __init__(self, path, append: bool = True):
+        self._seq = 0
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns = False
+            self.path = None
+        else:
+            self.path = Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
+            self._owns = True
+
+    def log(self, record: dict) -> dict:
+        """Write one record (a JSON object) as a single line; returns it."""
+        if self._fh is None:
+            raise ValueError("QueryLogger is closed")
+        record = dict(record)
+        if "query_id" not in record or record["query_id"] is None:
+            record["query_id"] = self._seq
+        self._seq += 1
+        record.setdefault("ts", time.time())
+        self._fh.write(json.dumps(_jsonable(record), sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    def log_result(
+        self,
+        result,
+        measure: str,
+        wall_seconds: float | None = None,
+        query_id=None,
+        **extra,
+    ) -> dict:
+        """Build and write the standard record for one finished query.
+
+        ``result`` is duck-typed on :class:`~repro.core.search.SearchResult`;
+        ``extra`` lands verbatim in the record (``k_trajectory``,
+        ``radius_trace``, retrieval stats, ...).
+        """
+        record = {
+            "query_id": query_id,
+            "strategy": getattr(result, "strategy", "") or "unknown",
+            "measure": measure,
+            "result_index": result.index,
+            "distance": result.distance,
+            "rotation": result.rotation,
+            "steps": result.counter.steps,
+            "counter": result.counter.snapshot(),
+            "tier_stats": dict(getattr(result, "tier_stats", None) or {}),
+            "wall_seconds": wall_seconds,
+        }
+        record.update(extra)
+        return self.log(record)
+
+    def close(self) -> None:
+        """Flush and close the sink (file-like destinations stay open)."""
+        if self._fh is not None and self._owns:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "QueryLogger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_query_log(path) -> list[dict]:
+    """Parse a JSONL query log back into a list of records.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` naming
+    its line number, so truncated logs fail loudly rather than silently
+    under-reporting.
+    """
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed query-log line: {exc}") from exc
+    return records

@@ -1,0 +1,180 @@
+"""Summaries over structured query logs: the ``repro obs`` report.
+
+Takes the JSONL records a :class:`~repro.obs.querylog.QueryLogger` wrote
+and aggregates them into the views an operator actually asks for:
+
+* per-strategy query counts, step totals, and wall-clock totals;
+* the slowest queries (by wall clock, falling back to steps);
+* the cascade **tier funnel** -- how many leaf candidates reached the Kim
+  tier, survived into LB_Keogh, survived into LB_Improved, and finally
+  paid a full distance computation.  An exact cascade's funnel is
+  monotonically non-increasing; :func:`funnel_is_monotone` is the smoke
+  assertion CI runs against every benchmark artifact (mis-accounting like
+  a tier charging the wrong bucket shows up as an inversion);
+* envelope-cache hit ratios.
+"""
+
+from __future__ import annotations
+
+from repro.obs.querylog import read_query_log
+
+__all__ = [
+    "tier_funnel",
+    "funnel_is_monotone",
+    "summarize_query_log",
+    "format_summary",
+]
+
+#: The cascade stages, outermost first, with the tier-stats key holding
+#: how many leaf candidates *reached* that stage.
+FUNNEL_STAGES = (
+    ("kim", "leaf_candidates"),
+    ("keogh", "keogh_reached"),
+    ("improved", "improved_reached"),
+    ("full-distance", "full_computations"),
+)
+
+
+def tier_funnel(tier_stats: dict) -> list[tuple[str, int]]:
+    """``[(stage, candidates_reaching_it), ...]`` from one tier-stats dict."""
+    return [(stage, int(tier_stats.get(key, 0) or 0)) for stage, key in FUNNEL_STAGES]
+
+
+def funnel_is_monotone(tier_stats: dict) -> bool:
+    """True when each cascade stage sees no more candidates than the last.
+
+    Exactness demands it: a candidate can only reach LB_Keogh by surviving
+    the Kim tier, and so on down to the full distance.  A violation means
+    the per-tier accounting is wrong, not that the search is.
+    """
+    counts = [count for _stage, count in tier_funnel(tier_stats)]
+    return all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def _merge_stats(into: dict, stats: dict) -> None:
+    for key, value in stats.items():
+        if isinstance(value, (int, float)):
+            into[key] = into.get(key, 0) + value
+
+
+def summarize_query_log(source, top: int = 5) -> dict:
+    """Aggregate a query log (path or iterable of records) into one report.
+
+    Returns plain data: total counts, per-strategy breakdowns, the ``top``
+    slowest queries, the aggregated tier funnel (plus its monotonicity),
+    and envelope-cache ratios.
+    """
+    records = read_query_log(source) if isinstance(source, (str, bytes)) or hasattr(
+        source, "__fspath__"
+    ) else list(source)
+
+    strategies: dict[str, dict] = {}
+    funnel_stats: dict[str, int] = {}
+    cache_hits = cache_misses = 0
+    total_steps = 0
+    total_wall = 0.0
+    for record in records:
+        name = record.get("strategy", "unknown")
+        bucket = strategies.setdefault(
+            name, {"queries": 0, "steps": 0, "wall_seconds": 0.0}
+        )
+        bucket["queries"] += 1
+        bucket["steps"] += int(record.get("steps") or 0)
+        wall = record.get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            bucket["wall_seconds"] += wall
+            total_wall += wall
+        total_steps += int(record.get("steps") or 0)
+        _merge_stats(funnel_stats, record.get("tier_stats") or {})
+        counter = record.get("counter") or {}
+        cache_hits += int(counter.get("envelope_cache_hits") or 0)
+        cache_misses += int(counter.get("envelope_cache_misses") or 0)
+
+    def slowness(record: dict):
+        wall = record.get("wall_seconds")
+        return (
+            wall if isinstance(wall, (int, float)) else -1.0,
+            int(record.get("steps") or 0),
+        )
+
+    slowest = sorted(records, key=slowness, reverse=True)[: max(0, top)]
+    top_slow = [
+        {
+            "query_id": record.get("query_id"),
+            "strategy": record.get("strategy", "unknown"),
+            "wall_seconds": record.get("wall_seconds"),
+            "steps": record.get("steps"),
+            "result_index": record.get("result_index"),
+        }
+        for record in slowest
+    ]
+
+    cache_total = cache_hits + cache_misses
+    return {
+        "queries": len(records),
+        "total_steps": total_steps,
+        "total_wall_seconds": round(total_wall, 6),
+        "strategies": strategies,
+        "top_slow": top_slow,
+        "funnel": tier_funnel(funnel_stats),
+        "funnel_monotone": funnel_is_monotone(funnel_stats),
+        "tier_rejections": {
+            tier: int(funnel_stats.get(f"{tier}_rejections", 0) or 0)
+            for tier in ("kim", "keogh", "improved")
+        },
+        "envelope_cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_ratio": (cache_hits / cache_total) if cache_total else None,
+        },
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Render a summary dict as the human-readable ``repro obs`` report."""
+    lines = [
+        f"queries: {summary['queries']}   "
+        f"steps: {summary['total_steps']:,}   "
+        f"wall: {summary['total_wall_seconds']:.3f}s",
+        "",
+        f"{'strategy':<16} {'queries':>8} {'steps':>14} {'wall (s)':>10}",
+    ]
+    for name, bucket in sorted(summary["strategies"].items()):
+        lines.append(
+            f"{name:<16} {bucket['queries']:>8} {bucket['steps']:>14,} "
+            f"{bucket['wall_seconds']:>10.3f}"
+        )
+
+    lines.append("")
+    lines.append("cascade tier funnel (candidates reaching each stage):")
+    widest = max((count for _stage, count in summary["funnel"]), default=0)
+    for stage, count in summary["funnel"]:
+        bar = "#" * (round(40 * count / widest) if widest else 0)
+        lines.append(f"  {stage:<14} {count:>10,}  {bar}")
+    lines.append(
+        "  funnel monotone: " + ("yes" if summary["funnel_monotone"] else "NO (accounting bug!)")
+    )
+    rejections = summary["tier_rejections"]
+    lines.append(
+        "  rejections: "
+        + "  ".join(f"{tier}={rejections[tier]:,}" for tier in ("kim", "keogh", "improved"))
+    )
+
+    cache = summary["envelope_cache"]
+    ratio = "n/a" if cache["hit_ratio"] is None else f"{cache['hit_ratio']:.1%}"
+    lines.append("")
+    lines.append(
+        f"envelope cache: {cache['hits']:,} hits / {cache['misses']:,} misses ({ratio})"
+    )
+
+    if summary["top_slow"]:
+        lines.append("")
+        lines.append("slowest queries:")
+        for entry in summary["top_slow"]:
+            wall = entry["wall_seconds"]
+            wall_text = f"{wall:.4f}s" if isinstance(wall, (int, float)) else "?"
+            lines.append(
+                f"  #{entry['query_id']}: {entry['strategy']}  {wall_text}  "
+                f"{entry['steps']:,} steps  -> object {entry['result_index']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""Query tracing: a zero-dependency span tree over the search stack.
+
+The paper's ``num_steps`` cost model (Section 5.3) says *how much* work a
+query did; it cannot say *where* the work went -- envelope construction vs
+H-Merge frontier pops vs cascade tiers vs the final refinement.  A
+:class:`Tracer` answers that: search code opens nested :class:`Span`
+context managers around the phases of a query, and point decisions (a
+cascade tier rejecting a candidate, a VP-tree node visit, a disk fetch)
+are recorded as zero-duration *events*.  The result is a span tree with
+monotonic wall-clock timings that serializes to a plain dict/JSON.
+
+Tracing is strictly additive: spans never touch a
+:class:`~repro.core.counters.StepCounter`, so step accounting is
+bit-identical with tracing on or off (there is a regression test pinning
+this).  When tracing is off, the search stack holds the module-level
+:data:`NULL_TRACER` singleton, whose ``enabled`` attribute lets hot loops
+skip instrumentation after a single attribute lookup and whose
+``span``/``event`` methods are allocation-free no-ops.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, named, attributed node of a trace tree.
+
+    Use as a context manager (via :meth:`Tracer.span`); entering starts the
+    clock, exiting stops it and pops the tracer's nesting stack.  Events
+    and child spans opened while this span is active become its children.
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer | None", attributes: dict):
+        self.name = name
+        self.attributes = attributes
+        self.start = perf_counter()
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.end is None:
+            self.end = perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes; chains for one-liners."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """The span subtree as JSON-ready plain data."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, {len(self.children)} children)"
+
+
+class _DroppedSpan:
+    """Returned once a tracer hits its span cap: records nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes):
+        return self
+
+
+_DROPPED_SPAN = _DroppedSpan()
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees for one traced run.
+
+    Parameters
+    ----------
+    max_spans:
+        Hard cap on recorded spans+events; beyond it new spans are silently
+        dropped (and counted on :attr:`dropped`) so a traced scan over a
+        huge database cannot exhaust memory.
+
+    Attributes
+    ----------
+    enabled:
+        Always ``True``; hot paths test this one attribute to decide
+        whether to build event payloads (see :class:`NullTracer`).
+    roots:
+        The top-level spans recorded so far.
+    dropped:
+        How many spans/events were discarded at the cap.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 250_000):
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.max_spans = max_spans
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._count = 0
+
+    def span(self, name: str, **attributes):
+        """Open a nested span; use as ``with tracer.span("phase"):``."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return _DROPPED_SPAN
+        self._count += 1
+        span = Span(name, self, attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a zero-duration point event under the current span."""
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return
+        self._count += 1
+        span = Span(name, None, attributes)
+        span.end = span.start
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generators, exceptions): pop back to
+        # the span being closed if it is anywhere on the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                return
+
+    def iter_spans(self):
+        """Depth-first iterator over every recorded span and event."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> list[Span]:
+        """All spans/events with ``name``, in depth-first order."""
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def to_dict(self) -> dict:
+        """The whole trace as JSON-ready plain data."""
+        return {
+            "spans": [root.to_dict() for root in self.roots],
+            "span_count": self._count,
+            "dropped": self.dropped,
+        }
+
+    def format_tree(self, max_children: int = 12) -> str:
+        """A human-readable indented rendering (for CLI / debugging)."""
+        lines: list[str] = []
+
+        def render(span: Span, depth: int) -> None:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+            lines.append(
+                f"{'  ' * depth}{span.name}  {span.duration * 1e3:.3f}ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+            shown = span.children[:max_children]
+            for child in shown:
+                render(child, depth + 1)
+            hidden = len(span.children) - len(shown)
+            if hidden > 0:
+                lines.append(f"{'  ' * (depth + 1)}... {hidden} more children")
+
+        for root in self.roots:
+            render(root, 0)
+        if self.dropped:
+            lines.append(f"... {self.dropped} spans dropped at cap")
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """The no-op span: enter/exit/set all do nothing and allocate nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: ``enabled`` is False and every call is a no-op.
+
+    Search code defaults to the shared :data:`NULL_TRACER` instance, so the
+    cost of disabled tracing in a hot loop is one attribute lookup
+    (``tracer.enabled``) or one argument-free-ish method call -- never an
+    allocation.
+    """
+
+    enabled = False
+    dropped = 0
+
+    __slots__ = ()
+
+    def span(self, name: str, **attributes):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes) -> None:
+        return None
+
+    def iter_spans(self):
+        return iter(())
+
+    def find(self, name: str) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {"spans": [], "span_count": 0, "dropped": 0}
+
+    def format_tree(self, max_children: int = 12) -> str:
+        return ""
+
+
+#: Shared process-wide no-op tracer; the default everywhere.
+NULL_TRACER = NullTracer()

@@ -136,8 +136,34 @@ class TestCascadePolicy:
     def test_stats_dict(self):
         policy = CascadePolicy(EuclideanMeasure())
         assert policy.stats() == {
+            "leaf_candidates": 0,
             "kim_rejections": 0,
+            "keogh_reached": 0,
             "keogh_rejections": 0,
+            "improved_reached": 0,
             "improved_rejections": 0,
             "full_computations": 0,
         }
+
+    def test_stats_keys_match_empty_sentinel(self):
+        from repro.core.cascade import empty_tier_stats
+
+        policy = CascadePolicy(EuclideanMeasure())
+        assert policy.stats() == empty_tier_stats()
+
+    def test_funnel_is_monotone_after_queries(self):
+        rng = np.random.default_rng(5)
+        measure = DTWMeasure(radius=3)
+        policy = CascadePolicy(measure)
+        wedges = [Wedge.from_series(rng.standard_normal(24), i) for i in range(12)]
+        for candidate in rng.standard_normal((8, 24)):
+            threshold = 4.0
+            for leaf in wedges:
+                d = policy.leaf_distance(candidate, leaf, threshold)
+                if d < threshold:
+                    threshold = d
+        stats = policy.stats()
+        assert stats["leaf_candidates"] >= stats["keogh_reached"]
+        assert stats["keogh_reached"] >= stats["improved_reached"]
+        assert stats["improved_reached"] >= stats["full_computations"]
+        assert stats["full_computations"] > 0

@@ -56,6 +56,55 @@ class TestStepCounter:
         assert a.envelope_cache_hits == 55
         assert a.envelope_cache_misses == 66
 
+    def test_merge_rejects_unsettled_other(self):
+        a, b = StepCounter(), StepCounter()
+        b.add(5)
+        b.checkpoint()
+        with pytest.raises(ValueError, match="pending"):
+            a.merge(b)
+        assert b.since_checkpoint() == 0
+        a.merge(b)  # settled now
+        assert a.steps == 5
+
+    def test_merge_keeps_own_checkpoints_valid(self):
+        a, b = StepCounter(), StepCounter()
+        a.add(10)
+        a.checkpoint()
+        b.add(7)
+        a.merge(b)
+        assert a.since_checkpoint() == 7
+
+    def test_iadd_is_merge(self):
+        a = StepCounter(steps=1, lb_calls=2)
+        b = StepCounter(steps=3, lb_calls=4)
+        a += b
+        assert a.steps == 4
+        assert a.lb_calls == 6
+
+    def test_add_operator_builds_fresh_counter(self):
+        a = StepCounter(steps=1, distance_calls=2)
+        b = StepCounter(steps=10, distance_calls=20)
+        c = a + b
+        assert c is not a and c is not b
+        assert c.steps == 11
+        assert c.distance_calls == 22
+        assert (a.steps, b.steps) == (1, 10)
+
+    def test_add_operator_supports_sum_folds(self):
+        counters = [StepCounter(steps=i) for i in (1, 2, 3)]
+        total = sum(counters, StepCounter())
+        assert total.steps == 6
+
+    def test_add_operator_rejects_non_counters(self):
+        with pytest.raises(TypeError):
+            StepCounter() + 3
+
+    def test_add_operator_rejects_pending_checkpoints(self):
+        a = StepCounter()
+        a.checkpoint()
+        with pytest.raises(ValueError):
+            a + StepCounter()
+
     def test_reset(self):
         counter = StepCounter(steps=5, distance_calls=1)
         counter.checkpoint()
