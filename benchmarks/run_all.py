@@ -14,12 +14,14 @@ rest on -- ``wedge_search`` must never examine more steps than
 batched query engine must match the per-pair reference exactly
 (``bench_batch_engine --quick``), the pruning cascade must hold its
 recorded pruning power (``bench_pruning --check-baseline`` against
-``benchmarks/results/BENCH_pruning.json``), and the observability layer
+``benchmarks/results/BENCH_pruning.json``), the observability layer
 must be a pure observer (bit-identical step counts with tracing on/off, a
 monotone cascade tier funnel, and a parseable artifact written to
-``benchmarks/results/obs_quick/`` for CI to upload).  Any violation exits
-non-zero, making this a perf-regression tripwire cheap enough to run on
-every push.
+``benchmarks/results/obs_quick/`` for CI to upload), and the index
+persistence layer must round-trip exactly (``bench_persistence --quick``:
+built vs loaded vs mmap-loaded answers bit-identical, v1 shim intact,
+single-byte corruption rejected).  Any violation exits non-zero, making
+this a perf-regression tripwire cheap enough to run on every push.
 """
 
 from __future__ import annotations
@@ -267,7 +269,18 @@ def quick_smoke() -> int:
     # bit-identical with tracing on/off, a monotone tier funnel, and an
     # observability artifact that parses back (CI uploads it every run).
     print("\n=== observability artifact (results/obs_quick) ===", flush=True)
-    return _obs_artifact_smoke(walks, m)
+    rc = _obs_artifact_smoke(walks, m)
+    if rc != 0:
+        return rc
+
+    # Fifth tripwire: the durable-index lifecycle -- a save/load round trip
+    # (in-RAM and mmap) must answer bit-identically to the built index, the
+    # v1 migration shim must keep working, and any single-byte corruption
+    # of the collection sidecar must be rejected at load.
+    print("\n=== bench_persistence --quick ===", flush=True)
+    import bench_persistence
+
+    return bench_persistence.main(["--quick"])
 
 
 def main(argv=None) -> int:

@@ -1,9 +1,12 @@
 """The production index lifecycle: build once, persist, query warm.
 
-A survey archive is indexed once (signatures + structure), saved to disk,
-and later reloaded by query processes that never pay the build cost.  The
-script also shows the page/buffer-pool accounting: with a warm pool,
-repeat queries touch far fewer physical pages than logical objects.
+A survey archive is indexed once (signatures + structure + buffer-pool
+config), saved as a checksummed format-v2 archive, and later reloaded by
+query processes that never pay the build cost -- optionally memory-mapped,
+so the collection is demand-paged straight from the ``.data.npy`` sidecar
+instead of being materialised in RAM.  The buffer-pool configuration
+survives the round trip, so the page-fault accounting means the same thing
+before and after.
 
 Run:  python examples/build_and_persist_index.py
 """
@@ -18,46 +21,69 @@ from repro import (
     DTWMeasure,
     EuclideanMeasure,
     SignatureFilteredScan,
+    inspect_archive,
     load_index,
     projectile_point_collection,
     save_index,
 )
-from repro.index.disk import DiskStore
 
 
 def main() -> None:
     rng = np.random.default_rng(8)
     archive = projectile_point_collection(rng, 300, length=128)
 
-    print("=== build: signatures + VP-tree, once ===")
+    print("=== build: signatures + VP-tree + buffer-pool config, once ===")
     t0 = time.time()
-    index = SignatureFilteredScan(archive, n_coefficients=16, structure="vptree")
+    index = SignatureFilteredScan(
+        archive, n_coefficients=16, structure="vptree", page_size=8, buffer_pages=16
+    )
     build_time = time.time() - t0
     print(f"indexed {len(index)} objects in {build_time:.2f}s")
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "survey_index.npz"
         save_index(index, path)
-        print(f"persisted to {path.name} ({path.stat().st_size / 1024:.0f} KiB)")
+        sidecar = path.with_name(path.stem + ".data.npy")
+        print(
+            f"persisted to {path.name} ({path.stat().st_size / 1024:.0f} KiB) "
+            f"+ {sidecar.name} ({sidecar.stat().st_size / 1024:.0f} KiB)"
+        )
+        info = inspect_archive(path)
+        print(
+            f"archive: format v{info['format_version']}, "
+            f"{len(info['checksums'])} checksummed arrays, "
+            f"disk store {info['disk_store']}"
+        )
 
-        print("\n=== reload in a fresh 'process': no signature recomputation ===")
-        t0 = time.time()
-        reloaded = load_index(path)
-        load_time = time.time() - t0
-        print(f"loaded in {load_time:.3f}s (build was {build_time:.2f}s)")
-
+        print("\n=== reload in a fresh 'process': verified, no recomputation ===")
         query = archive[42] + rng.normal(0, 0.05, 128)
-        for measure in (EuclideanMeasure(), DTWMeasure(radius=5)):
-            a = index.query(query, measure)
-            b = reloaded.query(query, measure)
-            assert a.result.index == b.result.index
+        for mmap in (False, True):
+            t0 = time.time()
+            reloaded = load_index(path, mmap=mmap)
+            load_time = time.time() - t0
+            mode = "mmap" if mmap else "in-RAM"
             print(
-                f"{measure.name:>9}: match object {b.result.index}, "
-                f"fetched {b.objects_retrieved}/{len(reloaded)} objects"
+                f"{mode:>7}: loaded + checksum-verified in {load_time:.3f}s "
+                f"(build was {build_time:.2f}s); "
+                f"page_size={reloaded.store.page_size}, "
+                f"buffer_pages={reloaded.store.buffer_pages}"
             )
 
+            for measure in (EuclideanMeasure(), DTWMeasure(radius=5)):
+                a = index.query(query, measure)
+                b = reloaded.query(query, measure)
+                assert a.result.index == b.result.index
+                assert a.result.distance == b.result.distance
+                print(
+                    f"  {measure.name:>9}: match object {b.result.index}, "
+                    f"fetched {b.objects_retrieved}/{len(reloaded)} objects "
+                    f"({reloaded.store.page_faults} page faults)"
+                )
+
     print("\n=== buffer-pool accounting across a repeat-query workload ===")
-    store = DiskStore(archive, page_size=8, buffer_pages=16)
+    store = index.store
+    store.reset()
+    store.flush()
     hot_objects = [3, 17, 42, 3, 17, 42, 3, 17, 42, 99, 3]
     for i in hot_objects:
         store.fetch(i)

@@ -101,7 +101,13 @@ from repro.obs import (
     summarize_query_log,
     tier_funnel,
 )
-from repro.persistence import load_dataset_file, load_index, save_dataset, save_index
+from repro.persistence import (
+    inspect_archive,
+    load_dataset_file,
+    load_index,
+    save_dataset,
+    save_index,
+)
 from repro.viz import plot_series, plot_warping_matrix, plot_wedge
 from repro.index.linear_scan import SignatureFilteredScan
 from repro.index.rtree import Rect, RTree
@@ -224,6 +230,7 @@ __all__ = [
     "load_dataset_file",
     "save_index",
     "load_index",
+    "inspect_archive",
     "plot_series",
     "plot_wedge",
     "plot_warping_matrix",

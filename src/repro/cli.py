@@ -22,6 +22,14 @@ Trace one query and summarize a structured run log::
 
     python -m repro search --size 50 --trace --obs-log runs.jsonl
     python -m repro obs runs.jsonl
+
+Build a durable index archive once, then inspect and query it (optionally
+memory-mapped, so the collection never materialises in RAM)::
+
+    python -m repro index build --collection points --size 200 --out points_idx.npz
+    python -m repro index inspect points_idx.npz --verify
+    python -m repro index query points_idx.npz --collection points --size 200 \
+        --query-index 7 --measure dtw --mmap
 """
 
 from __future__ import annotations
@@ -165,6 +173,188 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def _make_obs(args):
+    """Build the (tracer, metrics, query_log) trio from shared CLI flags."""
+    tracer = None
+    if getattr(args, "trace", False):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    metrics = None
+    if getattr(args, "metrics_out", None):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    query_log = None
+    if getattr(args, "obs_log", None):
+        from repro.obs.querylog import QueryLogger
+
+        query_log = QueryLogger(args.obs_log)
+    return tracer, metrics, query_log
+
+
+def cmd_index_build(args) -> int:
+    from repro.index.linear_scan import SignatureFilteredScan
+    from repro.persistence import save_index
+
+    if args.from_npz:
+        from repro.persistence import load_dataset_file
+
+        archive = load_dataset_file(args.from_npz).series
+    else:
+        archive = _build_collection(args.collection, args.size, args.length, args.seed)
+    index = SignatureFilteredScan(
+        archive,
+        n_coefficients=args.coefficients,
+        structure=args.structure,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+    )
+    path = save_index(index, args.out)
+    sidecar = path.with_name(path.stem + ".data.npy")
+    print(
+        f"indexed {len(index)} objects of length {index.store.length} "
+        f"(structure={index.structure}, D={index.n_coefficients}, "
+        f"page_size={index.store.page_size}, buffer_pages={index.store.buffer_pages})"
+    )
+    print(
+        f"archive: {path} ({path.stat().st_size / 1024:.0f} KiB) "
+        f"+ {sidecar.name} ({sidecar.stat().st_size / 1024:.0f} KiB)"
+    )
+    return 0
+
+
+def cmd_index_inspect(args) -> int:
+    from repro.persistence import inspect_archive
+
+    info = inspect_archive(args.archive, verify=args.verify)
+    verified = info.get("verified") or {}
+    failed = sorted(name for name, state in verified.items() if state != "ok")
+    if args.json:
+        import json
+
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        print(f"{info['path']}: format v{info['format_version']}")
+        print(
+            f"  {info['objects']} objects x {info['length']} points, "
+            f"structure={info['structure']}, D={info['n_coefficients']}"
+        )
+        if info["disk_store"] is not None:
+            store = info["disk_store"]
+            print(
+                f"  disk store: page_size={store['page_size']}, "
+                f"buffer_pages={store['buffer_pages']}"
+            )
+        else:
+            print("  disk store: not recorded (v1 limitation; loads with defaults)")
+        if info["checksums"]:
+            for name, digest in sorted(info["checksums"].items()):
+                status = f"  [{verified[name]}]" if name in verified else ""
+                print(f"  sha256 {name:<12} {digest}{status}")
+        else:
+            print("  checksums: none (v1; load falls back to multi-probe spot check)")
+        created = info.get("created") or {}
+        if created:
+            print(
+                f"  created: {created.get('timestamp_utc')} "
+                f"(git {created.get('git_sha') or 'unknown'}, "
+                f"numpy {created.get('numpy')}, python {created.get('python')})"
+            )
+    if failed:
+        print(f"VERIFICATION FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_index_query(args) -> int:
+    from repro.persistence import load_index
+
+    index = load_index(args.archive, mmap=args.mmap)
+    measure = _build_measure(args)
+    query_seed = args.query_seed if args.query_seed is not None else args.seed + 1
+    pool = _build_collection(args.collection, args.size, args.length, query_seed)
+    if pool.shape[1] != index.store.length:
+        raise SystemExit(
+            f"query length {pool.shape[1]} does not match the indexed series "
+            f"length {index.store.length}; pass a matching --length"
+        )
+    query = pool[args.query_index % len(pool)]
+
+    tracer, metrics, query_log = _make_obs(args)
+    payload: dict = {
+        "archive": str(args.archive),
+        "measure": measure.name,
+        "mmap": bool(args.mmap),
+        "query_index": int(args.query_index),
+        "query_seed": int(query_seed),
+    }
+    if args.k > 1:
+        neighbours, accounting = index.query_knn(
+            query, measure, k=args.k, mirror=args.mirror, tracer=tracer
+        )
+        payload["neighbors"] = [
+            {"index": nb.index, "distance": nb.distance, "rotation": nb.rotation}
+            for nb in neighbours
+        ]
+    else:
+        accounting = index.query(
+            query,
+            measure,
+            mirror=args.mirror,
+            tracer=tracer,
+            metrics=metrics,
+            query_log=query_log,
+            query_id=args.query_index,
+        )
+    if query_log is not None:
+        query_log.close()
+    result = accounting.result
+    payload.update(
+        index=int(result.index),
+        distance=float(result.distance),
+        rotation=int(result.rotation),
+        steps=int(result.counter.steps),
+        objects_retrieved=int(accounting.objects_retrieved),
+        fraction_retrieved=float(accounting.fraction_retrieved),
+        signature_tests=int(accounting.signature_tests),
+    )
+
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        mode = "mmap" if args.mmap else "in-RAM"
+        print(f"loaded {len(index)}-object index ({mode}) from {args.archive}")
+        if args.k > 1:
+            for rank, nb in enumerate(payload["neighbors"], 1):
+                print(
+                    f"{rank}. object {nb['index']:>4}  distance {nb['distance']:.4f}  "
+                    f"(rotation {nb['rotation']})"
+                )
+        else:
+            print(
+                f"best match: object {result.index} at distance {result.distance:.4f} "
+                f"(rotation {result.rotation})"
+            )
+        print(
+            f"retrieved {accounting.objects_retrieved}/{len(index)} objects "
+            f"({accounting.fraction_retrieved:.2%}), "
+            f"{accounting.signature_tests} signature tests, "
+            f"{result.counter.steps:,} steps"
+        )
+    if tracer is not None and not args.json:
+        print("\ntrace:")
+        print(tracer.format_tree())
+    if metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        if not args.json:
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def cmd_classify(args) -> int:
     from repro.classify.evaluation import evaluate_dataset
     from repro.datasets.registry import TABLE_EIGHT, load_dataset
@@ -256,6 +446,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Prometheus-text metrics for the query to FILE",
     )
     search.set_defaults(func=cmd_search)
+
+    index = sub.add_parser(
+        "index", help="build, inspect and query durable index archives (format v2)"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    build = index_sub.add_parser(
+        "build", help="index a collection and persist it as a checksummed archive"
+    )
+    _add_collection_args(build)
+    build.add_argument(
+        "--from-npz",
+        default=None,
+        metavar="FILE",
+        help="index the series of a dataset saved with save_dataset instead of a synthetic collection",
+    )
+    build.add_argument("--coefficients", type=int, default=16, help="signature dimensionality D")
+    build.add_argument("--structure", default="flat", choices=("flat", "vptree", "rtree"))
+    build.add_argument("--page-size", type=int, default=1, help="objects per simulated disk page")
+    build.add_argument("--buffer-pages", type=int, default=0, help="LRU buffer pool size in pages")
+    build.add_argument("--out", required=True, metavar="FILE", help="archive path (.npz)")
+    build.set_defaults(func=cmd_index_build)
+
+    inspect = index_sub.add_parser("inspect", help="show an archive's metadata and checksums")
+    inspect.add_argument("archive", help="path to a saved index archive")
+    inspect.add_argument(
+        "--verify", action="store_true", help="re-hash every stored array (exit 1 on mismatch)"
+    )
+    inspect.add_argument("--json", action="store_true", help="emit the description as JSON")
+    inspect.set_defaults(func=cmd_index_inspect)
+
+    iquery = index_sub.add_parser(
+        "query", help="load an archive and run a rotation-invariant query through it"
+    )
+    iquery.add_argument("archive", help="path to a saved index archive")
+    _add_collection_args(iquery)
+    _add_measure_args(iquery)
+    iquery.add_argument(
+        "--query-seed",
+        type=int,
+        default=None,
+        help="seed for the query collection (default: --seed + 1, so queries differ from the indexed members)",
+    )
+    iquery.add_argument("--query-index", type=int, default=0)
+    iquery.add_argument("--k", type=int, default=1, help="report the k nearest neighbours")
+    iquery.add_argument("--mirror", action="store_true")
+    iquery.add_argument(
+        "--mmap", action="store_true", help="memory-map the collection sidecar instead of loading it into RAM"
+    )
+    iquery.add_argument("--json", action="store_true", help="emit the answer as JSON")
+    iquery.add_argument("--trace", action="store_true", help="print the query's span tree")
+    iquery.add_argument(
+        "--obs-log", default=None, metavar="FILE", help="append a JSONL query record to FILE"
+    )
+    iquery.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write Prometheus-text metrics for the query to FILE",
+    )
+    iquery.set_defaults(func=cmd_index_query)
 
     obs = sub.add_parser("obs", help="summarize a JSONL query log (tier funnel, slow queries)")
     obs.add_argument("log", help="path to a query log written by QueryLogger / --obs-log")

@@ -13,6 +13,12 @@ absorbs re-reads, so :attr:`DiskStore.page_faults` counts *physical* reads
 while :attr:`DiskStore.retrievals` keeps counting logical ones -- the
 paper's point that the convolution trick "does not help reduce disk
 accesses for data which does not fit in main memory" becomes measurable.
+
+The collection may be backed by a read-only ``numpy.memmap`` (an index
+archive's ``.npy`` sidecar opened with ``np.load(..., mmap_mode="r")``):
+``np.asarray`` keeps the buffer in place, so a loaded index serves queries
+without materialising the collection in RAM -- the simulated accounting
+then sits on top of genuinely demand-paged storage.
 """
 
 from __future__ import annotations
@@ -79,6 +85,21 @@ class DiskStore:
     def n_pages(self) -> int:
         """Number of disk pages the collection occupies."""
         return -(-len(self) // self.page_size)
+
+    @property
+    def backed_by_mmap(self) -> bool:
+        """Whether the collection lives in a memory-mapped file."""
+        data = self._data
+        while data is not None:
+            if isinstance(data, np.memmap):
+                return True
+            data = data.base if isinstance(data.base, np.ndarray) else None
+        return False
+
+    @property
+    def config(self) -> dict:
+        """The buffer-pool configuration, as persisted by index archives."""
+        return {"page_size": self.page_size, "buffer_pages": self.buffer_pages}
 
     def fetch(self, index: int) -> np.ndarray:
         """Read one full series from disk (counted).

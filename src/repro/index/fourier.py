@@ -45,7 +45,11 @@ def fourier_signature(series, n_coefficients: int | None = None) -> np.ndarray:
     n_coefficients:
         Keep only the first ``D`` (lowest-frequency) entries; ``None`` keeps
         the full half-spectrum, for which the signature distance is the
-        tightest magnitude bound available.
+        tightest magnitude bound available.  Asking for more coefficients
+        than the half-spectrum holds (``n // 2 + 1``) raises ``ValueError``
+        rather than silently returning a shorter signature, which would
+        otherwise only surface later as an opaque "signature length
+        mismatch" inside :func:`signature_distance`.
 
     Returns
     -------
@@ -64,6 +68,12 @@ def fourier_signature(series, n_coefficients: int | None = None) -> np.ndarray:
     if n_coefficients is not None:
         if n_coefficients < 1:
             raise ValueError(f"n_coefficients must be positive, got {n_coefficients}")
+        if n_coefficients > signature.size:
+            raise ValueError(
+                f"n_coefficients={n_coefficients} exceeds the {signature.size}-bin "
+                f"rfft half-spectrum of a length-{n} series; pass at most "
+                f"{signature.size}, or None for the full signature"
+            )
         signature = signature[:n_coefficients]
     return signature
 

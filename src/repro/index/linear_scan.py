@@ -75,6 +75,21 @@ class SignatureFilteredScan:
         Euclidean (Fourier points) and DTW (weighted PAA points, queried
         with the wedge set's envelope rectangles) through an STR-packed
         R-tree -- the envelope-indexing structure of [16]/[37].
+    page_size / buffer_pages:
+        Forwarded to the backing :class:`~repro.index.disk.DiskStore`
+        (page/buffer-pool accounting); persisted by format-v2 index
+        archives so a save/load round trip keeps the same page-fault
+        accounting.
+
+    Notes
+    -----
+    ``n_coefficients`` is **clamped** to the rfft half-spectrum size
+    (``n // 2 + 1`` for length-``n`` series): a signature cannot hold more
+    distinct magnitude bins than the spectrum provides, so asking for more
+    silently gets you the full (tightest) signature rather than an error.
+    The clamped value is what :attr:`n_coefficients` reports and what
+    archives persist.  Calling :func:`repro.index.fourier.fourier_signature`
+    directly performs no such clamping and raises instead.
     """
 
     def __init__(
@@ -83,8 +98,10 @@ class SignatureFilteredScan:
         n_coefficients: int = 16,
         use_vptree: bool = False,
         structure: str | None = None,
+        page_size: int = 1,
+        buffer_pages: int = 0,
     ):
-        self._store = DiskStore(database)
+        self._store = DiskStore(database, page_size=page_size, buffer_pages=buffer_pages)
         data = self._store.peek_all()
         if n_coefficients < 1:
             raise ValueError(f"n_coefficients must be positive, got {n_coefficients}")
@@ -101,6 +118,36 @@ class SignatureFilteredScan:
         self._paa = np.vstack([paa(row, self._paa_segments) for row in data])
         self._paa_lengths = segment_lengths(data.shape[1], self._paa_segments)
         self._build_structures()
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        store: DiskStore,
+        n_coefficients: int,
+        structure: str,
+        fourier: np.ndarray,
+        paa: np.ndarray,
+        paa_lengths: np.ndarray,
+    ) -> "SignatureFilteredScan":
+        """Assemble an index from already-computed signatures (the load path).
+
+        Used by :mod:`repro.persistence` to reconstruct an index from an
+        archive without recomputing the O(m n log n) signature pass.  The
+        caller is responsible for integrity: nothing here re-derives or
+        cross-checks the signatures against ``store``'s data.
+        """
+        if structure not in _STRUCTURES:
+            raise ValueError(f"unknown structure {structure!r}; choose from {_STRUCTURES}")
+        index = cls.__new__(cls)
+        index._store = store
+        index.n_coefficients = int(n_coefficients)
+        index.structure = structure
+        index._fourier = np.asarray(fourier, dtype=np.float64)
+        index._paa = np.asarray(paa, dtype=np.float64)
+        index._paa_segments = index._paa.shape[1]
+        index._paa_lengths = np.asarray(paa_lengths, dtype=np.int64)
+        index._build_structures()
+        return index
 
     def _build_structures(self) -> None:
         """(Re)build the in-memory search structures for ``self.structure``."""

@@ -4,59 +4,373 @@ A production archive is built once and queried many times: the Fourier and
 PAA signatures of :class:`~repro.index.linear_scan.SignatureFilteredScan`
 take O(m n log n) to compute, so re-deriving them per process is wasteful.
 Both datasets and indexes round-trip through NumPy ``.npz`` archives --
-no pickling, no code execution on load.
+no pickling, no code execution on load (``np.load`` always runs with
+pickle disabled; legacy object-array files are rejected with an
+explanation rather than deserialised).
+
+Index archive formats
+---------------------
+**v2** (written by :func:`save_index`) is a pair of files that travel
+together:
+
+* ``<name>.npz`` -- the signatures (``fourier``, ``paa``, ``paa_lengths``)
+  plus a JSON metadata block carrying the format version, creation
+  provenance (:func:`repro.obs.provenance.provenance_block`), the index
+  configuration (``n_coefficients``, ``structure``, the full
+  :class:`~repro.index.disk.DiskStore` page/buffer-pool config) and a
+  SHA-256 checksum of **every** stored array.  The metadata block itself
+  is checksummed.
+* ``<name>.data.npy`` -- the raw collection as a plain ``.npy`` sidecar,
+  so :func:`load_index` can open it with ``np.load(..., mmap_mode="r")``
+  and serve queries without materialising the collection in RAM.
+
+On load the whole archive is verified: every array (including the
+sidecar) is re-hashed against its recorded checksum, and the layout is
+cross-checked (shapes, segment lengths vs series length), so any
+single-byte corruption fails loudly at load time instead of silently
+returning wrong lower bounds.
+
+**v1** (legacy) stored everything inside one compressed ``.npz`` with no
+checksums and no ``DiskStore`` config.  :func:`load_index` still reads v1
+archives through a migration shim: integrity falls back to a multi-probe
+spot check (recomputing several objects' signatures), and -- a documented
+v1 limitation -- the reconstructed ``DiskStore`` uses default
+``page_size``/``buffer_pages``, so buffer-pool accounting is *not*
+preserved across a v1 round trip.  Re-save with :func:`save_index` to
+upgrade.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.shapes_data import Dataset
+from repro.index.disk import DiskStore
 from repro.index.linear_scan import SignatureFilteredScan
 
-__all__ = ["save_dataset", "load_dataset_file", "save_index", "load_index"]
+__all__ = [
+    "save_dataset",
+    "load_dataset_file",
+    "save_index",
+    "load_index",
+    "inspect_archive",
+    "DATASET_FORMAT_VERSION",
+    "INDEX_FORMAT_VERSION",
+]
 
-_FORMAT_VERSION = 1
+DATASET_FORMAT_VERSION = 1
+INDEX_FORMAT_VERSION = 2
+
+#: Signature arrays stored inside the ``.npz`` member of a v2 archive.
+_INDEX_ARRAYS = ("fourier", "paa", "paa_lengths")
+
+_CHECKSUM_CHUNK = 1 << 22  # hash 4 MiB at a time; keeps mmap verification lazy
 
 
-def save_dataset(dataset: Dataset, path) -> Path:
-    """Write a labelled dataset to ``path`` (``.npz`` appended if missing)."""
+def _npz_path(path) -> Path:
     path = Path(path)
-    np.savez_compressed(
-        path,
-        format_version=_FORMAT_VERSION,
-        name=np.array(dataset.name),
-        series=dataset.series,
-        labels=dataset.labels,
-        class_names=np.array(dataset.class_names, dtype=object)
-        if dataset.class_names
-        else np.array([], dtype=object),
-    )
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
+def _sidecar_path(npz_path: Path) -> Path:
+    return npz_path.with_name(npz_path.stem + ".data.npy")
+
+
+def _sha256_array(arr: np.ndarray) -> str:
+    """SHA-256 over an array's dtype, shape, and raw bytes.
+
+    Streams in chunks so verifying an mmap-opened sidecar reads it through
+    the page cache instead of copying the collection onto the heap.
+    """
+    arr = np.ascontiguousarray(arr)
+    digest = hashlib.sha256()
+    digest.update(f"{arr.dtype.str}|{arr.shape}".encode())
+    flat = arr.reshape(-1).view(np.uint8)
+    for start in range(0, flat.size, _CHECKSUM_CHUNK):
+        digest.update(flat[start : start + _CHECKSUM_CHUNK])
+    return digest.hexdigest()
+
+
+def _verify_checksum(name: str, arr: np.ndarray, checksums: dict) -> None:
+    expected = checksums.get(name)
+    if not isinstance(expected, str):
+        raise ValueError(f"index archive is corrupt: no checksum recorded for array {name!r}")
+    actual = _sha256_array(arr)
+    if actual != expected:
+        raise ValueError(
+            f"index archive is corrupt: array {name!r} fails its SHA-256 check "
+            f"(expected {expected[:12]}..., got {actual[:12]}...)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+def save_dataset(dataset: Dataset, path) -> Path:
+    """Write a labelled dataset to ``path`` (``.npz`` appended if missing).
+
+    ``class_names`` is stored as a fixed-width unicode array (never an
+    object array), so the file loads with pickle disabled.
+    """
+    path = _npz_path(path)
+    class_names = (
+        np.asarray(dataset.class_names, dtype=np.str_)
+        if dataset.class_names
+        else np.array([], dtype="<U1")
+    )
+    np.savez_compressed(
+        path,
+        format_version=DATASET_FORMAT_VERSION,
+        name=np.array(dataset.name),
+        series=dataset.series,
+        labels=dataset.labels,
+        class_names=class_names,
+    )
+    return path
+
+
 def load_dataset_file(path) -> Dataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=True) as archive:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Pickle stays disabled: a legacy file whose ``class_names`` is a pickled
+    object array (written before the fixed-width-unicode fix) is rejected
+    with an explanation instead of being deserialised -- a crafted object
+    array would otherwise execute arbitrary code on load.
+    """
+    with np.load(Path(path)) as archive:
         version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
+        if version != DATASET_FORMAT_VERSION:
             raise ValueError(f"unsupported dataset format version {version}")
+        try:
+            raw_names = archive["class_names"]
+        except ValueError as exc:
+            raise ValueError(
+                "dataset archive stores class_names as a pickled object array "
+                "(written by an old save_dataset); pickle is never enabled on "
+                "load -- regenerate the file with the current save_dataset"
+            ) from exc
         return Dataset(
             str(archive["name"]),
             archive["series"],
             archive["labels"],
-            class_names=[str(c) for c in archive["class_names"]],
+            class_names=[str(c) for c in raw_names],
         )
 
 
+# ---------------------------------------------------------------------------
+# Indexes
+# ---------------------------------------------------------------------------
+
+
 def save_index(index: SignatureFilteredScan, path) -> Path:
-    """Persist a disk index: raw collection plus precomputed signatures."""
-    path = Path(path)
+    """Persist a disk index as a format-v2 archive.
+
+    Writes ``<name>.npz`` (signatures + checksummed metadata) and the
+    ``<name>.data.npy`` collection sidecar next to it; the two files must
+    travel together.  Returns the ``.npz`` path.
+    """
+    from repro.obs.provenance import provenance_block
+
+    path = _npz_path(path)
+    data = np.ascontiguousarray(index.store.peek_all())
+    sidecar = _sidecar_path(path)
+    np.save(sidecar, data)
+
+    arrays = {
+        "fourier": np.ascontiguousarray(index._fourier),
+        "paa": np.ascontiguousarray(index._paa),
+        "paa_lengths": np.ascontiguousarray(index._paa_lengths),
+    }
+    checksums = {name: _sha256_array(arr) for name, arr in arrays.items()}
+    checksums["data"] = _sha256_array(data)
+
+    meta = {
+        "kind": "repro-index",
+        "format_version": INDEX_FORMAT_VERSION,
+        "n_coefficients": int(index.n_coefficients),
+        "structure": index.structure,
+        "paa_segments": int(index._paa_segments),
+        "disk_store": index.store.config,
+        "collection": {
+            "objects": int(data.shape[0]),
+            "length": int(data.shape[1]),
+            "dtype": data.dtype.str,
+        },
+        "data_file": sidecar.name,
+        "checksums": checksums,
+        "created": provenance_block({"artifact": "index-archive"}),
+    }
+    meta_json = json.dumps(meta, sort_keys=True)
     np.savez_compressed(
         path,
-        format_version=_FORMAT_VERSION,
+        format_version=np.array(INDEX_FORMAT_VERSION),
+        meta_json=np.array(meta_json),
+        meta_sha256=np.array(hashlib.sha256(meta_json.encode()).hexdigest()),
+        **arrays,
+    )
+    return path
+
+
+def _read_meta(archive) -> dict:
+    """Parse and checksum-verify a v2 archive's metadata block."""
+    meta_json = str(archive["meta_json"])
+    stored = str(archive["meta_sha256"])
+    if hashlib.sha256(meta_json.encode()).hexdigest() != stored:
+        raise ValueError("index archive is corrupt: metadata block fails its checksum")
+    meta = json.loads(meta_json)
+    if meta.get("format_version") != INDEX_FORMAT_VERSION:
+        raise ValueError("index archive is corrupt: metadata disagrees with format_version")
+    return meta
+
+
+def _validate_layout(meta: dict, data, fourier, paa, paa_lengths) -> None:
+    """Cross-check array shapes against the metadata and each other."""
+    if data.ndim != 2:
+        raise ValueError(f"index archive is corrupt: collection has shape {data.shape}")
+    m, n = data.shape
+    n_coefficients = int(meta["n_coefficients"])
+    paa_segments = int(meta["paa_segments"])
+    if fourier.shape != (m, n_coefficients):
+        raise ValueError(
+            f"index archive is corrupt: fourier signatures have shape {fourier.shape}, "
+            f"expected {(m, n_coefficients)}"
+        )
+    if paa.shape != (m, paa_segments):
+        raise ValueError(
+            f"index archive is corrupt: paa signatures have shape {paa.shape}, "
+            f"expected {(m, paa_segments)}"
+        )
+    if paa_lengths.shape != (paa_segments,) or int(paa_lengths.sum()) != n:
+        raise ValueError(
+            "index archive is corrupt: paa segment lengths do not partition the series length"
+        )
+
+
+def load_index(path, mmap: bool = False) -> SignatureFilteredScan:
+    """Reconstruct a disk index without recomputing signatures.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` written by :func:`save_index` (v2) or a legacy v1
+        archive.  For v2, the ``.data.npy`` sidecar must sit next to it.
+    mmap:
+        Open the v2 collection sidecar with ``np.load(..., mmap_mode="r")``
+        so queries demand-page the data instead of holding it in RAM.  The
+        integrity pass still reads every byte once (through the page
+        cache) to verify the checksum.  v1 archives store the collection
+        inside the compressed ``.npz`` and cannot be memory-mapped.
+
+    Every stored array is verified against its recorded SHA-256 (v2) or a
+    multi-probe recomputation spot check (v1), so a corrupted or
+    mismatched file fails loudly instead of silently returning wrong
+    lower bounds.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version == 1:
+            if mmap:
+                raise ValueError(
+                    "format v1 archives store the collection inside the compressed "
+                    ".npz and cannot be memory-mapped; re-save with save_index to "
+                    "get an mmap-capable v2 archive"
+                )
+            return _load_index_v1(archive)
+        if version != INDEX_FORMAT_VERSION:
+            raise ValueError(f"unsupported index format version {version}")
+        meta = _read_meta(archive)
+        checksums = meta["checksums"]
+        arrays = {}
+        for name in _INDEX_ARRAYS:
+            arrays[name] = archive[name]
+            _verify_checksum(name, arrays[name], checksums)
+
+    data_path = path.with_name(str(meta["data_file"]))
+    if not data_path.exists():
+        raise FileNotFoundError(
+            f"index archive {path.name} references missing collection sidecar "
+            f"{meta['data_file']!r} (the .npz and .data.npy files travel together)"
+        )
+    data = np.load(data_path, mmap_mode="r" if mmap else None)
+    _verify_checksum("data", data, checksums)
+    _validate_layout(meta, data, arrays["fourier"], arrays["paa"], arrays["paa_lengths"])
+
+    store_config = meta.get("disk_store") or {}
+    store = DiskStore(
+        data,
+        page_size=int(store_config.get("page_size", 1)),
+        buffer_pages=int(store_config.get("buffer_pages", 0)),
+    )
+    return SignatureFilteredScan.from_precomputed(
+        store,
+        n_coefficients=int(meta["n_coefficients"]),
+        structure=str(meta["structure"]),
+        fourier=arrays["fourier"],
+        paa=arrays["paa"],
+        paa_lengths=arrays["paa_lengths"],
+    )
+
+
+def _load_index_v1(archive) -> SignatureFilteredScan:
+    """Migration shim for legacy v1 archives.
+
+    v1 carries no checksums, so integrity falls back to recomputing the
+    signatures of several probe objects (first, middle, last) -- stronger
+    than the original single-object spot check, still cheaper than a full
+    rebuild.  v1 also never stored the ``DiskStore`` buffer-pool config,
+    so the reconstructed store uses defaults (``page_size=1``,
+    ``buffer_pages=0``); re-save as v2 to persist that configuration.
+    """
+    data = archive["data"]
+    n_coefficients = int(archive["n_coefficients"])
+    structure = str(archive["structure"])
+    index = SignatureFilteredScan.from_precomputed(
+        DiskStore(data),
+        n_coefficients=n_coefficients,
+        structure=structure,
+        fourier=archive["fourier"],
+        paa=archive["paa"],
+        paa_lengths=archive["paa_lengths"],
+    )
+
+    from repro.index.fourier import fourier_signature
+    from repro.index.paa import paa as paa_reduce
+
+    m = data.shape[0]
+    for probe in sorted({0, m // 2, m - 1}):
+        expected_fourier = fourier_signature(data[probe], n_coefficients)
+        expected_paa = paa_reduce(data[probe], index._paa_segments)
+        if not np.allclose(index._fourier[probe], expected_fourier, atol=1e-9):
+            raise ValueError(
+                f"index file is corrupt: stored Fourier signatures do not match data "
+                f"(probe object {probe})"
+            )
+        if not np.allclose(index._paa[probe], expected_paa, atol=1e-9):
+            raise ValueError(
+                f"index file is corrupt: stored PAA signatures do not match data "
+                f"(probe object {probe})"
+            )
+    return index
+
+
+def _save_index_v1(index: SignatureFilteredScan, path) -> Path:
+    """Write the legacy v1 layout.
+
+    Kept (private) so the v1 migration shim stays exercised by tests and
+    fixture-generation scripts; production code should use
+    :func:`save_index`.
+    """
+    path = _npz_path(path)
+    np.savez_compressed(
+        path,
+        format_version=np.array(1),
         data=index.store.peek_all(),
         n_coefficients=index.n_coefficients,
         fourier=index._fourier,
@@ -64,44 +378,64 @@ def save_index(index: SignatureFilteredScan, path) -> Path:
         paa_lengths=index._paa_lengths,
         structure=np.array(index.structure),
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path
 
 
-def load_index(path) -> SignatureFilteredScan:
-    """Reconstruct a disk index without recomputing signatures.
+def inspect_archive(path, verify: bool = False) -> dict:
+    """Describe an index archive without building the index.
 
-    The stored signatures are verified against a spot-check recomputation
-    so a corrupted or mismatched file fails loudly instead of silently
-    returning wrong lower bounds.
+    Returns a JSON-ready dict: format version, index configuration, the
+    collection's dimensions, per-array checksums and creation provenance
+    (v2; ``None`` where v1 never recorded them).  With ``verify=True``
+    every v2 array -- including the collection sidecar -- is re-hashed and
+    the dict gains a ``"verified"`` map of ``array -> "ok" | "MISMATCH" |
+    "missing"``.
     """
-    with np.load(Path(path)) as archive:
+    path = _npz_path(path)
+    with np.load(path) as archive:
         version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
+        if version == 1:
+            data_shape = archive["data"].shape
+            return {
+                "path": str(path),
+                "format_version": 1,
+                "n_coefficients": int(archive["n_coefficients"]),
+                "structure": str(archive["structure"]),
+                "objects": int(data_shape[0]),
+                "length": int(data_shape[1]),
+                "disk_store": None,
+                "data_file": None,
+                "checksums": None,
+                "created": None,
+            }
+        if version != INDEX_FORMAT_VERSION:
             raise ValueError(f"unsupported index format version {version}")
-        data = archive["data"]
-        n_coefficients = int(archive["n_coefficients"])
-        structure = str(archive["structure"])
-        index = SignatureFilteredScan.__new__(SignatureFilteredScan)
-        from repro.index.disk import DiskStore
-
-        index._store = DiskStore(data)
-        index.n_coefficients = n_coefficients
-        index.structure = structure
-        index._fourier = archive["fourier"]
-        index._paa = archive["paa"]
-        index._paa_segments = index._paa.shape[1]
-        index._paa_lengths = archive["paa_lengths"]
-        index._build_structures()
-
-    # Integrity spot check: recompute one object's signatures.
-    from repro.index.fourier import fourier_signature
-    from repro.index.paa import paa
-
-    probe = 0
-    expected_fourier = fourier_signature(data[probe], n_coefficients)
-    expected_paa = paa(data[probe], index._paa_segments)
-    if not np.allclose(index._fourier[probe], expected_fourier, atol=1e-9):
-        raise ValueError("index file is corrupt: stored Fourier signatures do not match data")
-    if not np.allclose(index._paa[probe], expected_paa, atol=1e-9):
-        raise ValueError("index file is corrupt: stored PAA signatures do not match data")
-    return index
+        meta = _read_meta(archive)
+        info = {
+            "path": str(path),
+            "format_version": version,
+            "n_coefficients": int(meta["n_coefficients"]),
+            "structure": str(meta["structure"]),
+            "objects": int(meta["collection"]["objects"]),
+            "length": int(meta["collection"]["length"]),
+            "disk_store": dict(meta["disk_store"]),
+            "data_file": str(meta["data_file"]),
+            "checksums": dict(meta["checksums"]),
+            "created": meta.get("created"),
+        }
+        if verify:
+            checksums = meta["checksums"]
+            verified = {}
+            for name in _INDEX_ARRAYS:
+                ok = _sha256_array(archive[name]) == checksums.get(name)
+                verified[name] = "ok" if ok else "MISMATCH"
+            data_path = path.with_name(str(meta["data_file"]))
+            if not data_path.exists():
+                verified["data"] = "missing"
+            else:
+                data = np.load(data_path, mmap_mode="r")
+                verified["data"] = (
+                    "ok" if _sha256_array(data) == checksums.get("data") else "MISMATCH"
+                )
+            info["verified"] = verified
+    return info

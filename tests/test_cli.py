@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -94,6 +97,180 @@ class TestClassifyCommand:
     def test_unknown_dataset_exits(self):
         with pytest.raises(SystemExit):
             main(["classify", "--dataset", "MNIST"])
+
+
+class TestIndexCommands:
+    @pytest.fixture
+    def built_archive(self, tmp_path, capsys):
+        path = tmp_path / "idx.npz"
+        code = main(
+            [
+                "index",
+                "build",
+                "--collection",
+                "points",
+                "--size",
+                "24",
+                "--length",
+                "32",
+                "--coefficients",
+                "8",
+                "--page-size",
+                "4",
+                "--buffer-pages",
+                "2",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_build_writes_archive_and_sidecar(self, built_archive):
+        assert built_archive.exists()
+        assert built_archive.with_name("idx.data.npy").exists()
+
+    def test_inspect_verify(self, built_archive, capsys):
+        code = main(["index", "inspect", str(built_archive), "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "format v2" in out
+        assert "page_size=4" in out
+        assert out.count("[ok]") == 4
+
+    def test_inspect_json(self, built_archive, capsys):
+        assert main(["index", "inspect", str(built_archive), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format_version"] == 2
+        assert info["disk_store"] == {"page_size": 4, "buffer_pages": 2}
+
+    def test_inspect_detects_corruption(self, built_archive, capsys):
+        sidecar = built_archive.with_name("idx.data.npy")
+        raw = bytearray(sidecar.read_bytes())
+        raw[-1] ^= 0xFF
+        sidecar.write_bytes(bytes(raw))
+        code = main(["index", "inspect", str(built_archive), "--verify"])
+        assert code == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_query_matches_in_ram_and_mmap(self, built_archive, capsys, mmap):
+        argv = [
+            "index",
+            "query",
+            str(built_archive),
+            "--collection",
+            "points",
+            "--size",
+            "24",
+            "--length",
+            "32",
+            "--query-index",
+            "3",
+            "--json",
+        ]
+        if mmap:
+            argv.append("--mmap")
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mmap"] is mmap
+        assert 0 <= payload["index"] < 24
+        assert np.isfinite(payload["distance"])
+        assert 0 < payload["fraction_retrieved"] <= 1.0
+
+    def test_query_mmap_agrees_with_in_ram(self, built_archive, capsys):
+        answers = []
+        for extra in ([], ["--mmap"]):
+            main(
+                [
+                    "index",
+                    "query",
+                    str(built_archive),
+                    "--collection",
+                    "points",
+                    "--size",
+                    "24",
+                    "--length",
+                    "32",
+                    "--measure",
+                    "dtw",
+                    "--radius",
+                    "2",
+                    "--json",
+                    *extra,
+                ]
+            )
+            payload = json.loads(capsys.readouterr().out)
+            payload.pop("mmap")
+            answers.append(payload)
+        assert answers[0] == answers[1]
+
+    def test_query_knn_and_obs_wiring(self, built_archive, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "index",
+                "query",
+                str(built_archive),
+                "--collection",
+                "points",
+                "--size",
+                "24",
+                "--length",
+                "32",
+                "--obs-log",
+                str(log),
+                "--metrics-out",
+                str(metrics),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best match" in out and "trace:" in out
+        record = json.loads(log.read_text().splitlines()[0])
+        assert "fraction_retrieved" in record
+        assert "queries_total" in metrics.read_text()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "index",
+                    "query",
+                    str(built_archive),
+                    "--collection",
+                    "points",
+                    "--size",
+                    "24",
+                    "--length",
+                    "32",
+                    "--k",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["neighbors"]) == 3
+
+    def test_query_rejects_mismatched_length(self, built_archive):
+        with pytest.raises(SystemExit, match="length"):
+            main(
+                [
+                    "index",
+                    "query",
+                    str(built_archive),
+                    "--collection",
+                    "points",
+                    "--size",
+                    "24",
+                    "--length",
+                    "48",
+                ]
+            )
 
 
 class TestMiningCommands:

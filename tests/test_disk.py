@@ -58,3 +58,17 @@ class TestDiskStore:
         store = DiskStore(rng.normal(size=(7, 11)))
         assert len(store) == 7
         assert store.length == 11
+
+    def test_config_reports_buffer_pool(self, rng):
+        store = DiskStore(rng.normal(size=(8, 4)), page_size=2, buffer_pages=3)
+        assert store.config == {"page_size": 2, "buffer_pages": 3}
+
+    def test_backed_by_mmap(self, rng, tmp_path):
+        data = rng.normal(size=(5, 6))
+        assert DiskStore(data).backed_by_mmap is False
+        path = tmp_path / "collection.npy"
+        np.save(path, data)
+        mapped = DiskStore(np.load(path, mmap_mode="r"))
+        assert mapped.backed_by_mmap is True
+        np.testing.assert_array_equal(mapped.fetch(3), data[3])
+        assert mapped.retrievals == 1

@@ -53,6 +53,19 @@ class TestSignature:
         with pytest.raises(ValueError):
             fourier_signature(random_walk(10), 0)
 
+    def test_rejects_more_coefficients_than_half_spectrum(self, random_walk):
+        # A length-16 series has a 9-bin rfft half-spectrum; asking for more
+        # used to silently return a shorter signature, surfacing later as an
+        # opaque "signature length mismatch" in signature_distance.
+        with pytest.raises(ValueError, match="half-spectrum"):
+            fourier_signature(random_walk(16), 10)
+        assert fourier_signature(random_walk(16), 9).size == 9
+
+    def test_half_spectrum_limit_is_exact_for_odd_lengths(self, random_walk):
+        assert fourier_signature(random_walk(15), 8).size == 8
+        with pytest.raises(ValueError, match="half-spectrum"):
+            fourier_signature(random_walk(15), 9)
+
     def test_signature_distance_shape_mismatch(self):
         with pytest.raises(ValueError):
             signature_distance(np.zeros(3), np.zeros(4))

@@ -1,6 +1,8 @@
-"""Tests for dataset / index persistence."""
+"""Tests for dataset / index persistence (format v2 + the v1 migration shim)."""
 
 import math
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -9,7 +11,16 @@ from repro.datasets.shapes_data import Dataset, projectile_point_collection
 from repro.distances.dtw import DTWMeasure
 from repro.distances.euclidean import EuclideanMeasure
 from repro.index.linear_scan import SignatureFilteredScan
-from repro.persistence import load_dataset_file, load_index, save_dataset, save_index
+from repro.persistence import (
+    _save_index_v1,
+    inspect_archive,
+    load_dataset_file,
+    load_index,
+    save_dataset,
+    save_index,
+)
+
+MEASURES = (EuclideanMeasure(), DTWMeasure(radius=2))
 
 
 @pytest.fixture
@@ -27,6 +38,22 @@ def archive(rng):
     return projectile_point_collection(rng, 25, length=64)
 
 
+def _flip_one_byte(arr: np.ndarray) -> np.ndarray:
+    """Return a copy of ``arr`` with exactly one payload byte inverted."""
+    original = np.ascontiguousarray(arr)
+    raw = bytearray(original.tobytes())
+    raw[len(raw) // 2] ^= 0xFF
+    return np.frombuffer(bytes(raw), dtype=original.dtype).reshape(original.shape)
+
+
+def _resave_npz(path, **overrides) -> None:
+    """Rewrite an npz archive with some members replaced."""
+    with np.load(path) as stored:
+        contents = {key: stored[key] for key in stored.files}
+    contents.update(overrides)
+    np.savez(path, **contents)
+
+
 class TestDatasetRoundtrip:
     def test_roundtrip_preserves_everything(self, dataset, tmp_path):
         path = save_dataset(dataset, tmp_path / "ds.npz")
@@ -41,45 +68,228 @@ class TestDatasetRoundtrip:
         loaded = load_dataset_file(save_dataset(ds, tmp_path / "x.npz"))
         assert loaded.class_names == []
 
+    def test_class_names_stored_pickle_free(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        with np.load(path) as stored:  # allow_pickle defaults to False
+            names = stored["class_names"]
+        assert names.dtype.kind == "U"
+        assert [str(c) for c in names] == dataset.class_names
+
+    def test_legacy_object_array_rejected_with_clear_error(self, dataset, tmp_path):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            format_version=1,
+            name=np.array(dataset.name),
+            series=dataset.series,
+            labels=dataset.labels,
+            class_names=np.array(dataset.class_names, dtype=object),
+        )
+        with pytest.raises(ValueError, match="pickle"):
+            load_dataset_file(path)
+
     def test_rejects_wrong_version(self, dataset, tmp_path):
         path = save_dataset(dataset, tmp_path / "ds.npz")
-        with np.load(path, allow_pickle=True) as archive:
-            contents = {key: archive[key] for key in archive.files}
-        contents["format_version"] = np.array(99)
-        np.savez(path, **contents)
+        _resave_npz(path, format_version=np.array(99))
         with pytest.raises(ValueError, match="version"):
             load_dataset_file(path)
 
 
-class TestIndexRoundtrip:
+class TestIndexRoundtripV2:
     @pytest.mark.parametrize("structure", ["flat", "vptree", "rtree"])
-    def test_loaded_index_answers_identically(self, archive, rng, tmp_path, structure):
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_bit_identical_answers_and_accounting(
+        self, archive, rng, tmp_path, structure, mmap
+    ):
         index = SignatureFilteredScan(archive, n_coefficients=8, structure=structure)
         path = save_index(index, tmp_path / "idx.npz")
-        loaded = load_index(path)
-        for measure in (EuclideanMeasure(), DTWMeasure(radius=2)):
+        loaded = load_index(path, mmap=mmap)
+        assert loaded.structure == structure
+        assert loaded.store.backed_by_mmap is mmap
+        for measure in MEASURES:
             query = archive[7] + rng.normal(0, 0.05, 64)
             a = index.query(query, measure)
             b = loaded.query(query, measure)
-            assert a.result.index == b.result.index
-            assert math.isclose(a.result.distance, b.result.distance, rel_tol=1e-12)
+            assert b.result.index == a.result.index
+            assert b.result.distance == a.result.distance  # bit-identical
+            assert b.result.rotation == a.result.rotation
+            assert b.result.counter.steps == a.result.counter.steps
+            assert b.objects_retrieved == a.objects_retrieved
+            assert b.fraction_retrieved == a.fraction_retrieved
+            assert b.signature_tests == a.signature_tests
 
-    def test_detects_corruption(self, archive, tmp_path):
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_knn_roundtrip(self, archive, rng, tmp_path, mmap):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        loaded = load_index(save_index(index, tmp_path / "idx.npz"), mmap=mmap)
+        query = archive[3] + rng.normal(0, 0.05, 64)
+        for measure in MEASURES:
+            nn_a, acc_a = index.query_knn(query, measure, k=3)
+            nn_b, acc_b = loaded.query_knn(query, measure, k=3)
+            assert [(n.index, n.distance, n.rotation) for n in nn_a] == [
+                (n.index, n.distance, n.rotation) for n in nn_b
+            ]
+            assert acc_a.result.counter.steps == acc_b.result.counter.steps
+            assert acc_a.fraction_retrieved == acc_b.fraction_retrieved
+
+    def test_buffer_pool_config_survives_roundtrip(self, archive, rng, tmp_path):
+        index = SignatureFilteredScan(
+            archive, n_coefficients=8, page_size=4, buffer_pages=3
+        )
+        loaded = load_index(save_index(index, tmp_path / "idx.npz"))
+        assert loaded.store.page_size == 4
+        assert loaded.store.buffer_pages == 3
+        # identical fetch sequence => identical page-fault accounting
+        query = archive[5] + rng.normal(0, 0.05, 64)
+        index.query(query, MEASURES[0])
+        loaded.query(query, MEASURES[0])
+        assert loaded.store.page_faults == index.store.page_faults
+        assert loaded.store.retrievals == index.store.retrievals
+
+    def test_mmap_does_not_copy_the_collection(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        loaded = load_index(save_index(index, tmp_path / "idx.npz"), mmap=True)
+        assert loaded.store.backed_by_mmap
+        # the sidecar row is readable and equals the original data
+        np.testing.assert_array_equal(loaded.store.fetch(0), archive[0])
+
+    @pytest.mark.parametrize("name", ["fourier", "paa", "paa_lengths"])
+    def test_corrupting_any_npz_array_fails_loudly(self, archive, tmp_path, name):
         index = SignatureFilteredScan(archive, n_coefficients=8)
         path = save_index(index, tmp_path / "idx.npz")
         with np.load(path) as stored:
-            contents = {key: stored[key] for key in stored.files}
-        contents["fourier"] = contents["fourier"] + 1.0  # corrupt signatures
-        np.savez(path, **contents)
+            tampered = _flip_one_byte(stored[name])
+        _resave_npz(path, **{name: tampered})
         with pytest.raises(ValueError, match="corrupt"):
+            load_index(path)
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_corrupting_the_data_sidecar_fails_loudly(self, archive, tmp_path, mmap):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = save_index(index, tmp_path / "idx.npz")
+        sidecar = path.with_name(path.stem + ".data.npy")
+        raw = bytearray(sidecar.read_bytes())
+        raw[-3] ^= 0xFF  # one byte, inside the payload
+        sidecar.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path, mmap=mmap)
+
+    def test_tampered_metadata_fails_loudly(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = save_index(index, tmp_path / "idx.npz")
+        with np.load(path) as stored:
+            meta_json = str(stored["meta_json"])
+        tampered = meta_json.replace('"page_size": 1', '"page_size": 7')
+        assert tampered != meta_json
+        _resave_npz(path, meta_json=np.array(tampered))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path)
+
+    def test_missing_sidecar_is_explained(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = save_index(index, tmp_path / "idx.npz")
+        path.with_name(path.stem + ".data.npy").unlink()
+        with pytest.raises(FileNotFoundError, match="sidecar"):
             load_index(path)
 
     def test_rejects_wrong_version(self, archive, tmp_path):
         index = SignatureFilteredScan(archive, n_coefficients=4)
         path = save_index(index, tmp_path / "idx.npz")
-        with np.load(path) as stored:
-            contents = {key: stored[key] for key in stored.files}
-        contents["format_version"] = np.array(42)
-        np.savez(path, **contents)
+        _resave_npz(path, format_version=np.array(42))
         with pytest.raises(ValueError, match="version"):
             load_index(path)
+
+
+class TestV1MigrationShim:
+    @pytest.mark.parametrize("structure", ["flat", "vptree", "rtree"])
+    def test_v1_archive_still_loads_and_answers_identically(
+        self, archive, rng, tmp_path, structure
+    ):
+        index = SignatureFilteredScan(archive, n_coefficients=8, structure=structure)
+        path = _save_index_v1(index, tmp_path / "idx_v1.npz")
+        loaded = load_index(path)
+        query = archive[7] + rng.normal(0, 0.05, 64)
+        for measure in MEASURES:
+            a = index.query(query, measure)
+            b = loaded.query(query, measure)
+            assert b.result.index == a.result.index
+            assert math.isclose(b.result.distance, a.result.distance, rel_tol=1e-12)
+            assert b.result.counter.steps == a.result.counter.steps
+
+    def test_multi_probe_catches_tail_corruption(self, archive, tmp_path):
+        # The original loader only spot-checked object 0, so corrupting the
+        # *last* object's signature slipped through silently.
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = _save_index_v1(index, tmp_path / "idx_v1.npz")
+        with np.load(path) as stored:
+            fourier = stored["fourier"].copy()
+        fourier[-1] += 1.0
+        _resave_npz(path, fourier=fourier)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path)
+
+    def test_v1_loads_with_default_store_config(self, archive, tmp_path):
+        # Documented v1 limitation: the buffer-pool config was never stored.
+        index = SignatureFilteredScan(
+            archive, n_coefficients=8, page_size=8, buffer_pages=2
+        )
+        loaded = load_index(_save_index_v1(index, tmp_path / "idx_v1.npz"))
+        assert loaded.store.page_size == 1
+        assert loaded.store.buffer_pages == 0
+
+    def test_v1_cannot_be_mmapped(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = _save_index_v1(index, tmp_path / "idx_v1.npz")
+        with pytest.raises(ValueError, match="v1"):
+            load_index(path, mmap=True)
+
+
+class TestInspectArchive:
+    def test_describes_a_v2_archive(self, archive, tmp_path):
+        index = SignatureFilteredScan(
+            archive, n_coefficients=8, structure="vptree", page_size=4, buffer_pages=2
+        )
+        info = inspect_archive(save_index(index, tmp_path / "idx.npz"), verify=True)
+        assert info["format_version"] == 2
+        assert info["structure"] == "vptree"
+        assert info["n_coefficients"] == 8
+        assert info["objects"] == 25 and info["length"] == 64
+        assert info["disk_store"] == {"page_size": 4, "buffer_pages": 2}
+        assert set(info["checksums"]) == {"data", "fourier", "paa", "paa_lengths"}
+        assert all(re.fullmatch(r"[0-9a-f]{64}", c) for c in info["checksums"].values())
+        assert info["created"]["numpy"] is not None
+        assert info["verified"] == {
+            "data": "ok",
+            "fourier": "ok",
+            "paa": "ok",
+            "paa_lengths": "ok",
+        }
+
+    def test_verify_reports_mismatch(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        path = save_index(index, tmp_path / "idx.npz")
+        sidecar = path.with_name(path.stem + ".data.npy")
+        raw = bytearray(sidecar.read_bytes())
+        raw[-1] ^= 0xFF
+        sidecar.write_bytes(bytes(raw))
+        info = inspect_archive(path, verify=True)
+        assert info["verified"]["data"] == "MISMATCH"
+        assert info["verified"]["fourier"] == "ok"
+
+    def test_describes_a_v1_archive(self, archive, tmp_path):
+        index = SignatureFilteredScan(archive, n_coefficients=8)
+        info = inspect_archive(_save_index_v1(index, tmp_path / "idx_v1.npz"))
+        assert info["format_version"] == 1
+        assert info["checksums"] is None
+        assert info["disk_store"] is None
+
+
+class TestNoPickleAnywhere:
+    def test_src_never_enables_pickle_on_load(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        offenders = [
+            str(p.relative_to(src))
+            for p in src.rglob("*.py")
+            if "allow_pickle=True" in p.read_text()
+        ]
+        assert offenders == []
