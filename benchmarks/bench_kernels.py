@@ -1,0 +1,272 @@
+"""Kernel-backend benchmark: per-backend DTW linear scan, exactness enforced.
+
+The kernel registry (``repro.kernels``) promises that every backend --
+``scalar`` (interpreted reference), ``wavefront`` (pure-NumPy
+anti-diagonal), ``numba`` (compiled, optional) -- returns *bit-identical*
+distances and *identical* ``num_steps`` for the same inputs.  This
+benchmark is the enforcement point: it runs the same banded-DTW linear
+scan (early-abandoning ``dtw_batch`` plus LB_Keogh / LB_Improved bound
+kernels) through every registered backend, asserts exact answer and step
+parity against the ``scalar`` reference, and records per-backend wall
+clock.  When a compiled backend is registered, the fastest one must beat
+``scalar`` by at least ``--min-speedup`` (default 5x); pure-NumPy
+``wavefront`` is exempt from the speedup floor but never from parity.
+
+The numbers land in ``benchmarks/results/BENCH_kernels.json`` so the
+per-backend perf trajectory is tracked across PRs.  ``--quick`` runs the
+cross-backend exactness tripwire on a small corpus without timing
+assertions; it is wired into ``run_all.py --quick`` as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Minimum speedup the fastest *compiled* backend must achieve over the
+#: interpreted scalar reference on the full-size scan.  Pure-Python DP over
+#: a 64k-cell workload is orders of magnitude slower than compiled code, so
+#: 5x is a tripwire against accidentally registering a non-compiled
+#: function as "numba", not a tight perf bound.
+MIN_COMPILED_SPEEDUP = 5.0
+
+CONFIG = {
+    "corpus": "random-walk",
+    "m": 48,          # database series
+    "n": 128,         # series length
+    "radius": 6,      # Sakoe-Chiba band
+    "seed": 2006,
+    "n_queries": 2,
+    "repeats": 3,     # timed repetitions per backend (best-of)
+}
+
+QUICK_CONFIG = {
+    "corpus": "random-walk",
+    "m": 12,
+    "n": 48,
+    "radius": 4,
+    "seed": 2006,
+    "n_queries": 2,
+    "repeats": 1,
+}
+
+
+def _setup_path() -> None:
+    src = BENCH_DIR.parent / "src"
+    for path in (str(BENCH_DIR), str(src)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _make_corpus(config: dict):
+    import numpy as np
+
+    rng = np.random.default_rng(config["seed"])
+    walks = np.cumsum(rng.standard_normal((config["m"], config["n"])), axis=1)
+    walks -= walks.mean(axis=1, keepdims=True)
+    walks /= walks.std(axis=1, keepdims=True)
+    queries = np.cumsum(rng.standard_normal((config["n_queries"], config["n"])), axis=1)
+    queries -= queries.mean(axis=1, keepdims=True)
+    queries /= queries.std(axis=1, keepdims=True)
+    return walks, queries
+
+
+def _scan_once(backend, walks, queries, radius: int) -> dict:
+    """One full linear scan through every kernel op of ``backend``.
+
+    Returns the quantities the parity contract covers: per-query best
+    distances/indices, total steps, LB_Keogh / LB_Improved bound values.
+    The scan early-abandons with the running best-so-far threshold so the
+    abandon logic of each backend is exercised, not just the full DP.
+    """
+    import numpy as np
+
+    from repro.timeseries.ops import sliding_envelope
+
+    answers = []
+    total_steps = 0
+    bound_checksums = []
+    for q in queries:
+        raw_upper, raw_lower = q.copy(), q.copy()
+        upper, lower = sliding_envelope(raw_upper, raw_lower, radius)
+        # Bound kernels over every candidate row.
+        bounds, lb_steps = backend.lb_improved_batch(
+            walks, upper, lower, raw_upper, raw_lower, radius, math.inf
+        )
+        total_steps += int(np.sum(lb_steps))
+        keogh_first, keogh_steps = backend.lb_keogh(walks[0], upper, lower, math.inf)
+        total_steps += int(keogh_steps)
+        pass2 = backend.lb_improved_pass2(walks[0], upper, lower, raw_upper, raw_lower, radius)
+        bound_checksums.append((float(np.sum(bounds)), float(keogh_first), float(pass2)))
+        # Early-abandoning scan: chunked dtw_batch driven by best-so-far,
+        # with a dtw_single refinement of the winner.
+        best, best_idx = math.inf, -1
+        order = np.argsort(bounds, kind="stable")
+        for start in range(0, len(order), 8):
+            chunk_ids = order[start : start + 8]
+            dists, steps, _abandoned = backend.dtw_batch(q, walks[chunk_ids], radius, best)
+            total_steps += int(steps)
+            for j, d in zip(chunk_ids, dists):
+                if d < best:
+                    best, best_idx = float(d), int(j)
+        single_d, single_steps, abandoned = backend.dtw_single(q, walks[best_idx], radius, math.inf)
+        total_steps += int(single_steps)
+        answers.append((best_idx, best, float(single_d), bool(abandoned)))
+    # LCSS parity ride-along (small: the DP has no threshold pruning).
+    sims, lcss_steps, _ = backend.lcss_batch(queries[0], walks, radius, 0.5, 0.0)
+    total_steps += int(lcss_steps)
+    return {
+        "answers": answers,
+        "steps": total_steps,
+        "bounds": bound_checksums,
+        "lcss": [float(s) for s in sims],
+    }
+
+
+def _parity_failures(reference: dict, candidate: dict, name: str) -> list[str]:
+    failures = []
+    if candidate["answers"] != reference["answers"]:
+        failures.append(f"{name}: answers differ from scalar reference")
+    if candidate["steps"] != reference["steps"]:
+        failures.append(
+            f"{name}: step count {candidate['steps']} != scalar reference {reference['steps']}"
+        )
+    if candidate["bounds"] != reference["bounds"]:
+        failures.append(f"{name}: LB_Keogh/LB_Improved bound values differ from scalar reference")
+    if candidate["lcss"] != reference["lcss"]:
+        failures.append(f"{name}: LCSS similarities differ from scalar reference")
+    return failures
+
+
+def run_benchmark(config: dict, min_speedup: float) -> tuple[dict, dict]:
+    from repro.kernels import NUMBA_IMPORT_ERROR, available_backends, get_backend
+
+    phases: dict[str, float] = {}
+    t0 = time.perf_counter()
+    walks, queries = _make_corpus(config)
+    phases["setup"] = time.perf_counter() - t0
+
+    backends = {}
+    reference = None
+    failures: list[str] = []
+    for name in sorted(available_backends()):
+        backend = get_backend(name)
+        warmup = getattr(backend, "warmup", None)
+        if warmup is not None:  # JIT compile outside the timed region
+            warmup()
+        _scan_once(backend, walks, queries, config["radius"])  # untimed warm-up
+        best_wall = math.inf
+        outcome = None
+        t0 = time.perf_counter()
+        for _ in range(config["repeats"]):
+            t1 = time.perf_counter()
+            outcome = _scan_once(backend, walks, queries, config["radius"])
+            best_wall = min(best_wall, time.perf_counter() - t1)
+        phases[f"scan_{name}"] = time.perf_counter() - t0
+        backends[name] = {"wall_seconds": round(best_wall, 6), "outcome": outcome}
+        if name == "scalar":
+            reference = outcome
+
+    if reference is None:
+        failures.append("scalar reference backend is not registered")
+    else:
+        for name, entry in backends.items():
+            if name == "scalar":
+                continue
+            failures.extend(_parity_failures(reference, entry["outcome"], name))
+
+    scalar_wall = backends.get("scalar", {}).get("wall_seconds", math.inf)
+    report_backends = {}
+    for name, entry in backends.items():
+        wall = entry["wall_seconds"]
+        report_backends[name] = {
+            "available": True,
+            "wall_seconds": wall,
+            "speedup_vs_scalar": round(scalar_wall / wall, 3) if wall > 0 else None,
+            "steps": entry["outcome"]["steps"],
+            "answers_match_scalar": reference is not None
+            and not _parity_failures(reference, entry["outcome"], name),
+        }
+    if "numba" not in backends:
+        report_backends["numba"] = {
+            "available": False,
+            "import_error": NUMBA_IMPORT_ERROR,
+        }
+    elif min_speedup > 0:
+        speedup = report_backends["numba"]["speedup_vs_scalar"]
+        if speedup is None or speedup < min_speedup:
+            failures.append(
+                f"numba backend speedup {speedup}x over scalar is below the "
+                f"required {min_speedup}x floor"
+            )
+
+    fastest = min(
+        (name for name in backends),
+        key=lambda name: backends[name]["wall_seconds"],
+    )
+    report = {
+        "config": dict(config),
+        "min_compiled_speedup": min_speedup,
+        "backends": report_backends,
+        "fastest": fastest,
+        "parity": "exact" if not failures else "FAILED",
+        "failures": failures,
+    }
+    return report, phases
+
+
+def _print_report(report: dict) -> None:
+    print(f"kernel backends (fastest: {report['fastest']}, parity: {report['parity']})")
+    for name, entry in sorted(report["backends"].items()):
+        if not entry.get("available", True):
+            print(f"  {name:>10}: unavailable ({entry.get('import_error')})")
+            continue
+        speed = entry.get("speedup_vs_scalar")
+        speed_s = f"{speed}x vs scalar" if speed is not None else "n/a"
+        print(
+            f"  {name:>10}: {entry['wall_seconds']*1e3:8.2f} ms  {speed_s:>18}  "
+            f"steps={entry['steps']}  exact={entry['answers_match_scalar']}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-input cross-backend exactness tripwire only (no timing floor, no artifact)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_COMPILED_SPEEDUP,
+        help="required numba-vs-scalar speedup on the full scan (0 disables; default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    _setup_path()
+    config = dict(QUICK_CONFIG if args.quick else CONFIG)
+    min_speedup = 0.0 if args.quick else args.min_speedup
+    report, phases = run_benchmark(config, min_speedup)
+    _print_report(report)
+
+    if not args.quick:
+        import harness
+
+        harness.write_json_result("BENCH_kernels", report, phases)
+
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

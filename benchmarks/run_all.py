@@ -20,8 +20,10 @@ monotone cascade tier funnel, and a parseable artifact written to
 ``benchmarks/results/obs_quick/`` for CI to upload), and the index
 persistence layer must round-trip exactly (``bench_persistence --quick``:
 built vs loaded vs mmap-loaded answers bit-identical, v1 shim intact,
-single-byte corruption rejected).  Any violation exits non-zero, making
-this a perf-regression tripwire cheap enough to run on every push.
+single-byte corruption rejected), and every registered kernel backend must
+agree bit for bit with the scalar reference (``bench_kernels --quick``).
+Any violation exits non-zero, making this a perf-regression tripwire cheap
+enough to run on every push.
 """
 
 from __future__ import annotations
@@ -180,7 +182,7 @@ def _obs_artifact_smoke(walks, m: int) -> int:
 def quick_smoke() -> int:
     """CI smoke: hard invariants on tiny inputs instead of the full sweep.
 
-    Four tripwires, all fatal:
+    Six tripwires, all fatal:
 
     1. For every (measure, query) pair, ``wedge_search`` must report at most
        as many steps as ``brute_force_search`` and agree on the nearest
@@ -193,6 +195,10 @@ def quick_smoke() -> int:
     4. The observability stack must observe without perturbing
        (:func:`_obs_artifact_smoke`), leaving a parseable artifact behind
        for CI to upload.
+    5. The persistence layer must round-trip exactly
+       (``bench_persistence --quick``).
+    6. Every registered kernel backend must produce bit-identical answers
+       and step counts vs the scalar reference (``bench_kernels --quick``).
     """
     src = BENCH_DIR.parent / "src"
     for path in (str(BENCH_DIR), str(src)):
@@ -280,7 +286,17 @@ def quick_smoke() -> int:
     print("\n=== bench_persistence --quick ===", flush=True)
     import bench_persistence
 
-    return bench_persistence.main(["--quick"])
+    rc = bench_persistence.main(["--quick"])
+    if rc != 0:
+        return rc
+
+    # Sixth tripwire: every registered kernel backend (scalar reference,
+    # pure-NumPy wavefront, numba when installed) must return bit-identical
+    # distances, bounds, and step counts on the same DTW/LCSS scan.
+    print("\n=== bench_kernels --quick ===", flush=True)
+    import bench_kernels
+
+    return bench_kernels.main(["--quick"])
 
 
 def main(argv=None) -> int:

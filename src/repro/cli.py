@@ -60,6 +60,7 @@ def _build_collection(name: str, size: int, length: int, seed: int) -> np.ndarra
 
 
 def _build_measure(args):
+    backend = getattr(args, "backend", None)
     if args.measure == "euclidean":
         from repro.distances.euclidean import EuclideanMeasure
 
@@ -67,11 +68,17 @@ def _build_measure(args):
     if args.measure == "dtw":
         from repro.distances.dtw import DTWMeasure
 
-        return DTWMeasure(radius=args.radius)
+        try:
+            return DTWMeasure(radius=args.radius, backend=backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     if args.measure == "lcss":
         from repro.distances.lcss import LCSSMeasure
 
-        return LCSSMeasure(delta=args.radius, epsilon=args.epsilon)
+        try:
+            return LCSSMeasure(delta=args.radius, epsilon=args.epsilon, backend=backend)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     raise SystemExit(f"unknown measure {args.measure!r}")
 
 
@@ -139,6 +146,7 @@ def cmd_search(args) -> int:
 
     brute_steps = len(database) * archive.shape[1] * measure.pairwise_cost(archive.shape[1])
     print(f"query: object {query_index} of the {args.collection} collection")
+    print(f"measure: {measure.name} (kernel backend: {measure.backend_name})")
     print(f"best match: object {result.index} at distance {result.distance:.4f} (rotation {result.rotation})")
     print(f"steps: {result.counter.steps:,} ({result.counter.steps / brute_steps:.2%} of brute force)")
     if any(result.tier_stats.values()):
@@ -285,6 +293,7 @@ def cmd_index_query(args) -> int:
     payload: dict = {
         "archive": str(args.archive),
         "measure": measure.name,
+        "backend": measure.backend_name,
         "mmap": bool(args.mmap),
         "query_index": int(args.query_index),
         "query_seed": int(query_seed),
@@ -415,6 +424,14 @@ def _add_measure_args(parser):
     parser.add_argument("--measure", default="euclidean", choices=("euclidean", "dtw", "lcss"))
     parser.add_argument("--radius", type=int, default=5, help="DTW band / LCSS delta")
     parser.add_argument("--epsilon", type=float, default=0.5, help="LCSS epsilon")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the DTW/LCSS dynamic programs (scalar, wavefront, "
+        "numba if installed, or auto); default: REPRO_KERNEL_BACKEND env var, then "
+        "the fastest registered backend",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

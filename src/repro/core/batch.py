@@ -355,7 +355,10 @@ def batch_lb_improved(
         gap = np.maximum(env_lo - raw_u[finished], raw_lo[finished] - env_hi)
         np.maximum(gap, 0.0, out=gap)
         np.square(gap, out=gap)
-        totals[finished] += gap.sum(axis=1)
+        # Sequential (cumulative) row sums, not numpy's pairwise reduction:
+        # the library-wide accumulation rule that keeps the scalar and numba
+        # kernel backends bit-identical to this one.
+        totals[finished] += np.cumsum(gap, axis=1)[:, -1]
         steps[finished] += 2 * n
     bounds[finished] = np.sqrt(totals[finished])
     return bounds, steps

@@ -157,6 +157,9 @@ class CascadePolicy:
         self.use_kim = use_kim and measure.kim_compatible
         self.use_improved = use_improved and measure.has_improved_bound
         self.tracer = NULL_TRACER if tracer is None else tracer
+        # Resolved once per policy (i.e. per query): stamped on the
+        # full-distance trace spans so traces say which kernels ran.
+        self.backend_name = measure.backend_name
         self.leaf_candidates = 0
         self.keogh_reached = 0
         self.improved_reached = 0
@@ -316,7 +319,7 @@ class CascadePolicy:
                     "cascade.improved", outcome="pass", kind="leaf", bound=float(improved)
                 )
         self.full_computations += 1
-        with tracer.span("cascade.full_distance") as span:
+        with tracer.span("cascade.full_distance", backend=self.backend_name) as span:
             dist = self.measure.distance(candidate, leaf.series, threshold, counter=counter)
             span.set(distance=float(dist))
         return dist

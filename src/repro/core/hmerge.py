@@ -208,7 +208,7 @@ def _evaluate_leaf_run(
         # sequential step accounting.
         rows = np.stack([leaf.series for leaf in leaves])
         abandons_before = counter.early_abandons if counter is not None else 0
-        with tracer.span("batch.min_distance", rows=len(leaves)):
+        with tracer.span("batch.min_distance", rows=len(leaves), backend=measure.backend_name):
             dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
         if pruner is not None and counter is not None:
             pruner.keogh_rejections += counter.early_abandons - abandons_before
@@ -221,7 +221,7 @@ def _evaluate_leaf_run(
     lowers = np.stack([env[1] for env in envelopes])
     raw = np.stack([leaf.series for leaf in leaves])
     use_improved = pruner.use_improved if pruner is not None else True
-    with tracer.span("batch.wedge_bounds", rows=len(leaves)):
+    with tracer.span("batch.wedge_bounds", rows=len(leaves), backend=measure.backend_name):
         bounds = measure.batch_wedge_bounds(
             candidate,
             uppers,
@@ -252,7 +252,7 @@ def _evaluate_leaf_run(
     if pruner is not None:
         pruner.full_computations += int(by_bound.size)
     rows = raw[by_bound]
-    with tracer.span("batch.min_distance", rows=int(by_bound.size)):
+    with tracer.span("batch.min_distance", rows=int(by_bound.size), backend=measure.backend_name):
         dist, j = measure.batch_min_distance(candidate, rows, r=best, counter=counter)
     if dist < best:
         return dist, leaves[int(by_bound[j])].indices[0]

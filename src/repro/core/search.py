@@ -204,7 +204,8 @@ def _observe_query(
     and/or appends one JSONL record to a
     :class:`~repro.obs.querylog.QueryLogger`.  Both sinks are post-hoc:
     nothing here runs inside the scan, so step accounting and answers are
-    untouched.
+    untouched.  Query-log records carry the resolved kernel backend name so
+    runs remain attributable after the fact.
     """
     if metrics is not None:
         record_query(result, measure.name, wall_seconds, registry=metrics)
@@ -214,6 +215,7 @@ def _observe_query(
             measure=measure.name,
             wall_seconds=wall_seconds,
             query_id=query_id,
+            backend=measure.backend_name,
             **(extra or {}),
         )
     return result
@@ -230,15 +232,20 @@ def brute_force_search(
     metrics: MetricsRegistry | None = None,
     query_log=None,
     query_id=None,
+    backend: str | None = None,
 ) -> SearchResult:
     """Exhaustive search with no pruning at all (the paper's "Brute force")."""
     tracer = NULL_TRACER if tracer is None else tracer
+    if backend is not None:
+        measure = measure.with_backend(backend)
     t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     best = math.inf
     best_index, best_rotation = -1, -1
-    with tracer.span("query", strategy="brute-force", measure=measure.name):
+    with tracer.span(
+        "query", strategy="brute-force", measure=measure.name, backend=measure.backend_name
+    ):
         for i, obj in enumerate(database):
             dist, rotation = test_all_rotations(
                 obj, rq, measure, r=math.inf, counter=counter, early_abandon=False
@@ -264,15 +271,20 @@ def early_abandon_search(
     metrics: MetricsRegistry | None = None,
     query_log=None,
     query_id=None,
+    backend: str | None = None,
 ) -> SearchResult:
     """Linear scan with early abandoning everywhere (the "Early abandon" line)."""
     tracer = NULL_TRACER if tracer is None else tracer
+    if backend is not None:
+        measure = measure.with_backend(backend)
     t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     best = math.inf
     best_index, best_rotation = -1, -1
-    with tracer.span("query", strategy="early-abandon", measure=measure.name):
+    with tracer.span(
+        "query", strategy="early-abandon", measure=measure.name, backend=measure.backend_name
+    ):
         for i, obj in enumerate(database):
             dist, rotation = test_all_rotations(
                 obj, rq, measure, r=best, counter=counter, early_abandon=True
@@ -298,6 +310,7 @@ def fft_search(
     metrics: MetricsRegistry | None = None,
     query_log=None,
     query_id=None,
+    backend: str | None = None,
 ) -> SearchResult:
     """Fourier-magnitude screening before the early-abandoning scan.
 
@@ -315,6 +328,8 @@ def fft_search(
     from repro.index.fourier import fourier_signature, signature_distance
 
     tracer = NULL_TRACER if tracer is None else tracer
+    if backend is not None:
+        measure = measure.with_backend(backend)
     t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
@@ -322,7 +337,9 @@ def fft_search(
     query_sig = rq.signature()
     best = math.inf
     best_index, best_rotation = -1, -1
-    with tracer.span("query", strategy="fft", measure=measure.name):
+    with tracer.span(
+        "query", strategy="fft", measure=measure.name, backend=measure.backend_name
+    ):
         for i, obj in enumerate(database):
             counter.lb_calls += 1
             counter.add(fft_step_cost(n))
@@ -362,6 +379,7 @@ def wedge_search(
     metrics: MetricsRegistry | None = None,
     query_log=None,
     query_id=None,
+    backend: str | None = None,
 ) -> SearchResult:
     """The paper's wedge-based search (Section 4.1).
 
@@ -387,10 +405,14 @@ def wedge_search(
     per object, probes included) and the best-so-far radius trace.
     """
     tracer = NULL_TRACER if tracer is None else tracer
+    if backend is not None:
+        measure = measure.with_backend(backend)
     t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees, linkage_method)
     counter = StepCounter()
-    with tracer.span("query", strategy="wedge", measure=measure.name):
+    with tracer.span(
+        "query", strategy="wedge", measure=measure.name, backend=measure.backend_name
+    ):
         with tracer.span("wedge_tree.build") as build_span:
             tree = rq.wedge_tree(counter if charge_setup else None)
             build_span.set(max_k=tree.max_k, length=rq.length)
@@ -488,6 +510,7 @@ def anytime_wedge_search(
     wedge_set_size: int = 8,
     *,
     tracer=None,
+    backend: str | None = None,
 ) -> AnytimeResult:
     """Wedge search under a hard step budget (anytime semantics).
 
@@ -501,6 +524,8 @@ def anytime_wedge_search(
     if step_budget < 1:
         raise ValueError(f"step_budget must be positive, got {step_budget}")
     tracer = NULL_TRACER if tracer is None else tracer
+    if backend is not None:
+        measure = measure.with_backend(backend)
     rq = _as_query(query, mirror, max_degrees)
     counter = StepCounter()
     tree = rq.wedge_tree(counter)
@@ -520,7 +545,9 @@ def anytime_wedge_search(
     best = math.inf
     best_index, best_rotation = -1, -1
     scanned = 0
-    with tracer.span("query", strategy="anytime-wedge", measure=measure.name):
+    with tracer.span(
+        "query", strategy="anytime-wedge", measure=measure.name, backend=measure.backend_name
+    ):
         for i in order:
             if counter.steps >= step_budget:
                 if tracer.enabled:
@@ -571,8 +598,18 @@ def _search_chunk(args) -> tuple[list[SearchResult], MetricsRegistry | None]:
     :func:`merge_counters` for step counts.  (File-backed sinks like
     :class:`~repro.obs.querylog.QueryLogger` stay parent-side: handles do
     not pickle.)
+
+    ``backend`` is the kernel backend name the *parent* resolved at submit
+    time.  It must ride along explicitly: a process worker re-imports
+    :mod:`repro.kernels` from scratch, so re-running the resolution chain
+    there could pick a different backend than the parent (e.g. a worker
+    whose environment dropped ``REPRO_KERNEL_BACKEND`` silently reverting
+    to auto-selection).  Re-pinning the measure on worker init keeps every
+    chunk on the backend the caller chose.
     """
-    strategy, database, queries, measure, kwargs, record_metrics = args
+    strategy, database, queries, measure, kwargs, record_metrics, backend = args
+    if backend is not None:
+        measure = measure.with_backend(backend)
     fn = _STRATEGIES[strategy]
     registry = MetricsRegistry() if record_metrics else None
     results = [
@@ -604,6 +641,7 @@ def search_many(
     executor: str | None = None,
     metrics: MetricsRegistry | None = None,
     query_log=None,
+    backend: str | None = None,
     **strategy_kwargs,
 ) -> list[SearchResult]:
     """Answer many rotation-invariant 1-NN queries, optionally in parallel.
@@ -645,6 +683,13 @@ def search_many(
         written parent-side after results return (file handles do not
         cross process boundaries), one JSONL line per query in query
         order.
+    backend:
+        Kernel backend name for the distance kernels, or ``None`` to use
+        the measure's own setting (then the env var / auto chain).  The
+        parent resolves the effective backend once, before chunking, and
+        pins every pool worker to it -- process workers re-import the
+        kernel registry and would otherwise re-run the resolution chain
+        themselves.
     **strategy_kwargs:
         Forwarded to the strategy (``mirror``, ``max_degrees``, ...).
         Do not pass a shared stateful ``k_policy`` instance when running
@@ -657,13 +702,18 @@ def search_many(
     queries = list(queries)
     if not queries:
         return []
+    if backend is not None:
+        measure = measure.with_backend(backend)
+    # Resolve the effective backend once, parent-side, so every worker --
+    # thread or subprocess -- runs the same kernels the caller selected.
+    backend_name = measure.backend_name if measure.uses_kernel_backends else None
     if n_jobs is not None and n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     jobs = min(n_jobs or 1, len(queries))
     record_metrics = metrics is not None
     if jobs <= 1:
         results, registry = _search_chunk(
-            (strategy, database, queries, measure, strategy_kwargs, record_metrics)
+            (strategy, database, queries, measure, strategy_kwargs, record_metrics, backend_name)
         )
         if registry is not None:
             metrics.merge(registry)
@@ -684,7 +734,7 @@ def search_many(
         futures = [
             pool.submit(
                 _search_chunk,
-                (strategy, database, chunk, measure, strategy_kwargs, record_metrics),
+                (strategy, database, chunk, measure, strategy_kwargs, record_metrics, backend_name),
             )
             for chunk in chunks
         ]
@@ -701,5 +751,8 @@ def _log_batch(results: list[SearchResult], measure: Measure, query_log) -> None
     """Append one JSONL record per batch result (parent-side, query order)."""
     if query_log is None:
         return
+    backend = measure.backend_name
     for result in results:
-        query_log.log_result(result, measure=measure.name, wall_seconds=None)
+        query_log.log_result(
+            result, measure=measure.name, wall_seconds=None, backend=backend
+        )

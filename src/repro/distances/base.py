@@ -20,6 +20,7 @@ accounting.
 from __future__ import annotations
 
 import abc
+import copy
 import math
 
 import numpy as np
@@ -57,6 +58,52 @@ class Measure(abc.ABC):
     #: value differences); not for LCSS, whose distance lives in match-count
     #: space where a single large value violation proves nothing.
     kim_compatible: bool = True
+
+    #: True when the measure routes its dynamic programs through the
+    #: pluggable kernel backends of :mod:`repro.kernels` (DTW and LCSS do;
+    #: Euclidean distance has no DP and runs its NumPy kernels directly).
+    uses_kernel_backends: bool = False
+
+    #: Requested kernel backend name, or ``None`` for the resolution chain
+    #: (env var, then auto-selection).  Every backend produces bit-identical
+    #: results, so this never enters :meth:`cache_key`.
+    backend: str | None = None
+
+    def with_backend(self, backend: str | None) -> "Measure":
+        """A shallow copy of this measure pinned to kernel backend ``backend``.
+
+        ``None`` re-enables the default resolution chain.  Measures that do
+        not use kernel backends are returned unchanged (every backend is
+        exact, so there is nothing to select).  Unknown names raise
+        ``ValueError`` immediately rather than at first use.
+        """
+        if not self.uses_kernel_backends:
+            return self
+        if backend is not None:
+            from repro.kernels import get_backend
+
+            backend = get_backend(backend).name
+        clone = copy.copy(self)
+        clone.backend = backend
+        return clone
+
+    @property
+    def backend_name(self) -> str:
+        """The kernel backend this measure would use right now.
+
+        Resolves the full selection chain for kernel-backed measures;
+        measures running plain NumPy report ``"numpy"``.  Used to stamp
+        provenance, query-log records, and trace spans.
+        """
+        if not self.uses_kernel_backends:
+            return "numpy"
+        return self.resolved_backend().name
+
+    def resolved_backend(self):
+        """The :class:`~repro.kernels.KernelBackend` selected for this measure."""
+        from repro.kernels import get_backend
+
+        return get_backend(self.backend)
 
     def cache_key(self) -> tuple:
         """Hashable identity of this measure's envelope expansion.

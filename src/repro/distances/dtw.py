@@ -12,14 +12,19 @@ diagonal.  Two implementation notes from the paper drive this module:
 * The cost metric is the number of warping-matrix cells computed
   (``num_steps``), which is what the benchmark figures report.
 
-The dynamic program iterates over *anti-diagonals* (cells with constant
-``i + j``) rather than rows: cells on one anti-diagonal have no mutual
-dependencies, so each anti-diagonal is one vectorised update, and a whole
-chunk of rotations can be advanced simultaneously (see :func:`dtw_batch`).
-A warping path makes ``i + j`` grow by 1 (horizontal/vertical move) or 2
-(diagonal move), so every complete path touches at least one of any two
-consecutive anti-diagonals; the early-abandon test therefore requires the
-minimum over the *two* most recent anti-diagonals to exceed ``r^2``.
+The dynamic programs themselves live in the pluggable kernel backends of
+:mod:`repro.kernels` (scalar reference, pure-NumPy anti-diagonal wavefront,
+optional numba); this module validates arguments, selects a backend, and
+keeps the paper's ``num_steps`` accounting.  The batch kernels iterate over
+*anti-diagonals* (cells with constant ``i + j``) rather than rows: cells on
+one anti-diagonal have no mutual dependencies, so each anti-diagonal is one
+vectorised update, and a whole chunk of rotations can be advanced
+simultaneously (see :func:`dtw_batch`).  A warping path makes ``i + j``
+grow by 1 (horizontal/vertical move) or 2 (diagonal move), so every
+complete path touches at least one of any two consecutive anti-diagonals;
+the batch early-abandon test therefore requires the minimum over the *two*
+most recent anti-diagonals to exceed ``r^2``.  Backends are exact: answers
+and step counts are bit-identical whichever one runs.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ import numpy as np
 
 from repro.core.counters import StepCounter
 from repro.distances.base import Measure
+from repro.kernels import get_backend
+from repro.kernels._dp import diag_bounds as _diag_bounds  # noqa: F401 (re-export)
 from repro.timeseries.ops import sliding_envelope
 
 __all__ = ["DTWMeasure", "dtw_distance", "dtw_batch", "warping_path", "band_cell_count"]
@@ -49,19 +56,13 @@ def band_cell_count(n: int, radius: int) -> int:
     return full - clipped
 
 
-def _diag_bounds(s: int, n: int, radius: int) -> tuple[int, int]:
-    """Inclusive ``i`` range of banded cells on anti-diagonal ``i + j = s``."""
-    lo = max(0, s - (n - 1), (s - radius + 1) // 2)
-    hi = min(n - 1, s, (s + radius) // 2)
-    return lo, hi
-
-
 def dtw_distance(
     q,
     c,
     radius: int,
     r: float = math.inf,
     counter: StepCounter | None = None,
+    backend: str | None = None,
 ) -> float:
     """Constrained DTW distance between two equal-length series.
 
@@ -78,6 +79,9 @@ def dtw_distance(
         path can finish with distance ≤ ``r``.
     counter:
         Optional step counter; one step is charged per matrix cell computed.
+    backend:
+        Kernel backend name, or ``None`` for the default resolution chain
+        (``REPRO_KERNEL_BACKEND`` env var, then fastest registered).
 
     Returns
     -------
@@ -85,7 +89,15 @@ def dtw_distance(
         ``sqrt`` of the accumulated squared differences along the optimal
         warping path, or ``math.inf`` if abandoned.
     """
-    dist, steps, abandoned = _dtw_single(q, c, radius, r)
+    q = np.asarray(q, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    n = q.size
+    if c.size != n:
+        raise ValueError(f"length mismatch: {c.size} vs {n}")
+    radius = min(int(radius), n - 1)
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    dist, steps, abandoned = get_backend(backend).dtw_single(q, c, radius, r)
     if counter is not None:
         counter.distance_calls += 1
         counter.add(steps)
@@ -93,70 +105,19 @@ def dtw_distance(
     return dist
 
 
-def _dtw_single(q, c, radius: int, r: float = math.inf) -> tuple[float, int, bool]:
-    """Scalar row-wise banded DTW for a single pair.
-
-    The anti-diagonal batch kernel pays ~10 small-array numpy dispatches
-    per diagonal, which dominates when comparing one pair of short series
-    -- exactly the H-Merge leaf case.  This kernel runs the same dynamic
-    program over Python floats, abandoning after any row whose minimum
-    exceeds ``r^2`` (every warping path visits every row, so this is
-    admissible).  Returns ``(distance, steps, abandoned)``.
-    """
-    q_list = np.asarray(q, dtype=np.float64).tolist()
-    c_list = np.asarray(c, dtype=np.float64).tolist()
-    n = len(q_list)
-    if len(c_list) != n:
-        raise ValueError(f"length mismatch: {len(c_list)} vs {n}")
-    radius = min(int(radius), n - 1)
-    if radius < 0:
-        raise ValueError("radius must be non-negative")
-    threshold = r * r if math.isfinite(r) else math.inf
-    inf = math.inf
-    prev = [inf] * n
-    steps = 0
-    for i in range(n):
-        j_lo = max(0, i - radius)
-        j_hi = min(n - 1, i + radius)
-        cur = [inf] * n
-        row_min = inf
-        qi = q_list[i]
-        for j in range(j_lo, j_hi + 1):
-            diff = qi - c_list[j]
-            if i == 0 and j == 0:
-                best_prev = 0.0
-            else:
-                best_prev = prev[j]
-                if j > 0:
-                    if prev[j - 1] < best_prev:
-                        best_prev = prev[j - 1]
-                    if cur[j - 1] < best_prev:
-                        best_prev = cur[j - 1]
-            cost = diff * diff + best_prev
-            cur[j] = cost
-            if cost < row_min:
-                row_min = cost
-            steps += 1
-        if row_min > threshold:
-            return math.inf, steps, True
-        prev = cur
-    final = prev[n - 1]
-    if final > threshold:
-        return math.inf, steps, True
-    return math.sqrt(final), steps, False
-
-
 def dtw_batch(
     q,
     candidates,
     radius: int,
     r: float = math.inf,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, int, np.ndarray]:
     """Run the banded DTW dynamic program on many candidates at once.
 
     All candidates advance through the same sequence of anti-diagonals; each
     candidate is abandoned individually as soon as the minimum of its two
-    most recent anti-diagonals exceeds ``r^2``.
+    most recent anti-diagonals exceeds ``r^2``.  ``backend`` picks the
+    kernel backend (``None`` for the default resolution chain).
 
     Returns
     -------
@@ -171,86 +132,10 @@ def dtw_batch(
         raise ValueError(f"query must be 1-D, got shape {q.shape}")
     if rows.shape[1] != q.size:
         raise ValueError(f"length mismatch: {rows.shape[1]} vs {q.size}")
-    n = q.size
-    k = rows.shape[0]
-    radius = min(int(radius), n - 1)
+    radius = min(int(radius), q.size - 1)
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    threshold = r * r if math.isfinite(r) else math.inf
-
-    # prev1/prev2 hold the costs of anti-diagonals s-1 and s-2, stored in
-    # arrays of length n indexed by i (the row coordinate); untouched slots
-    # stay at +inf so shifted reads are automatically out-of-band.
-    prev1 = np.full((k, n), np.inf)
-    prev2 = np.full((k, n), np.inf)
-    alive = np.ones(k, dtype=bool)
-    prev1_min = np.full(k, np.inf)
-    prev2_min = np.full(k, np.inf)
-    steps = 0
-
-    for s in range(2 * n - 1):
-        lo, hi = _diag_bounds(s, n, radius)
-        if lo > hi:
-            # Empty diagonal (only happens for radius=0 on odd s): the
-            # buffers must still rotate so that predecessor reads stay
-            # aligned with their anti-diagonal depth.
-            prev2, prev2_min = prev1, prev1_min
-            prev1 = np.full((k, n), np.inf)
-            prev1_min = np.full(k, np.inf)
-            continue
-        width = hi - lo + 1
-        q_slice = q[lo : hi + 1]
-        # Row j-coordinates run s-lo down to s-hi as i runs lo..hi.
-        c_slice = rows[:, s - hi : s - lo + 1][:, ::-1]
-        local = np.square(c_slice - q_slice[np.newaxis, :])
-
-        if s == 0:
-            current = local
-        else:
-            # Transition costs: (i-1, j) and (i, j-1) live on diagonal s-1 at
-            # row indices i-1 and i; (i-1, j-1) lives on diagonal s-2 at i-1.
-            up = prev1[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev1[:, lo:hi], k)
-            left = prev1[:, lo : hi + 1]
-            diag = prev2[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev2[:, lo:hi], k)
-            best_prev = np.minimum(np.minimum(up, left), diag)
-            current = local + best_prev
-
-        steps += int(alive.sum()) * width
-
-        new_min = current.min(axis=1)
-        prev2 = prev1
-        prev2_min = prev1_min
-        prev1 = np.full((k, n), np.inf)
-        prev1[:, lo : hi + 1] = current
-        prev1_min = new_min
-
-        if math.isfinite(threshold):
-            # A complete path must touch anti-diagonal s or s+1, so once the
-            # minima of the two most recent diagonals both exceed r^2 no
-            # path can finish within r.
-            doomed = (np.minimum(prev1_min, prev2_min) > threshold) & alive
-            if doomed.any():
-                alive &= ~doomed
-                prev1[doomed] = np.inf
-                if not alive.any():
-                    break
-
-    distances = np.full(k, np.inf)
-    final = prev1[:, n - 1]
-    finished = alive & np.isfinite(final)
-    if math.isfinite(threshold):
-        finished &= final <= threshold
-    distances[finished] = np.sqrt(final[finished])
-    abandoned = ~finished
-    return distances, steps, abandoned
-
-
-def _pad_left(block: np.ndarray, k: int) -> np.ndarray:
-    """Prepend a +inf column (out-of-band predecessor) to ``block``."""
-    pad = np.full((k, 1), np.inf)
-    if block.shape[1] == 0:
-        return pad
-    return np.concatenate([pad, block], axis=1)
+    return get_backend(backend).dtw_batch(q, rows, radius, r)
 
 
 def warping_path(q, c, radius: int) -> tuple[float, list[tuple[int, int]]]:
@@ -311,24 +196,33 @@ class DTWMeasure(Measure):
         :meth:`batch_min_distance`; the running best-so-far is refreshed
         between chunks, approximating the strictly sequential scan order of
         Table 2 while retaining vectorised execution.
+    backend:
+        Kernel backend name to pin this instance to, or ``None`` (the
+        default) to resolve per call via the ``REPRO_KERNEL_BACKEND``
+        environment variable and auto-selection.  Backends are exact, so
+        the choice never enters :meth:`cache_key`.
     """
 
     name = "dtw"
     has_improved_bound = True
+    uses_kernel_backends = True
 
-    def __init__(self, radius: int, chunk_size: int = 32):
+    def __init__(self, radius: int, chunk_size: int = 32, backend: str | None = None):
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.radius = int(radius)
         self.chunk_size = int(chunk_size)
+        if backend is not None:
+            backend = get_backend(backend).name
+        self.backend = backend
 
     def cache_key(self) -> tuple:
         return (self.name, self.radius)
 
     def distance(self, q, c, r=math.inf, counter: StepCounter | None = None) -> float:
-        return dtw_distance(q, c, self.radius, r=r, counter=counter)
+        return dtw_distance(q, c, self.radius, r=r, counter=counter, backend=self.backend)
 
     def expand_envelope(self, upper, lower):
         """The Sakoe-Chiba envelope expansion of Section 4.3 (Figure 13)."""
@@ -337,10 +231,7 @@ class DTWMeasure(Measure):
     def lower_bound(
         self, q, upper, lower, r=math.inf, counter: StepCounter | None = None
     ) -> float:
-        from repro.core.batch import shared_workspace
-        from repro.distances.euclidean import _ea_envelope_lb
-
-        lb, steps = _ea_envelope_lb(q, upper, lower, r, workspace=shared_workspace())
+        lb, steps = self.resolved_backend().lb_keogh(q, upper, lower, r)
         if counter is not None:
             counter.lb_calls += 1
             counter.add(steps)
@@ -375,14 +266,13 @@ class DTWMeasure(Measure):
         if not math.isfinite(keogh) or self.radius == 0:
             return keogh
         q = np.asarray(q, dtype=np.float64)
-        projection = np.clip(q, lower, upper)
-        env_hi, env_lo = sliding_envelope(projection, projection, self.radius)
-        gap = np.maximum(env_lo - np.asarray(raw_upper), np.asarray(raw_lower) - env_hi)
-        np.maximum(gap, 0.0, out=gap)
+        gap_total = self.resolved_backend().lb_improved_pass2(
+            q, upper, lower, raw_upper, raw_lower, self.radius
+        )
         if counter is not None:
             counter.lb_calls += 1
             counter.add(2 * q.size)
-        return math.sqrt(keogh * keogh + float(np.dot(gap, gap)))
+        return math.sqrt(keogh * keogh + gap_total)
 
     def batch_wedge_bounds(
         self,
@@ -395,18 +285,15 @@ class DTWMeasure(Measure):
         counter: StepCounter | None = None,
         use_improved: bool = True,
     ) -> np.ndarray:
-        from repro.core.batch import batch_lb_improved, shared_workspace
-
         radius = self.radius if (use_improved and math.isfinite(r)) else 0
-        bounds, steps = batch_lb_improved(
+        bounds, steps = self.resolved_backend().lb_improved_batch(
             candidate,
             uppers,
             lowers,
             raw_uppers,
             raw_lowers,
             radius,
-            r=r,
-            workspace=shared_workspace(),
+            r,
         )
         if counter is not None:
             counter.lb_calls += bounds.size
@@ -425,6 +312,8 @@ class DTWMeasure(Measure):
         q = np.asarray(q, dtype=np.float64)
         rows = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
         k = rows.shape[0]
+        radius = min(self.radius, q.size - 1)
+        kernel = self.resolved_backend()
         best = float(r)
         best_idx = -1
         total_steps = 0
@@ -432,7 +321,7 @@ class DTWMeasure(Measure):
         for start in range(0, k, self.chunk_size):
             chunk = rows[start : start + self.chunk_size]
             threshold = best if early_abandon else math.inf
-            dists, steps, abandoned = dtw_batch(q, chunk, self.radius, r=threshold)
+            dists, steps, abandoned = kernel.dtw_batch(q, chunk, radius, threshold)
             total_steps += steps
             abandons += int(abandoned.sum())
             j = int(np.argmin(dists))

@@ -229,9 +229,13 @@ def _ea_envelope_lb(
         above = np.maximum(q - upper, 0.0)
         below = np.maximum(lower - q, 0.0)
         contributions = np.square(above) + np.square(below)
-    if not math.isfinite(r):
-        return float(math.sqrt(float(contributions.sum()))), n
+    # The total always comes off the same left-to-right cumulative sum as
+    # the abandoning path (NOT a pairwise-summed reduction): every partial
+    # sum in the library is sequential, so the scalar, wavefront, and numba
+    # kernel backends agree bit for bit on every accumulated value.
     prefix = np.cumsum(contributions, out=contributions)
+    if not math.isfinite(r):
+        return float(math.sqrt(float(prefix[-1]))), n
     threshold = r * r
     cut = int(np.searchsorted(prefix, threshold, side="right"))
     if cut >= n:

@@ -18,7 +18,9 @@ bound), we report:
 The dynamic program runs over anti-diagonals exactly like
 :mod:`repro.distances.dtw`, with ``max`` in place of ``min``, and abandons
 early once even a perfect match of all remaining points could not bring the
-distance below the threshold.
+distance below the threshold.  The DP itself lives in the pluggable kernel
+backends of :mod:`repro.kernels`; this module validates arguments, selects
+a backend, and keeps the step accounting.
 """
 
 from __future__ import annotations
@@ -29,15 +31,10 @@ import numpy as np
 
 from repro.core.counters import StepCounter
 from repro.distances.base import Measure
+from repro.kernels import get_backend
 from repro.timeseries.ops import sliding_envelope
 
 __all__ = ["LCSSMeasure", "lcss_similarity", "lcss_batch"]
-
-
-def _diag_bounds(s: int, n: int, radius: int) -> tuple[int, int]:
-    lo = max(0, s - (n - 1), (s - radius + 1) // 2)
-    hi = min(n - 1, s, (s + radius) // 2)
-    return lo, hi
 
 
 def lcss_similarity(q, c, delta: int, epsilon: float) -> float:
@@ -52,6 +49,7 @@ def lcss_batch(
     delta: int,
     epsilon: float,
     min_similarity: float = 0.0,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, int, np.ndarray]:
     """Banded LCSS similarity of ``q`` against every row of ``candidates``.
 
@@ -67,6 +65,8 @@ def lcss_batch(
         Early-abandonment floor: a candidate is abandoned once even matching
         every remaining point could not reach this similarity.  Abandoned
         candidates report similarity ``-inf``.
+    backend:
+        Kernel backend name, or ``None`` for the default resolution chain.
 
     Returns
     -------
@@ -78,84 +78,10 @@ def lcss_batch(
         raise ValueError(f"length mismatch: {rows.shape[1]} vs {q.size}")
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    n = q.size
-    k = rows.shape[0]
-    delta = min(int(delta), n - 1)
+    delta = min(int(delta), q.size - 1)
     if delta < 0:
         raise ValueError("delta must be non-negative")
-    required = min_similarity * n  # matches needed to stay viable
-
-    # Missing predecessors -- the virtual row/column -1 and cells outside the
-    # band -- are read as 0.  This is exact: every optimal in-band match
-    # sequence can be realised by a skip path that never leaves the band, and
-    # LCSS lengths are non-negative, so clamping missing cells to 0 neither
-    # gains nor loses matches.
-    prev1 = np.zeros((k, n))
-    prev2 = np.zeros((k, n))
-    alive = np.ones(k, dtype=bool)
-    prev1_best = np.zeros(k)
-    prev2_best = np.zeros(k)
-    steps = 0
-
-    for s in range(2 * n - 1):
-        lo, hi = _diag_bounds(s, n, delta)
-        if lo > hi:
-            # Empty diagonal (delta=0, odd s): rotate the buffers so that
-            # predecessor reads stay aligned with their anti-diagonal depth.
-            prev2, prev2_best = prev1, prev1_best
-            prev1 = np.zeros((k, n))
-            prev1_best = np.zeros(k)
-            continue
-        width = hi - lo + 1
-        q_slice = q[lo : hi + 1]
-        c_slice = rows[:, s - hi : s - lo + 1][:, ::-1]
-        match = (np.abs(c_slice - q_slice[np.newaxis, :]) <= epsilon).astype(np.float64)
-
-        if s == 0:
-            current = match
-        else:
-            up = prev1[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev1[:, lo:hi], k)
-            left = prev1[:, lo : hi + 1]
-            diag = prev2[:, lo - 1 : hi] if lo >= 1 else _pad_left(prev2[:, lo:hi], k)
-            # L[i,j] = max(L[i-1,j], L[i,j-1], L[i-1,j-1] + match(i,j)) is the
-            # standard skip/extend formulation of LCSS.
-            current = np.maximum(np.maximum(up, left), diag + match)
-
-        steps += int(alive.sum()) * width
-
-        new_best = current.max(axis=1)
-        prev2 = prev1
-        prev2_best = prev1_best
-        prev1 = np.zeros((k, n))
-        prev1[:, lo : hi + 1] = current
-        prev1_best = new_best
-
-        if required > 0:
-            # From any cell on diagonal s, at most n - 1 - ceil(s/2) further
-            # matches are possible (each match advances both coordinates).
-            remaining = n - 1 - ((s + 1) // 2)
-            reachable = np.maximum(prev1_best, prev2_best) + remaining
-            doomed = (reachable < required) & alive
-            if doomed.any():
-                alive &= ~doomed
-                if not alive.any():
-                    break
-
-    sims = np.full(k, -np.inf)
-    final = prev1[:, n - 1]
-    # A candidate that survived to the last anti-diagonal is finished; a
-    # finished candidate that still misses the floor is reported as-is.
-    # Only truly abandoned candidates carry -inf.
-    sims[alive] = final[alive] / n
-    abandoned = ~alive
-    return sims, steps, abandoned
-
-
-def _pad_left(block: np.ndarray, k: int) -> np.ndarray:
-    pad = np.zeros((k, 1))
-    if block.shape[1] == 0:
-        return pad
-    return np.concatenate([pad, block], axis=1)
+    return get_backend(backend).lcss_batch(q, rows, delta, float(epsilon), float(min_similarity))
 
 
 class LCSSMeasure(Measure):
@@ -167,6 +93,10 @@ class LCSSMeasure(Measure):
         Time-warping band (like DTW's ``R``).
     epsilon:
         Value threshold below which two points are considered matched.
+    backend:
+        Kernel backend name to pin this instance to, or ``None`` (the
+        default) to resolve per call.  Backends are exact, so the choice
+        never enters :meth:`cache_key`.
     """
 
     name = "lcss"
@@ -174,14 +104,18 @@ class LCSSMeasure(Measure):
     # LB_Kim compares raw values; LCSS distance lives in match-count space,
     # where one large value discrepancy proves nothing about the distance.
     kim_compatible = False
+    uses_kernel_backends = True
 
-    def __init__(self, delta: int, epsilon: float):
+    def __init__(self, delta: int, epsilon: float, backend: str | None = None):
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         self.delta = int(delta)
         self.epsilon = float(epsilon)
+        if backend is not None:
+            backend = get_backend(backend).name
+        self.backend = backend
 
     def cache_key(self) -> tuple:
         return (self.name, self.delta, self.epsilon)
@@ -189,7 +123,12 @@ class LCSSMeasure(Measure):
     def distance(self, q, c, r=math.inf, counter: StepCounter | None = None) -> float:
         floor = max(0.0, 1.0 - r) if math.isfinite(r) else 0.0
         sims, steps, abandoned = lcss_batch(
-            q, np.atleast_2d(c), self.delta, self.epsilon, min_similarity=floor
+            q,
+            np.atleast_2d(c),
+            self.delta,
+            self.epsilon,
+            min_similarity=floor,
+            backend=self.backend,
         )
         if counter is not None:
             counter.distance_calls += 1

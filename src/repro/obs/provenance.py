@@ -53,6 +53,10 @@ def provenance_block(extra: dict | None = None) -> dict:
         numpy_version = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    # Imported lazily: provenance must stay importable even if the kernel
+    # registry is mid-initialisation (it imports obs-adjacent modules).
+    from repro.kernels import available_backends, default_backend_name, get_backend
+
     block = {
         "git_sha": sha,
         "git_dirty": bool(status) if status is not None else None,
@@ -61,6 +65,11 @@ def provenance_block(extra: dict | None = None) -> dict:
         "python": sys.version.split()[0],
         "numpy": numpy_version,
         "repro_scale": os.environ.get("REPRO_SCALE") or "1",
+        "kernel_backends": {
+            "available": list(available_backends()),
+            "default": default_backend_name(),
+            "selected": get_backend().name,
+        },
         "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
     if extra:

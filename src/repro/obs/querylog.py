@@ -84,18 +84,22 @@ class QueryLogger:
         measure: str,
         wall_seconds: float | None = None,
         query_id=None,
+        backend: str | None = None,
         **extra,
     ) -> dict:
         """Build and write the standard record for one finished query.
 
         ``result`` is duck-typed on :class:`~repro.core.search.SearchResult`;
-        ``extra`` lands verbatim in the record (``k_trajectory``,
-        ``radius_trace``, retrieval stats, ...).
+        ``backend`` names the kernel backend that ran the distance kernels
+        (``None`` when the caller did not resolve one); ``extra`` lands
+        verbatim in the record (``k_trajectory``, ``radius_trace``,
+        retrieval stats, ...).
         """
         record = {
             "query_id": query_id,
             "strategy": getattr(result, "strategy", "") or "unknown",
             "measure": measure,
+            "backend": backend,
             "result_index": result.index,
             "distance": result.distance,
             "rotation": result.rotation,

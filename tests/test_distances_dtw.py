@@ -17,7 +17,28 @@ from repro.distances.dtw import (
     warping_path,
 )
 from repro.distances.euclidean import euclidean_distance
+from repro.kernels import ENV_VAR, available_backends
 from tests.conftest import naive_dtw
+
+
+@pytest.fixture(scope="module", params=available_backends(), autouse=True)
+def kernel_backend(request):
+    """Rerun this module's whole suite under every registered kernel backend.
+
+    Module-scoped (hypothesis forbids function-scoped fixtures inside
+    ``@given`` bodies) and env-var based, because measures resolve their
+    backend lazily at call time; os.environ is restored manually.
+    """
+    import os
+
+    prior = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = request.param
+    yield request.param
+    if prior is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = prior
+
 
 floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
 pair_strategy = st.integers(2, 25).flatmap(

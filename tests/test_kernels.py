@@ -1,0 +1,353 @@
+"""Kernel-backend registry: resolution order, fallback, and exact parity.
+
+Three contracts live here.  (1) `get_backend` resolution: explicit kwarg
+beats the ``REPRO_KERNEL_BACKEND`` env var beats auto-detection, unknown
+names fail loudly, and a missing numba degrades to the pure-NumPy
+wavefront backend with a logged -- never raised -- notice.  (2) Every
+registered backend returns *bit-identical* distances, bounds, similarity
+counts, AND ``num_steps`` for all six kernel ops versus the interpreted
+scalar reference; "close enough" floats are a parity failure.  (3) The
+measure-level plumbing: ``with_backend`` clones rather than mutates,
+non-kernel measures ignore it, the backend never leaks into envelope
+cache keys, and ``search_many`` propagates the parent's selection into
+process-pool workers instead of letting them re-resolve.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.core.search import _search_chunk, search_many, wedge_search
+from repro.distances.dtw import DTWMeasure, dtw_distance
+from repro.distances.euclidean import EuclideanMeasure
+from repro.distances.lcss import LCSSMeasure
+from repro.kernels import (
+    ENV_VAR,
+    NUMBA_IMPORT_ERROR,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    numba_available,
+)
+
+ALL_BACKENDS = available_backends()
+NON_SCALAR = tuple(name for name in ALL_BACKENDS if name != "scalar")
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+class TestResolutionOrder:
+    def test_explicit_kwarg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "wavefront")
+        assert get_backend("scalar").name == "scalar"
+
+    def test_env_var_wins_over_auto(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        assert get_backend().name == "scalar"
+        assert get_backend(None).name == "scalar"
+
+    def test_auto_is_highest_priority(self, clean_env):
+        auto = get_backend()
+        assert auto.name == default_backend_name()
+        assert auto.priority == max(get_backend(n).priority for n in ALL_BACKENDS)
+
+    def test_auto_keyword_overrides_env(self, monkeypatch):
+        # "auto" is an escape hatch: even with the env var pinning scalar,
+        # an explicit "auto" re-enables fastest-available selection.
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        assert get_backend("auto").name == default_backend_name()
+
+    def test_blank_env_var_means_unset(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert get_backend().name == default_backend_name()
+
+    def test_unknown_backend_message_lists_choices(self, clean_env):
+        with pytest.raises(ValueError, match=r"unknown kernel backend 'bogus'"):
+            get_backend("bogus")
+        with pytest.raises(ValueError, match=r"or 'auto'"):
+            get_backend("bogus")
+
+    def test_unknown_env_var_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend()
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed: no unavailable-hint path")
+    def test_missing_numba_error_names_the_extra(self, clean_env):
+        assert NUMBA_IMPORT_ERROR is not None
+        with pytest.raises(ValueError, match=r"\[kernels\] extra"):
+            get_backend("numba")
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed: no fallback path")
+    def test_fallback_is_wavefront_not_an_exception(self, clean_env):
+        assert "numba" not in ALL_BACKENDS
+        assert default_backend_name() == "wavefront"
+
+    def test_fallback_notice_is_logged_not_raised(self):
+        # Re-running the registration logic must emit the INFO notice on
+        # the repro.kernels logger when numba is missing (and stay silent
+        # about fallback when it is installed).
+        if numba_available():
+            pytest.skip("numba installed: no fallback notice emitted")
+        logger = logging.getLogger("repro.kernels")
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        handler = Capture(level=logging.INFO)
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.INFO)
+        try:
+            import importlib
+
+            importlib.reload(kernels)
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        assert any("numba kernel backend unavailable" in msg for msg in records)
+        # Reload must leave the registry fully repopulated.
+        assert set(kernels.available_backends()) >= {"scalar", "wavefront"}
+
+
+def _corpus(seed=2006, m=10, n=40):
+    rng = np.random.default_rng(seed)
+    rows = np.cumsum(rng.standard_normal((m, n)), axis=1)
+    rows -= rows.mean(axis=1, keepdims=True)
+    rows /= rows.std(axis=1, keepdims=True)
+    return rows[0], rows[1:]
+
+
+def _envelopes(q, radius):
+    from repro.timeseries.ops import sliding_envelope
+
+    raw_upper, raw_lower = q.copy(), q.copy()
+    upper, lower = sliding_envelope(raw_upper, raw_lower, radius)
+    return upper, lower, raw_upper, raw_lower
+
+
+@pytest.mark.parametrize("backend_name", NON_SCALAR)
+class TestBitIdenticalParity:
+    """Every op, every backend, vs the interpreted scalar reference.
+
+    Equality is ``==`` on floats and ints -- the registry's contract is
+    bit-identity, not tolerance.
+    """
+
+    @pytest.mark.parametrize("radius", [0, 1, 5, 39])
+    @pytest.mark.parametrize("threshold", [math.inf, 2.0, 0.05])
+    def test_dtw_single(self, backend_name, radius, threshold):
+        q, rows = _corpus()
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        for c in rows:
+            assert cand.dtw_single(q, c, radius, threshold) == ref.dtw_single(
+                q, c, radius, threshold
+            )
+
+    @pytest.mark.parametrize("radius", [0, 3, 39])
+    @pytest.mark.parametrize("threshold", [math.inf, 3.0, 0.05])
+    def test_dtw_batch(self, backend_name, radius, threshold):
+        q, rows = _corpus()
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        rd, rs, ra = ref.dtw_batch(q, rows, radius, threshold)
+        cd, cs, ca = cand.dtw_batch(q, rows, radius, threshold)
+        assert list(cd) == list(rd)
+        assert cs == rs
+        assert list(np.atleast_1d(ca)) == list(np.atleast_1d(ra))
+
+    @pytest.mark.parametrize("delta", [0, 2, 39])
+    @pytest.mark.parametrize("min_similarity", [0.0, 0.6])
+    def test_lcss_batch(self, backend_name, delta, min_similarity):
+        q, rows = _corpus()
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        rd, rs, ra = ref.lcss_batch(q, rows, delta, 0.4, min_similarity)
+        cd, cs, ca = cand.lcss_batch(q, rows, delta, 0.4, min_similarity)
+        assert list(cd) == list(rd)
+        assert cs == rs
+        assert list(np.atleast_1d(ca)) == list(np.atleast_1d(ra))
+
+    @pytest.mark.parametrize("radius", [1, 4])
+    @pytest.mark.parametrize("threshold", [math.inf, 1.0])
+    def test_lb_keogh(self, backend_name, radius, threshold):
+        q, rows = _corpus()
+        upper, lower, _, _ = _envelopes(q, radius)
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        for c in rows:
+            assert cand.lb_keogh(c, upper, lower, threshold) == ref.lb_keogh(
+                c, upper, lower, threshold
+            )
+
+    @pytest.mark.parametrize("radius", [1, 4])
+    def test_lb_improved_pass2(self, backend_name, radius):
+        q, rows = _corpus()
+        upper, lower, raw_upper, raw_lower = _envelopes(q, radius)
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        for c in rows:
+            assert cand.lb_improved_pass2(
+                c, upper, lower, raw_upper, raw_lower, radius
+            ) == ref.lb_improved_pass2(c, upper, lower, raw_upper, raw_lower, radius)
+
+    @pytest.mark.parametrize("radius", [0, 1, 4])
+    @pytest.mark.parametrize("threshold", [math.inf, 2.5])
+    def test_lb_improved_batch(self, backend_name, radius, threshold):
+        q, rows = _corpus()
+        upper, lower, raw_upper, raw_lower = _envelopes(q, radius)
+        ref, cand = get_backend("scalar"), get_backend(backend_name)
+        rb, rs = ref.lb_improved_batch(rows, upper, lower, raw_upper, raw_lower, radius, threshold)
+        cb, cs = cand.lb_improved_batch(rows, upper, lower, raw_upper, raw_lower, radius, threshold)
+        assert list(cb) == list(rb)
+        assert list(cs) == list(rs)
+
+    def test_wedge_search_end_to_end(self, backend_name, clean_env):
+        # Whole-stack parity: the same query through the full cascade must
+        # return the identical neighbour, distance, and step count.
+        q, rows = _corpus(m=17, n=32)
+        db = list(rows)
+        reference = wedge_search(db, q, DTWMeasure(radius=3, backend="scalar"))
+        candidate = wedge_search(db, q, DTWMeasure(radius=3, backend=backend_name))
+        assert candidate.index == reference.index
+        assert candidate.distance == reference.distance
+        assert candidate.rotation == reference.rotation
+        assert candidate.counter.steps == reference.counter.steps
+
+
+class TestMeasurePlumbing:
+    def test_with_backend_clones(self, clean_env):
+        base = DTWMeasure(radius=2)
+        pinned = base.with_backend("scalar")
+        assert pinned is not base
+        assert pinned.backend == "scalar"
+        assert base.backend is None
+        assert pinned.backend_name == "scalar"
+
+    def test_with_backend_none_clears_pin(self, clean_env):
+        pinned = DTWMeasure(radius=2, backend="scalar")
+        cleared = pinned.with_backend(None)
+        assert cleared.backend is None
+        assert cleared.backend_name == default_backend_name()
+
+    def test_with_backend_validates_eagerly(self, clean_env):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            DTWMeasure(radius=2).with_backend("bogus")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            DTWMeasure(radius=2, backend="bogus")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            LCSSMeasure(delta=2, epsilon=0.3, backend="bogus")
+
+    def test_non_kernel_measures_ignore_backend(self):
+        euc = EuclideanMeasure()
+        assert euc.with_backend("scalar") is euc
+        assert euc.backend_name == "numpy"
+
+    def test_backend_not_in_cache_key(self, clean_env):
+        # Envelope caches are keyed by measure semantics; the backend only
+        # changes *how* the same numbers are computed, so two pins of the
+        # same measure must share cache entries.
+        assert DTWMeasure(radius=2, backend="scalar").cache_key() == DTWMeasure(
+            radius=2, backend="wavefront"
+        ).cache_key()
+
+    def test_measure_env_var_resolution_is_lazy(self, monkeypatch):
+        # An unpinned measure consults the env var at call time, so the
+        # same object can be redirected between queries.
+        measure = DTWMeasure(radius=2)
+        monkeypatch.setenv(ENV_VAR, "scalar")
+        assert measure.backend_name == "scalar"
+        monkeypatch.setenv(ENV_VAR, "wavefront")
+        assert measure.backend_name == "wavefront"
+
+    def test_dtw_distance_backend_kwarg_parity(self, clean_env):
+        from repro.core.counters import StepCounter
+
+        q, rows = _corpus(n=24)
+        baseline_counter = StepCounter()
+        d0 = dtw_distance(q, rows[0], radius=3, counter=baseline_counter, backend="scalar")
+        for name in ALL_BACKENDS:
+            counter = StepCounter()
+            d = dtw_distance(q, rows[0], radius=3, counter=counter, backend=name)
+            assert (d, counter.steps) == (d0, baseline_counter.steps)
+
+
+class TestWorkerPropagation:
+    """Satellite 6: process workers must run the parent's backend."""
+
+    def test_search_chunk_applies_backend(self, clean_env):
+        q, rows = _corpus(m=5, n=24)
+        results, _ = _search_chunk(
+            ("brute-force", list(rows), [q], DTWMeasure(radius=2), {}, False, "scalar")
+        )
+        assert len(results) == 1
+
+    def test_search_many_resolves_backend_parent_side(self, clean_env, monkeypatch):
+        # The 7th element of the worker args tuple must carry the resolved
+        # name -- not None -- whenever the measure routes through kernels,
+        # so a subprocess with different auto-detection (e.g. numba only in
+        # the parent venv) cannot silently revert.
+        captured = {}
+        real_chunk = _search_chunk
+
+        def spy(args):
+            captured["backend"] = args[6]
+            captured["measure_pin"] = args[3].backend
+            return real_chunk(args)
+
+        monkeypatch.setattr("repro.core.search._search_chunk", spy)
+        q, rows = _corpus(m=5, n=24)
+        search_many(list(rows), [q], DTWMeasure(radius=2), strategy="brute-force", backend="scalar")
+        assert captured["backend"] == "scalar"
+
+    def test_search_many_passes_none_for_non_kernel_measures(self, clean_env, monkeypatch):
+        captured = {}
+        real_chunk = _search_chunk
+
+        def spy(args):
+            captured["backend"] = args[6]
+            return real_chunk(args)
+
+        monkeypatch.setattr("repro.core.search._search_chunk", spy)
+        q, rows = _corpus(m=5, n=24)
+        search_many(list(rows), [q], EuclideanMeasure(), strategy="brute-force")
+        assert captured["backend"] is None
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self, clean_env):
+        q, rows = _corpus(m=12, n=24)
+        db = list(rows)
+        queries = [q, rows[0]]
+        measure = DTWMeasure(radius=2)
+        serial = search_many(db, queries, measure, strategy="wedge", backend="scalar")
+        pooled = search_many(
+            db, queries, measure, strategy="wedge", n_jobs=2, executor="process", backend="scalar"
+        )
+        for a, b in zip(serial, pooled):
+            assert (a.index, a.distance, a.counter.steps) == (b.index, b.distance, b.counter.steps)
+
+
+class TestRegistryHygiene:
+    def test_reserved_names_rejected(self):
+        class Fake(kernels.KernelBackend):
+            name = "auto"
+
+        with pytest.raises(ValueError):
+            kernels.register_backend(Fake())
+
+    def test_duplicate_registration_rejected(self):
+        class Fake(kernels.KernelBackend):
+            name = "scalar"
+
+        with pytest.raises(ValueError):
+            kernels.register_backend(Fake())
+
+    def test_available_backends_sorted_fastest_first(self):
+        priorities = [get_backend(name).priority for name in ALL_BACKENDS]
+        assert priorities == sorted(priorities, reverse=True)

@@ -28,6 +28,27 @@ from repro.core.wedge import Wedge
 from repro.distances.dtw import DTWMeasure
 from repro.distances.euclidean import EuclideanMeasure
 from repro.distances.lcss import LCSSMeasure
+from repro.kernels import ENV_VAR, available_backends
+
+
+@pytest.fixture(scope="module", params=available_backends(), autouse=True)
+def kernel_backend(request):
+    """Rerun the admissibility fuzz under every registered kernel backend.
+
+    Module-scoped (hypothesis forbids function-scoped fixtures inside
+    ``@given`` bodies) and env-var based, because measures resolve their
+    backend lazily at call time; os.environ is restored manually.
+    """
+    import os
+
+    prior = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = request.param
+    yield request.param
+    if prior is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = prior
+
 
 floats = st.floats(min_value=-20, max_value=20, allow_nan=False)
 
