@@ -1,0 +1,358 @@
+"""Benchmark: sharded query service -- latency, throughput, exactness.
+
+Measures the full client path (TCP frame -> coordinator micro-batch ->
+shard-worker fan-out -> exact global merge -> frame back) at 1/8/64
+concurrent clients, cache on/off, 1 vs 4 shards, and writes the
+percentile/QPS table to ``benchmarks/results/BENCH_service.json``.
+
+Two classes of check:
+
+* **Exactness tripwire (always fatal, quick and full):** every service
+  answer -- k-NN and range, across every shard count -- must be
+  bit-identical to single-process ``knn_search`` / ``range_search`` over
+  the same data: same indices, same rotations, byte-equal distances, zero
+  false dismissals.  Sharding is a deployment choice, never an answer
+  change.
+* **Throughput floor (full mode, multi-core hosts only):** at the highest
+  client count, 4 shards must reach >= ``--min-speedup`` x the QPS of 1
+  shard.  Exact search does the same total work however it is
+  partitioned, so shard parallelism needs cores to land on: on hosts with
+  fewer than 4 CPUs the floor is reported but not enforced (the same
+  honest-gating pattern as ``bench_kernels``' numba floor), and the
+  artifact records ``cpu_count`` and ``speedup_floor_enforced`` so a
+  dashboard can partition results by what actually produced them.
+
+``--quick`` is the CI smoke / seventh ``run_all.py --quick`` tripwire:
+shard a small dataset, start a real server, fire 20 concurrent client
+queries, assert bit-identical answers and a parseable ``/metrics``
+exposition, and exercise the answer cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from harness import write_json_result  # noqa: E402
+
+from repro.distances.dtw import DTWMeasure  # noqa: E402
+from repro.mining.queries import knn_search, range_search  # noqa: E402
+from repro.obs.metrics import parse_prometheus_text  # noqa: E402
+from repro.service import ServiceClient, save_shards, start_service_thread  # noqa: E402
+
+
+def _make_data(m: int, n: int, seed: int = 2006) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    walks = np.cumsum(rng.normal(size=(m, n)), axis=1)
+    walks -= walks.mean(axis=1, keepdims=True)
+    walks /= walks.std(axis=1, keepdims=True)
+    return walks
+
+
+def _query_pool(data: np.ndarray, count: int, seed: int = 7) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(data), size=count, replace=False)
+    return [data[i] + 0.05 * rng.standard_normal(data.shape[1]) for i in picks]
+
+
+def check_exactness(handle, data, measure, pool, k: int) -> list[str]:
+    """Service answers must be bit-identical to single-process search."""
+    failures: list[str] = []
+    with ServiceClient(port=handle.port) as client:
+        for qi, query in enumerate(pool):
+            response = client.knn(query, k=k, no_cache=True)
+            if not response.get("ok"):
+                failures.append(f"knn query#{qi}: service error {response.get('error')}")
+                continue
+            expected = knn_search(data, query, measure, k=k)
+            got = [tuple(nb) for nb in response["neighbors"]]
+            want = [(nb.index, nb.distance, nb.rotation) for nb in expected]
+            if got != want:
+                failures.append(f"knn query#{qi}: {got[:3]} != single-process {want[:3]}")
+            # Range at the k-th distance: every single-process hit must be
+            # present (zero false dismissals) with byte-equal distances.
+            radius = expected[-1].distance
+            range_response = client.range_query(query, radius, no_cache=True)
+            range_expected = range_search(data, query, measure, radius=radius)
+            got_range = [tuple(nb) for nb in range_response["neighbors"]]
+            want_range = [(nb.index, nb.distance, nb.rotation) for nb in range_expected]
+            if got_range != want_range:
+                failures.append(
+                    f"range query#{qi}: {len(got_range)} hits != "
+                    f"single-process {len(want_range)}"
+                )
+    return failures
+
+
+def run_load(handle, pool, clients: int, requests_per_client: int, k: int) -> dict:
+    """``clients`` threads, each with its own TCP connection, firing k-NN."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(tid: int) -> None:
+        try:
+            with ServiceClient(port=handle.port) as client:
+                barrier.wait()
+                for j in range(requests_per_client):
+                    query = pool[(tid * 7 + j) % len(pool)]
+                    t0 = time.perf_counter()
+                    response = client.knn(query, k=k)
+                    latencies[tid].append(time.perf_counter() - t0)
+                    if not response.get("ok"):
+                        errors.append(str(response.get("error")))
+        except Exception as exc:  # noqa: BLE001 - reported as benchmark failure
+            errors.append(repr(exc))
+            try:
+                barrier.wait(timeout=1)
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    flat = np.array([latency for per in latencies for latency in per])
+    total = int(flat.size)
+    return {
+        "clients": clients,
+        "requests": total,
+        "errors": errors,
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(total / elapsed, 2) if elapsed > 0 else float("nan"),
+        "p50_ms": round(float(np.percentile(flat, 50)) * 1e3, 3) if total else None,
+        "p95_ms": round(float(np.percentile(flat, 95)) * 1e3, 3) if total else None,
+        "p99_ms": round(float(np.percentile(flat, 99)) * 1e3, 3) if total else None,
+    }
+
+
+def quick_smoke() -> int:
+    """CI tripwire: shard, serve, 20 concurrent queries, exact + parseable."""
+    data = _make_data(36, 32)
+    measure = DTWMeasure(radius=2)
+    pool = _query_pool(data, 10)
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-svc-quick-") as tmp:
+        save_shards(data, tmp, 3, n_coefficients=8)
+        handle = start_service_thread(tmp, measure, cache_size=64)
+        try:
+            failures += check_exactness(handle, data, measure, pool, k=3)
+            print(f"    exactness: {len(pool)} knn + {len(pool)} range queries bit-identical")
+
+            # 20 concurrent clients, one query each (cache on: repeats hit).
+            load = run_load(handle, pool, clients=20, requests_per_client=1, k=3)
+            failures += load["errors"]
+            print(
+                f"    20 concurrent clients: {load['requests']} answers in "
+                f"{load['elapsed_s']}s ({load['qps']} QPS, p95 {load['p95_ms']} ms)"
+            )
+            if load["requests"] != 20:
+                failures.append(f"expected 20 answers, got {load['requests']}")
+
+            # Sequential repeat: the second identical request must be a
+            # cache hit (concurrent duplicates above are single-flighted
+            # within a batch, which deliberately does not count as a hit).
+            with ServiceClient(port=handle.port) as client:
+                first = client.knn(pool[0], k=3)
+                again = client.knn(pool[0], k=3)
+                if not (first.get("ok") and again.get("ok")):
+                    failures.append("cache probe queries failed")
+                elif not again.get("cached"):
+                    failures.append("sequential repeat was not served from the cache")
+                metrics = client.metrics()
+            if not metrics.get("ok"):
+                failures.append(f"metrics op failed: {metrics.get('error')}")
+            else:
+                parsed = parse_prometheus_text(metrics["prometheus"])
+                for family in (
+                    "service_requests_total",
+                    "service_worker_requests_total",
+                    "answer_cache_hits_total",
+                    "queries_total",
+                ):
+                    if family not in parsed["families"]:
+                        failures.append(f"/metrics is missing the {family} family")
+                cache = metrics.get("cache", {})
+                if cache.get("hits", 0) < 1:
+                    failures.append(f"expected answer-cache hits from repeats, got {cache}")
+                print(
+                    f"    /metrics parses ({len(parsed['families'])} families), "
+                    f"cache {cache.get('hits')}h/{cache.get('misses')}m"
+                )
+        finally:
+            handle.close()
+    if failures:
+        print("\nSERVICE SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("    service smoke OK (sharded == single-process, bit for bit)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke tripwire")
+    parser.add_argument("--objects", type=int, default=96)
+    parser.add_argument("--length", type=int, default=64)
+    parser.add_argument("--dtw-radius", type=int, default=3)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--pool", type=int, default=16, help="distinct hot queries")
+    parser.add_argument("--clients", default="1,8,64", help="concurrent client counts")
+    parser.add_argument("--shard-counts", default="1,4")
+    parser.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=0,
+        help="0 = auto (enough for stable percentiles per level)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="QPS floor: 4 shards vs 1 at the highest client count "
+        "(enforced only on hosts with >= 4 CPUs)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        return quick_smoke()
+
+    client_levels = [int(c) for c in args.clients.split(",")]
+    shard_counts = [int(s) for s in args.shard_counts.split(",")]
+    cpu_count = os.cpu_count() or 1
+    data = _make_data(args.objects, args.length)
+    measure = DTWMeasure(radius=args.dtw_radius)
+    pool = _query_pool(data, args.pool)
+    backend = measure.backend_name
+
+    results: list[dict] = []
+    failures: list[str] = []
+    phases: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as tmp:
+        for n_shards in shard_counts:
+            shard_dir = Path(tmp) / f"shards-{n_shards}"
+            t0 = time.perf_counter()
+            save_shards(data, shard_dir, n_shards, n_coefficients=8)
+            phases[f"shard_{n_shards}_build"] = time.perf_counter() - t0
+            for cache_on in (False, True):
+                handle = start_service_thread(
+                    shard_dir, measure, cache_size=1024 if cache_on else 0
+                )
+                try:
+                    if not cache_on:
+                        # Exactness tripwire once per shard count.
+                        t0 = time.perf_counter()
+                        failures += check_exactness(handle, data, measure, pool, k=args.k)
+                        phases[f"exactness_{n_shards}_shards"] = time.perf_counter() - t0
+                    for clients in client_levels:
+                        per_client = args.requests_per_client or max(2, 64 // clients)
+                        load = run_load(handle, pool, clients, per_client, k=args.k)
+                        failures += load["errors"]
+                        row = {
+                            "shards": n_shards,
+                            "cache": cache_on,
+                            **{k: v for k, v in load.items() if k != "errors"},
+                        }
+                        if cache_on and handle.service.cache is not None:
+                            stats = handle.service.cache.stats()
+                            seen = stats["hits"] + stats["misses"]
+                            row["cache_hit_ratio"] = (
+                                round(stats["hits"] / seen, 4) if seen else 0.0
+                            )
+                        results.append(row)
+                        print(
+                            f"shards={n_shards} cache={'on ' if cache_on else 'off'} "
+                            f"clients={clients:>2}: {row['qps']:>8} QPS  "
+                            f"p50 {row['p50_ms']:>8} ms  p95 {row['p95_ms']:>8} ms  "
+                            f"p99 {row['p99_ms']:>8} ms"
+                        )
+                finally:
+                    handle.close()
+
+    # The 4-vs-1-shard QPS floor at the highest client count, cache off.
+    top = max(client_levels)
+    speedup = None
+    lone = [r for r in results if r["shards"] == min(shard_counts) and not r["cache"]]
+    wide = [r for r in results if r["shards"] == max(shard_counts) and not r["cache"]]
+    lone_top = next((r for r in lone if r["clients"] == top), None)
+    wide_top = next((r for r in wide if r["clients"] == top), None)
+    if lone_top and wide_top and lone_top is not wide_top:
+        speedup = round(wide_top["qps"] / lone_top["qps"], 3)
+    floor_enforced = cpu_count >= 4 and speedup is not None
+    if floor_enforced and speedup < args.min_speedup:
+        failures.append(
+            f"QPS floor: {max(shard_counts)} shards reached only {speedup}x the "
+            f"single-shard QPS at {top} clients (floor {args.min_speedup}x)"
+        )
+    if speedup is not None:
+        note = "enforced" if floor_enforced else f"not enforced ({cpu_count} CPU(s))"
+        print(
+            f"\n{max(shard_counts)}-vs-{min(shard_counts)}-shard QPS at {top} clients: "
+            f"{speedup}x (floor {args.min_speedup}x, {note})"
+        )
+
+    payload = {
+        "config": {
+            "objects": args.objects,
+            "length": args.length,
+            "measure": "dtw",
+            "dtw_radius": args.dtw_radius,
+            "k": args.k,
+            "query_pool": args.pool,
+            "client_levels": client_levels,
+            "shard_counts": shard_counts,
+        },
+        "cpu_count": cpu_count,
+        "results": results,
+        "exactness": {
+            "knn_queries_checked": args.pool * len(shard_counts),
+            "range_queries_checked": args.pool * len(shard_counts),
+            "bit_identical_to_single_process": not any("query#" in f for f in failures),
+        },
+        "speedup_at_top_clients": speedup,
+        "speedup_floor": args.min_speedup,
+        "speedup_floor_enforced": floor_enforced,
+        "speedup_floor_note": (
+            "exact search is partition-invariant in total work; shard parallelism "
+            f"needs >= {max(shard_counts)} CPUs to produce wall-clock speedup, "
+            f"this host has {cpu_count}"
+        ),
+    }
+    write_json_result(
+        "BENCH_service",
+        payload,
+        phase_timings=phases,
+        provenance_extra={
+            "service": {
+                "kernel_backend": backend,
+                "shard_counts": shard_counts,
+                "cache_capacity": 1024,
+            }
+        },
+    )
+
+    if failures:
+        print("\nBENCH_SERVICE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

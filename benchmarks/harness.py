@@ -85,7 +85,10 @@ def write_result(name: str, text: str) -> None:
 
 
 def write_json_result(
-    name: str, payload: dict, phase_timings: dict[str, float] | None = None
+    name: str,
+    payload: dict,
+    phase_timings: dict[str, float] | None = None,
+    provenance_extra: dict | None = None,
 ) -> Path:
     """Write a ``BENCH_*.json`` artifact with an embedded provenance block.
 
@@ -93,7 +96,9 @@ def write_json_result(
     versions, ``REPRO_SCALE``, UTC timestamp) answers "what produced this
     number" when two artifacts disagree; ``phase_timings`` adds per-phase
     wall-clock seconds (setup vs measured runs) so a slow artifact can be
-    blamed on the right phase.
+    blamed on the right phase.  ``provenance_extra`` merges additional
+    benchmark-specific facts (e.g. the service benchmark stamps its
+    resolved kernel backend and shard counts) into the provenance block.
     """
     from repro.obs.provenance import provenance_block
 
@@ -101,6 +106,8 @@ def write_json_result(
     extra: dict = {"benchmark": name}
     if phase_timings:
         extra["phase_timings_s"] = {k: round(v, 4) for k, v in phase_timings.items()}
+    if provenance_extra:
+        extra.update(provenance_extra)
     document = dict(payload)
     document["provenance"] = provenance_block(extra)
     path = RESULTS_DIR / f"{name}.json"

@@ -20,10 +20,12 @@ monotone cascade tier funnel, and a parseable artifact written to
 ``benchmarks/results/obs_quick/`` for CI to upload), and the index
 persistence layer must round-trip exactly (``bench_persistence --quick``:
 built vs loaded vs mmap-loaded answers bit-identical, v1 shim intact,
-single-byte corruption rejected), and every registered kernel backend must
-agree bit for bit with the scalar reference (``bench_kernels --quick``).
-Any violation exits non-zero, making this a perf-regression tripwire cheap
-enough to run on every push.
+single-byte corruption rejected), every registered kernel backend must
+agree bit for bit with the scalar reference (``bench_kernels --quick``),
+and the sharded query service must answer bit-identically to a single
+process under concurrent load (``bench_service --quick``).  Any violation
+exits non-zero, making this a perf-regression tripwire cheap enough to
+run on every push.
 """
 
 from __future__ import annotations
@@ -182,7 +184,7 @@ def _obs_artifact_smoke(walks, m: int) -> int:
 def quick_smoke() -> int:
     """CI smoke: hard invariants on tiny inputs instead of the full sweep.
 
-    Six tripwires, all fatal:
+    Seven tripwires, all fatal:
 
     1. For every (measure, query) pair, ``wedge_search`` must report at most
        as many steps as ``brute_force_search`` and agree on the nearest
@@ -199,6 +201,10 @@ def quick_smoke() -> int:
        (``bench_persistence --quick``).
     6. Every registered kernel backend must produce bit-identical answers
        and step counts vs the scalar reference (``bench_kernels --quick``).
+    7. The sharded query service must answer 20 concurrent clients
+       bit-identically to single-process search, with a parseable merged
+       ``/metrics`` exposition and a working answer cache
+       (``bench_service --quick``).
     """
     src = BENCH_DIR.parent / "src"
     for path in (str(BENCH_DIR), str(src)):
@@ -296,7 +302,18 @@ def quick_smoke() -> int:
     print("\n=== bench_kernels --quick ===", flush=True)
     import bench_kernels
 
-    return bench_kernels.main(["--quick"])
+    rc = bench_kernels.main(["--quick"])
+    if rc != 0:
+        return rc
+
+    # Seventh tripwire: the sharded query service -- shard, serve, answer
+    # 20 concurrent clients bit-identically to single-process search, merge
+    # worker metrics into one parseable exposition, and serve repeats from
+    # the answer cache.
+    print("\n=== bench_service --quick ===", flush=True)
+    import bench_service
+
+    return bench_service.main(["--quick"])
 
 
 def main(argv=None) -> int:

@@ -30,6 +30,12 @@ memory-mapped, so the collection never materialises in RAM)::
     python -m repro index inspect points_idx.npz --verify
     python -m repro index query points_idx.npz --collection points --size 200 \
         --query-index 7 --measure dtw --mmap
+
+Shard a collection and serve it as a long-lived query service::
+
+    python -m repro index shard --collection points --size 200 --shards 4 --out shards/
+    python -m repro serve --shards shards/ --measure dtw --radius 3 --port 7043
+    python -m repro client --port 7043 --op knn --collection points --size 200 --k 5
 """
 
 from __future__ import annotations
@@ -364,6 +370,114 @@ def cmd_index_query(args) -> int:
     return 0
 
 
+def cmd_index_shard(args) -> int:
+    from repro.service.shard import save_shards
+
+    if args.from_npz:
+        from repro.persistence import load_dataset_file
+
+        archive = load_dataset_file(args.from_npz).series
+    else:
+        archive = _build_collection(args.collection, args.size, args.length, args.seed)
+    manifest = save_shards(
+        archive,
+        args.out,
+        args.shards,
+        n_coefficients=args.coefficients,
+        structure=args.structure,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+    )
+    print(
+        f"sharded {manifest.objects} objects of length {manifest.length} "
+        f"into {manifest.n_shards} archives under {args.out}"
+    )
+    for info in manifest.shards:
+        print(f"  shard {info.shard_id}: {info.file} (objects {info.offset}..{info.offset + info.objects - 1})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import run_service
+
+    measure = _build_measure(args)
+    query_log = None
+    if args.obs_log:
+        from repro.obs.querylog import QueryLogger
+
+        query_log = QueryLogger(args.obs_log)
+
+    def on_ready(service, port, loop):
+        print(
+            f"repro-service listening on {args.host}:{port} "
+            f"({service.manifest.n_shards} shards, {service.manifest.objects} objects, "
+            f"measure={measure.name}, backend={service.backend}, "
+            f"cache={'on' if service.cache is not None else 'off'})",
+            flush=True,
+        )
+
+    try:
+        run_service(
+            args.shards,
+            measure,
+            args.host,
+            args.port,
+            cache_size=args.cache_size,
+            batch_window=args.batch_window_ms / 1000.0,
+            max_batch=args.max_batch,
+            query_log=query_log,
+            on_ready=on_ready,
+        )
+    finally:
+        if query_log is not None:
+            query_log.close()
+    print("repro-service stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.op == "ping":
+            payload = client.ping()
+        elif args.op == "metrics":
+            payload = client.metrics()
+            if payload.get("ok") and not args.json:
+                print(payload["prometheus"], end="")
+                return 0
+        elif args.op == "shutdown":
+            payload = client.shutdown()
+        else:
+            query_seed = args.query_seed if args.query_seed is not None else args.seed + 1
+            pool = _build_collection(args.collection, args.size, args.length, query_seed)
+            query = pool[args.query_index % len(pool)]
+            if args.op == "knn":
+                payload = client.knn(
+                    query, k=args.k, mirror=args.mirror, no_cache=args.no_cache
+                )
+            else:
+                payload = client.range_query(
+                    query, args.range_radius, mirror=args.mirror, no_cache=args.no_cache
+                )
+    if args.json or not payload.get("ok"):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload.get("ok") else 1
+    if args.op in ("knn", "range"):
+        for rank, (index, distance, rotation) in enumerate(payload["neighbors"], 1):
+            print(f"{rank}. object {index:>4}  distance {distance:.4f}  (rotation {rotation})")
+        print(
+            f"{len(payload['neighbors'])} results from {payload['shards']} shards, "
+            f"{payload['steps']:,} steps, backend={payload['backend']}, "
+            f"cached={payload['cached']}"
+        )
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_classify(args) -> int:
     from repro.classify.evaluation import evaluate_dataset
     from repro.datasets.registry import TABLE_EIGHT, load_dataset
@@ -524,6 +638,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Prometheus-text metrics for the query to FILE",
     )
     iquery.set_defaults(func=cmd_index_query)
+
+    shard = index_sub.add_parser(
+        "shard", help="split a collection into N independent shard archives + manifest"
+    )
+    _add_collection_args(shard)
+    shard.add_argument(
+        "--from-npz",
+        default=None,
+        metavar="FILE",
+        help="shard the series of a dataset saved with save_dataset instead of a synthetic collection",
+    )
+    shard.add_argument("--shards", type=int, default=4, help="number of shards")
+    shard.add_argument("--coefficients", type=int, default=16, help="signature dimensionality D")
+    shard.add_argument("--structure", default="flat", choices=("flat", "vptree", "rtree"))
+    shard.add_argument("--page-size", type=int, default=1, help="objects per simulated disk page")
+    shard.add_argument("--buffer-pages", type=int, default=0, help="LRU buffer pool size in pages")
+    shard.add_argument("--out", required=True, metavar="DIR", help="shard set directory")
+    shard.set_defaults(func=cmd_index_shard)
+
+    serve = sub.add_parser(
+        "serve", help="serve a shard set over TCP (asyncio front-end + shard workers)"
+    )
+    serve.add_argument("--shards", required=True, metavar="DIR", help="shard set directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7043, help="TCP port (0 = ephemeral)")
+    _add_measure_args(serve)
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="answer cache capacity (0 disables)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch collection window in milliseconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=64, help="max queries per micro-batch")
+    serve.add_argument(
+        "--obs-log", default=None, metavar="FILE", help="append JSONL service query records to FILE"
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser("client", help="query a running repro-service over TCP")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7043)
+    client.add_argument(
+        "--op", default="knn", choices=("knn", "range", "ping", "metrics", "shutdown")
+    )
+    _add_collection_args(client)
+    client.add_argument(
+        "--query-seed",
+        type=int,
+        default=None,
+        help="seed for the query collection (default: --seed + 1)",
+    )
+    client.add_argument("--query-index", type=int, default=0)
+    client.add_argument("--k", type=int, default=1, help="neighbours for --op knn")
+    client.add_argument(
+        "--range-radius", type=float, default=1.0, help="radius for --op range"
+    )
+    client.add_argument("--mirror", action="store_true")
+    client.add_argument("--no-cache", action="store_true", help="bypass the answer cache")
+    client.add_argument("--json", action="store_true", help="emit the raw response as JSON")
+    client.set_defaults(func=cmd_client)
 
     obs = sub.add_parser("obs", help="summarize a JSONL query log (tier funnel, slow queries)")
     obs.add_argument("log", help="path to a query log written by QueryLogger / --obs-log")

@@ -62,6 +62,7 @@ __all__ = [
     "test_all_rotations",
     "search_many",
     "merge_counters",
+    "merge_neighbors",
 ]
 
 
@@ -630,6 +631,31 @@ def merge_counters(results) -> StepCounter:
     for item in results:
         merged.merge(item.counter if isinstance(item, SearchResult) else item)
     return merged
+
+
+def merge_neighbors(neighbor_lists, k: int) -> list:
+    """Exact global top-K merge of per-partition k-NN result lists.
+
+    The k-NN analogue of :func:`merge_counters`: each partition (shard)
+    contributes its own canonical top-k neighbours (any objects with
+    ``distance``/``index``/ordering attributes work -- typically
+    :class:`repro.mining.queries.Neighbor` with partition-offset-adjusted
+    global indices), and the merge keeps the first ``k`` under the
+    canonical ``(distance, index)`` order.  Because every member of the
+    global top-k is a member of its own partition's top-k, merging partial
+    lists of length ``min(k, partition size)`` is exact -- zero false
+    dismissals -- and ties break identically to a single-process
+    :func:`repro.mining.queries.knn_search` over the concatenated data.
+    Partitions smaller than ``k`` (or empty) simply contribute what they
+    have.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    merged = sorted(
+        (nb for partition in neighbor_lists for nb in partition),
+        key=lambda nb: (nb.distance, nb.index),
+    )
+    return merged[:k]
 
 
 def search_many(

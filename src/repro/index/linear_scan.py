@@ -349,7 +349,10 @@ class SignatureFilteredScan:
                     tracer=tracer,
                 )
                 if math.isfinite(dist):
-                    entry = (-dist, int(i), rotation)
+                    # Negated index: among equal-distance ties the root is
+                    # the largest index, so eviction follows the canonical
+                    # (distance, index) order (see knn_search).
+                    entry = (-dist, -int(i), rotation)
                     if len(heap) < k:
                         heapq.heappush(heap, entry)
                     else:
@@ -372,7 +375,7 @@ class SignatureFilteredScan:
                     refine(int(i))
 
         neighbours = sorted(
-            (Neighbor(i, -negd, rot) for negd, i, rot in heap),
+            (Neighbor(-negi, -negd, rot) for negd, negi, rot in heap),
             key=lambda nb: (nb.distance, nb.index),
         )
         top = neighbours[0] if neighbours else None

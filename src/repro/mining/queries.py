@@ -73,7 +73,13 @@ def knn_search(
         raise ValueError(f"k must be positive, got {k}")
     counter = counter if counter is not None else StepCounter()
     _rq, frontier = _prepare(query, measure, mirror, max_degrees, wedge_set_size, counter)
-    # Max-heap of (-distance, index, rotation); its root is the worst kept.
+    # Max-heap of (-distance, -index, rotation); its root is the worst kept
+    # entry.  Negating the index makes the root the *largest* index among
+    # equal-distance ties, so eviction always drops the entry the canonical
+    # (distance, index) order prefers least.  The returned set is then
+    # exactly "sort every rotation-invariant distance by (distance, index)
+    # and take the first k" regardless of scan history -- the property the
+    # sharded service's global top-K merge relies on for tie parity.
     heap: list[tuple[float, int, int]] = []
     for i, obj in enumerate(database):
         obj = np.asarray(obj, dtype=np.float64)
@@ -82,10 +88,10 @@ def knn_search(
         if not math.isfinite(dist):
             continue
         if len(heap) < k:
-            heapq.heappush(heap, (-dist, i, rotation))
+            heapq.heappush(heap, (-dist, -i, rotation))
         else:
-            heapq.heappushpop(heap, (-dist, i, rotation))
-    neighbours = [Neighbor(i, -negd, rot) for negd, i, rot in heap]
+            heapq.heappushpop(heap, (-dist, -i, rotation))
+    neighbours = [Neighbor(-negi, -negd, rot) for negd, negi, rot in heap]
     neighbours.sort(key=lambda nb: (nb.distance, nb.index))
     return neighbours
 

@@ -30,7 +30,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    parse_prometheus_text,
     record_query,
+    registry_from_dict,
 )
 from repro.obs.provenance import provenance_block
 from repro.obs.querylog import QueryLogger, read_query_log
@@ -53,6 +55,8 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "record_query",
+    "registry_from_dict",
+    "parse_prometheus_text",
     "QueryLogger",
     "read_query_log",
     "summarize_query_log",

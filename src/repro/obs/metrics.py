@@ -28,7 +28,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_registry",
+    "parse_prometheus_text",
     "record_query",
+    "registry_from_dict",
 ]
 
 #: Default histogram buckets for second-scale durations.
@@ -42,10 +44,23 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
+def _escape_label_value(value) -> str:
+    # Prometheus 0.0.4 label values escape backslash, double-quote and
+    # newline (in that order -- escaping the escapes first).  Without this
+    # a label like path="C:\tmp" or a measure name containing a quote
+    # produces an exposition that scrapers reject or, worse, misparse.
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP text escapes backslash and newline only (quotes are legal there).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in key)
     return "{" + inner + "}"
 
 
@@ -281,7 +296,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for family in self.families():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             if isinstance(family, Histogram):
                 for labels, state in family.samples():
@@ -306,6 +321,125 @@ def _format_bound(bound: float) -> str:
     if math.isinf(bound):
         return "+Inf"
     return f"{bound:g}"
+
+
+def registry_from_dict(payload: dict) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.to_dict` output.
+
+    The inverse half of the snapshot transport the sharded query service
+    uses: workers ship ``to_dict()`` over a pipe as JSON, the coordinator
+    reconstructs each snapshot here and folds them together with
+    :meth:`MetricsRegistry.merge`.  Raises :class:`ValueError` on an
+    unknown family type so a corrupted snapshot fails loudly.
+    """
+    registry = MetricsRegistry()
+    for name, family in payload.items():
+        kind = family.get("type")
+        help_text = family.get("help", "")
+        samples = family.get("samples", [])
+        if kind == "counter":
+            counter = registry.counter(name, help_text)
+            for sample in samples:
+                counter.inc(sample["value"], **sample["labels"])
+        elif kind == "gauge":
+            gauge = registry.gauge(name, help_text)
+            for sample in samples:
+                gauge.set(sample["value"], **sample["labels"])
+        elif kind == "histogram":
+            histogram = registry.histogram(name, help_text, buckets=tuple(family["buckets"]))
+            for sample in samples:
+                state = sample["value"]
+                key = histogram._key(sample["labels"])
+                with histogram._lock:
+                    histogram._values[key] = {
+                        "counts": [int(c) for c in state["counts"]],
+                        "sum": float(state["sum"]),
+                        "count": int(state["count"]),
+                    }
+        else:
+            raise ValueError(f"unknown metric family type {kind!r} for {name!r}")
+    return registry
+
+
+def _unescape(text: str, *, quotes: bool) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if quotes and nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse a Prometheus 0.0.4 exposition into plain data.
+
+    Returns ``{"families": {name: {"type", "help"}}, "samples": [(name,
+    labels_dict, value), ...]}``, undoing the escaping
+    :meth:`MetricsRegistry.to_prometheus` applies.  This is deliberately a
+    full (if small) parser rather than a regex: the round-trip tests feed
+    it hostile label values (backslashes, quotes, newlines) and the service
+    smoke checks feed it live ``/metrics`` output.
+    """
+    families: dict[str, dict] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP ") :].partition(" ")
+            families.setdefault(name, {"type": None, "help": None})["help"] = _unescape(
+                help_text, quotes=False
+            )
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE ") :].partition(" ")
+            families.setdefault(name, {"type": None, "help": None})["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        labels: dict[str, str] = {}
+        if brace >= 0:
+            name = line[:brace]
+            i = brace + 1
+            while i < len(line) and line[i] != "}":
+                eq = line.index("=", i)
+                label_name = line[i:eq]
+                if line[eq + 1] != '"':
+                    raise ValueError(f"malformed label value in {line!r}")
+                j = eq + 2
+                raw: list[str] = []
+                while line[j] != '"':
+                    if line[j] == "\\":
+                        raw.append(line[j : j + 2])
+                        j += 2
+                    else:
+                        raw.append(line[j])
+                        j += 1
+                labels[label_name] = _unescape("".join(raw), quotes=True)
+                i = j + 1
+                if i < len(line) and line[i] == ",":
+                    i += 1
+            rest = line[i + 1 :]
+        else:
+            name, _, rest = line.partition(" ")
+        samples.append((name, labels, float(rest.strip())))
+    return {"families": families, "samples": samples}
 
 
 _GLOBAL = MetricsRegistry()

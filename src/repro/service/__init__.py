@@ -1,0 +1,67 @@
+"""repro.service: a sharded, long-lived query service over the search stack.
+
+The single-process stack answers one query at a time and pays full startup
+per process; this package turns it into a serving layer shaped like the
+partitioned-cluster design the paper's successors deployed (per-partition
+LB_Keogh pruning, exact global merge):
+
+* :mod:`repro.service.shard` -- split a dataset into N format-v2 shard
+  archives (:func:`save_shards`), each a checksummed ``.npz`` + mmap
+  sidecar so co-located workers share page cache.
+* :mod:`repro.service.worker` -- one process per shard, opening its
+  archive with ``load_index(mmap=True)`` once at startup and answering
+  k-NN / range chunks with a per-worker :class:`MetricsRegistry`.
+* :mod:`repro.service.server` -- an asyncio front-end speaking
+  length-prefixed JSON over TCP: micro-batches concurrent queries, fans
+  each chunk out to every shard, and performs the exact global top-K
+  merge (canonical ``(distance, index)`` tie-break) at the coordinator.
+* :mod:`repro.service.cache` -- a hot-query LRU answer cache keyed by
+  (query hash, measure ``cache_key()``, operation, K); kernel backends
+  are bit-identical so the backend is deliberately *not* in the key.
+* :mod:`repro.service.client` -- a small blocking client used by the
+  ``repro client`` CLI, tests, and benchmarks.
+
+Exactness contract: for any dataset, sharding layout, and concurrency,
+the service returns bit-identical answers to single-process
+:func:`repro.mining.queries.knn_search` / ``range_search`` over the
+concatenated data -- zero false dismissals, enforced by the
+``bench_service`` tripwire in CI.
+"""
+
+from repro.service.cache import AnswerCache
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    measure_from_spec,
+    measure_to_spec,
+)
+from repro.service.server import (
+    ServiceHandle,
+    ShardedSearchService,
+    run_service,
+    serve,
+    start_service_thread,
+)
+from repro.service.shard import ShardManifest, load_manifest, open_shards, save_shards
+from repro.service.worker import ShardWorker, WorkerDiedError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "AnswerCache",
+    "ServiceClient",
+    "ShardManifest",
+    "ShardWorker",
+    "ShardedSearchService",
+    "WorkerDiedError",
+    "load_manifest",
+    "measure_from_spec",
+    "measure_to_spec",
+    "open_shards",
+    "run_service",
+    "save_shards",
+    "serve",
+    "ServiceHandle",
+    "start_service_thread",
+]

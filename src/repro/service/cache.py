@@ -1,0 +1,111 @@
+"""Hot-query LRU answer cache for the sharded service.
+
+Real query streams are heavily skewed -- the same few shapes get looked up
+again and again -- and an exact answer, once computed, stays exact for the
+lifetime of an immutable shard set.  The coordinator therefore memoizes
+whole answers keyed by
+
+``(operation kind, K or radius, mirror, max_degrees, measure.cache_key(),
+SHA-256 of the query's float64 bytes)``
+
+The kernel backend is **deliberately excluded** from the key: backends are
+bit-identical (CI-enforced), so an answer computed under ``wavefront`` is
+byte-for-byte the answer under ``numba``, and a backend switch must not
+cold the cache.  Hits and misses are counted for the ``/metrics``
+exposition; eviction is plain LRU under a size cap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["AnswerCache"]
+
+
+class AnswerCache:
+    """Thread-safe LRU map from query identity to a finished answer."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def make_key(kind: str, query, measure, **params) -> tuple:
+        """The cache identity of one request.
+
+        ``params`` carries the operation knobs (``k`` or ``radius``,
+        ``mirror``, ``max_degrees``); the query series is hashed from its
+        canonical float64 byte representation so a list arriving over JSON
+        and the ndarray it round-trips to share an identity.
+        """
+        series = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+        digest = hashlib.sha256(series.tobytes()).hexdigest()
+        return (
+            kind,
+            tuple(sorted(params.items())),
+            tuple(measure.cache_key()),
+            series.shape,
+            digest,
+        )
+
+    def get(self, key: tuple) -> dict | None:
+        """The cached answer for ``key``, or ``None``; counts hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, answer: dict) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counts and current size, JSON-ready."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def record_into(self, registry) -> None:
+        """Export the current stats as metric families into ``registry``.
+
+        Call on a *freshly built* snapshot registry (the coordinator
+        assembles one per ``/metrics`` request): the cumulative counts are
+        written with ``inc`` onto zero-valued counters, so the exposition
+        shows true monotone totals.
+        """
+        stats = self.stats()
+        registry.counter(
+            "answer_cache_hits_total", "Service answers served from the LRU cache"
+        ).inc(stats["hits"])
+        registry.counter(
+            "answer_cache_misses_total", "Service answers computed (cache miss)"
+        ).inc(stats["misses"])
+        registry.counter("answer_cache_evictions_total", "LRU evictions").inc(stats["evictions"])
+        registry.gauge("answer_cache_entries", "Answers currently cached").set(stats["size"])

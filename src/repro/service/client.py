@@ -1,0 +1,93 @@
+"""Blocking TCP client for the sharded query service.
+
+Speaks the length-prefixed JSON frame protocol over one persistent
+connection; requests are strictly sequential per client instance, so
+concurrency tests and benchmarks open one client per simulated user --
+exactly how a connection-pooled caller would behave.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.service.protocol import recv_frame, send_frame
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running service; usable as a context manager."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7043, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, message: dict) -> dict:
+        """One raw request/response round-trip."""
+        send_frame(self._sock, message)
+        return recv_frame(self._sock)
+
+    @staticmethod
+    def _query_list(query) -> list[float]:
+        return [float(x) for x in np.asarray(query, dtype=np.float64).ravel()]
+
+    def knn(
+        self,
+        query,
+        k: int = 1,
+        *,
+        mirror: bool = False,
+        max_degrees: float | None = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Global k-NN over every shard; exact, canonical tie-break."""
+        return self.request(
+            {
+                "op": "knn",
+                "query": self._query_list(query),
+                "k": k,
+                "mirror": mirror,
+                "max_degrees": max_degrees,
+                "no_cache": no_cache,
+            }
+        )
+
+    def range_query(
+        self,
+        query,
+        radius: float,
+        *,
+        mirror: bool = False,
+        max_degrees: float | None = None,
+        no_cache: bool = False,
+    ) -> dict:
+        """Global range search; results ordered by global database position."""
+        return self.request(
+            {
+                "op": "range",
+                "query": self._query_list(query),
+                "radius": radius,
+                "mirror": mirror,
+                "max_degrees": max_degrees,
+                "no_cache": no_cache,
+            }
+        )
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""Wire protocol for the sharded query service.
+
+One encoding everywhere: UTF-8 JSON documents.  Over TCP they travel as
+**length-prefixed frames** -- a 4-byte big-endian unsigned length followed
+by the JSON body -- so a reader never has to guess message boundaries.
+Over the coordinator->worker pipes the same JSON bytes travel via
+``Connection.send_bytes`` (the pipe frames messages itself), keeping the
+whole service pickle-free: a worker can only ever receive data, never
+code, matching the persistence layer's trust model.
+
+JSON is sufficient for exactness: Python serializes floats with ``repr``
+(shortest round-trip), so a query series survives client -> coordinator ->
+worker bit-identically, and distances survive the way back.
+
+Measures cross process boundaries as **specs** -- small dicts naming the
+measure and its parameters plus the parent-resolved kernel backend
+(mirroring ``search_many``'s resolve-once-then-ship rule, so every worker
+uses the same backend the coordinator logged).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_payload",
+    "encode_payload",
+    "measure_from_spec",
+    "measure_to_spec",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]
+
+#: Version stamped into ping responses; bump on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame, coordinator- and client-side.  Generous for
+#: query payloads (a length-1024 float64 series is ~20 KB of JSON) while
+#: keeping a malformed or hostile length prefix from allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame, oversized length prefix, or bad message."""
+
+
+def encode_payload(message: dict) -> bytes:
+    """One message as compact UTF-8 JSON bytes (no length prefix)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> dict:
+    """Inverse of :func:`encode_payload`; raises :class:`ProtocolError`."""
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one length-prefixed frame and drain."""
+    body = encode_payload(message)
+    writer.write(_LENGTH.pack(len(body)) + body)
+    await writer.drain()
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Blocking-socket counterpart of :func:`write_frame`."""
+    body = encode_payload(message)
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError(f"connection closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Blocking-socket counterpart of :func:`read_frame` (EOF is an error)."""
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
+    _check_length(length)
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def measure_to_spec(measure) -> dict:
+    """Describe ``measure`` as a JSON-ready spec a worker can rebuild.
+
+    The kernel backend is resolved *here*, in the parent, and shipped by
+    name -- workers must never re-run the auto-selection chain, or a
+    heterogeneous environment could silently mix backends within one
+    service (they are bit-identical, but provenance would lie).
+    """
+    spec: dict = {"name": measure.name}
+    if measure.name == "dtw":
+        spec["radius"] = measure.radius
+    elif measure.name == "lcss":
+        spec["delta"] = measure.delta
+        spec["epsilon"] = measure.epsilon
+    elif measure.name != "euclidean":
+        raise ProtocolError(f"cannot serialize measure {measure.name!r}")
+    if measure.uses_kernel_backends:
+        spec["backend"] = measure.backend_name
+    return spec
+
+
+def measure_from_spec(spec: dict):
+    """Rebuild a measure from :func:`measure_to_spec` output."""
+    name = spec.get("name")
+    backend = spec.get("backend")
+    if name == "euclidean":
+        from repro.distances.euclidean import EuclideanMeasure
+
+        return EuclideanMeasure()
+    if name == "dtw":
+        from repro.distances.dtw import DTWMeasure
+
+        return DTWMeasure(radius=int(spec["radius"]), backend=backend)
+    if name == "lcss":
+        from repro.distances.lcss import LCSSMeasure
+
+        return LCSSMeasure(
+            delta=int(spec["delta"]), epsilon=float(spec["epsilon"]), backend=backend
+        )
+    raise ProtocolError(f"unknown measure spec {spec!r}")

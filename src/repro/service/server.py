@@ -1,0 +1,541 @@
+"""The asyncio coordinator: micro-batching, fan-out, exact global merge.
+
+Request lifecycle: a TCP frame lands in :meth:`ShardedSearchService.
+handle_request`, which enqueues it; the dispatcher coroutine drains the
+queue into a micro-batch (everything that arrives within ``batch_window``
+seconds, capped at ``max_batch`` -- the service-side analogue of
+``search_many``'s query chunks), resolves cache hits, computes each
+distinct miss **once**, and fans the chunk out to every shard worker in
+parallel.  Each worker returns its shard's canonical top-k (global
+indices, exact distances); the coordinator folds them with
+:func:`repro.core.search.merge_neighbors`, whose ``(distance, index)``
+tie-break makes the merged answer bit-identical to a single-process
+``knn_search`` over the concatenated data.
+
+Failure model: a worker that dies mid-query produces a structured
+``{"ok": false, "error": {"type": "worker-died", "shard": ...}}`` response
+for every query in the affected batch -- the coordinator never hangs on a
+dead pipe, and the error names the shard so an operator knows what to
+restart.
+
+Metrics: the coordinator keeps its own registry (request counts, batch
+sizes, worker deaths) and answers the ``metrics`` op by pulling each
+worker's snapshot, rebuilding it with ``registry_from_dict``, and folding
+everything into one Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.metrics import MetricsRegistry, registry_from_dict
+from repro.service.cache import AnswerCache
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    measure_to_spec,
+    read_frame,
+    write_frame,
+)
+from repro.service.shard import load_manifest
+from repro.service.worker import ShardWorker, WorkerDiedError
+
+__all__ = ["ServiceHandle", "ShardedSearchService", "serve", "start_service_thread"]
+
+#: Batch-size histogram buckets (requests per micro-batch).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _error(kind: str, message: str, **extra) -> dict:
+    return {"ok": False, "error": {"type": kind, "message": message, **extra}}
+
+
+class ShardedSearchService:
+    """Coordinator over one shard set: workers, cache, merge, metrics."""
+
+    def __init__(
+        self,
+        shards_dir,
+        measure,
+        *,
+        cache_size: int = 1024,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        request_timeout: float = 120.0,
+        query_log=None,
+    ):
+        self.manifest = load_manifest(shards_dir)
+        self.measure = measure
+        self.measure_spec = measure_to_spec(measure)
+        #: Resolved once here and shipped to every worker by name, so the
+        #: whole service provably runs one backend (satellite: stamped
+        #: into query-log records and benchmark provenance).
+        self.backend = self.measure_spec.get("backend", measure.backend_name)
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.request_timeout = request_timeout
+        self.cache = AnswerCache(cache_size) if cache_size else None
+        self.query_log = query_log
+        self.registry = MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "service_requests_total", "Requests accepted by the front-end"
+        )
+        self._batch_sizes = self.registry.histogram(
+            "service_batch_size", "Queries per micro-batch", buckets=BATCH_BUCKETS
+        )
+        self._worker_deaths = self.registry.counter(
+            "service_worker_deaths_total", "Shard workers observed dead"
+        )
+        self.workers = [
+            ShardWorker(
+                info.shard_id,
+                self.manifest.shard_path(info.shard_id),
+                info.offset,
+                self.measure_spec,
+            )
+            for info in self.manifest.shards
+        ]
+        # Two slots per worker: one for in-flight search chunks, one so a
+        # metrics snapshot is never queued behind a long chunk.
+        self._executor = ThreadPoolExecutor(
+            max_workers=2 * len(self.workers), thread_name_prefix="repro-service"
+        )
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self.shutdown_event: asyncio.Event | None = None
+        self._query_seq = 0
+        self._handler_tasks: set = set()
+        self._client_writers: set = set()
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the dispatcher to the running loop (idempotent)."""
+        if self._dispatcher is None:
+            self._queue = asyncio.Queue()
+            self.shutdown_event = asyncio.Event()
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def aclose(self) -> None:
+        """Stop the dispatcher and every worker; fail leftover requests."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+        if self._queue is not None:
+            while not self._queue.empty():
+                _, fut = self._queue.get_nowait()
+                if not fut.done():
+                    fut.set_result(_error("shutdown", "service is shutting down"))
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(loop.run_in_executor(self._executor, worker.stop) for worker in self.workers),
+            return_exceptions=True,
+        )
+        self._executor.shutdown(wait=True)
+
+    # -- request entry ------------------------------------------------
+
+    async def handle_request(self, message: dict) -> dict:
+        """Answer one decoded request message (any op)."""
+        op = message.get("op")
+        self._requests_total.inc(1, op=str(op))
+        if op == "ping":
+            return {
+                "ok": True,
+                "server": "repro-service",
+                "protocol": PROTOCOL_VERSION,
+                "shards": self.manifest.n_shards,
+                "objects": self.manifest.objects,
+                "length": self.manifest.length,
+                "measure": self.measure.name,
+                "backend": self.backend,
+                "cache": self.cache is not None,
+            }
+        if op == "metrics":
+            return await self._metrics_response()
+        if op == "shutdown":
+            if self.shutdown_event is not None:
+                self.shutdown_event.set()
+            return {"ok": True, "message": "shutting down"}
+        if op in ("knn", "range"):
+            if self._queue is None:
+                return _error("not-started", "service dispatcher is not running")
+            fut = asyncio.get_running_loop().create_future()
+            await self._queue.put((message, fut))
+            return await fut
+        return _error("bad-request", f"unknown op {op!r}")
+
+    # -- dispatcher ---------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            if self.batch_window > 0:
+                # Let concurrently arriving requests join this batch.
+                await asyncio.sleep(self.batch_window)
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._run_batch(batch)
+            except Exception as exc:  # pragma: no cover - defensive
+                for _, fut in batch:
+                    if not fut.done():
+                        fut.set_result(_error("internal", repr(exc)))
+
+    def _normalize(self, message: dict) -> dict:
+        kind = message["op"]
+        query = message.get("query")
+        if not isinstance(query, list) or not query:
+            raise ValueError("query must be a non-empty list of numbers")
+        if len(query) != self.manifest.length:
+            raise ValueError(
+                f"query length {len(query)} != shard set length {self.manifest.length}"
+            )
+        request = {
+            "kind": kind,
+            "query": [float(x) for x in query],
+            "mirror": bool(message.get("mirror", False)),
+            "max_degrees": message.get("max_degrees"),
+            "wedge_set_size": int(message.get("wedge_set_size", 8)),
+        }
+        if kind == "knn":
+            k = int(message.get("k", 1))
+            if k < 1:
+                raise ValueError(f"k must be positive, got {k}")
+            request["k"] = k
+        else:
+            radius = float(message["radius"])
+            if radius < 0:
+                raise ValueError(f"radius must be non-negative, got {radius}")
+            request["radius"] = radius
+        return request
+
+    def _cache_key(self, request: dict) -> tuple:
+        knobs = {
+            "mirror": request["mirror"],
+            "max_degrees": request["max_degrees"],
+            "wedge_set_size": request["wedge_set_size"],
+        }
+        if request["kind"] == "knn":
+            knobs["k"] = request["k"]
+        else:
+            knobs["radius"] = request["radius"]
+        return AnswerCache.make_key(request["kind"], request["query"], self.measure, **knobs)
+
+    async def _run_batch(self, batch: list) -> None:
+        self._batch_sizes.observe(len(batch))
+        jobs: list[dict] = []  # distinct requests to actually compute
+        job_keys: list[tuple | None] = []
+        job_by_key: dict[tuple, int] = {}
+        plans: list[tuple] = []  # per batch item: ("done", resp) | ("job", idx, req)
+        for message, _fut in batch:
+            try:
+                request = self._normalize(message)
+            except (KeyError, TypeError, ValueError) as exc:
+                plans.append(("done", _error("bad-request", str(exc))))
+                continue
+            use_cache = self.cache is not None and not message.get("no_cache", False)
+            key = self._cache_key(request) if use_cache else None
+            if use_cache:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    response = {**cached, "ok": True, "cached": True}
+                    self._log_query(request, response)
+                    plans.append(("done", response))
+                    continue
+                if key in job_by_key:
+                    # Identical query already in this batch: compute once.
+                    plans.append(("job", job_by_key[key], request))
+                    continue
+                job_by_key[key] = len(jobs)
+            plans.append(("job", len(jobs), request))
+            jobs.append(request)
+            job_keys.append(key)
+
+        answers: list[dict] = []
+        failure: dict | None = None
+        if jobs:
+            failure, shard_replies, wall = await self._fan_out(jobs)
+            if failure is None:
+                for j, request in enumerate(jobs):
+                    answer = self._merge_job(request, j, shard_replies, wall)
+                    if job_keys[j] is not None:
+                        self.cache.put(job_keys[j], answer)
+                    answers.append(answer)
+
+        for (message, fut), plan in zip(batch, plans):
+            if fut.done():
+                continue
+            if plan[0] == "done":
+                fut.set_result(plan[1])
+                continue
+            _tag, idx, request = plan
+            if failure is not None:
+                fut.set_result(failure)
+                continue
+            response = {**answers[idx], "ok": True, "cached": False}
+            self._log_query(request, response)
+            fut.set_result(response)
+
+    async def _fan_out(self, jobs: list[dict]):
+        """Ship one chunk to every worker; returns (failure, replies, wall)."""
+        loop = asyncio.get_running_loop()
+        chunk = {"op": "search", "requests": jobs}
+        start = time.perf_counter()
+        replies = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._executor, worker.request, chunk, self.request_timeout)
+                for worker in self.workers
+            ),
+            return_exceptions=True,
+        )
+        wall = time.perf_counter() - start
+        shard_replies = []
+        for worker, reply in zip(self.workers, replies):
+            if isinstance(reply, WorkerDiedError):
+                self._worker_deaths.inc(1, shard=str(reply.shard_id))
+                return (
+                    _error(
+                        "worker-died",
+                        f"shard worker {reply.shard_id} died mid-query: {reply}",
+                        shard=reply.shard_id,
+                    ),
+                    None,
+                    wall,
+                )
+            if isinstance(reply, TimeoutError):
+                return (
+                    _error("worker-timeout", str(reply), shard=worker.shard_id),
+                    None,
+                    wall,
+                )
+            if isinstance(reply, BaseException):
+                return (
+                    _error("internal", repr(reply), shard=worker.shard_id),
+                    None,
+                    wall,
+                )
+            if not reply.get("ok"):
+                return (
+                    _error(
+                        "worker-error",
+                        str(reply.get("error", "unknown worker error")),
+                        shard=worker.shard_id,
+                    ),
+                    None,
+                    wall,
+                )
+            shard_replies.append(reply)
+        return None, shard_replies, wall
+
+    def _merge_job(self, request: dict, j: int, shard_replies: list, wall: float) -> dict:
+        from repro.core.search import merge_neighbors
+        from repro.mining.queries import Neighbor
+
+        partials = [
+            [Neighbor(int(i), float(d), int(rot)) for i, d, rot in reply["results"][j]["neighbors"]]
+            for reply in shard_replies
+        ]
+        if request["kind"] == "knn":
+            merged = merge_neighbors(partials, request["k"])
+        else:
+            # range_search orders by database position; the global answer
+            # does the same over global indices.
+            merged = sorted((nb for part in partials for nb in part), key=lambda nb: nb.index)
+        steps = sum(reply["results"][j]["steps"] for reply in shard_replies)
+        return {
+            "kind": request["kind"],
+            "neighbors": [[nb.index, nb.distance, nb.rotation] for nb in merged],
+            "steps": steps,
+            "wall_seconds": wall,
+            "shards": self.manifest.n_shards,
+            "backend": self.backend,
+            "measure": self.measure.name,
+        }
+
+    def _log_query(self, request: dict, response: dict) -> None:
+        if self.query_log is None:
+            return
+        self._query_seq += 1
+        top = response["neighbors"][0] if response["neighbors"] else None
+        self.query_log.log(
+            {
+                "query_id": f"svc-{self._query_seq:06d}",
+                "op": request["kind"],
+                "measure": self.measure.name,
+                "backend": self.backend,
+                "shards": self.manifest.n_shards,
+                "cached": response.get("cached", False),
+                "k": request.get("k"),
+                "radius": request.get("radius"),
+                "steps": response["steps"],
+                "wall_seconds": response["wall_seconds"],
+                "n_results": len(response["neighbors"]),
+                "result_index": top[0] if top else None,
+                "distance": top[1] if top else None,
+                "rotation": top[2] if top else None,
+            }
+        )
+
+    # -- metrics ------------------------------------------------------
+
+    async def _metrics_response(self) -> dict:
+        loop = asyncio.get_running_loop()
+        replies = await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    self._executor, worker.request, {"op": "metrics"}, self.request_timeout
+                )
+                for worker in self.workers
+            ),
+            return_exceptions=True,
+        )
+        merged = MetricsRegistry()
+        for worker, reply in zip(self.workers, replies):
+            if isinstance(reply, WorkerDiedError):
+                self._worker_deaths.inc(1, shard=str(reply.shard_id))
+                return _error(
+                    "worker-died",
+                    f"shard worker {reply.shard_id} is dead",
+                    shard=reply.shard_id,
+                )
+            if isinstance(reply, BaseException):
+                return _error("internal", repr(reply), shard=worker.shard_id)
+            merged.merge(registry_from_dict(reply["metrics"]))
+        merged.merge(self.registry)
+        if self.cache is not None:
+            self.cache.record_into(merged)
+        response = {"ok": True, "prometheus": merged.to_prometheus()}
+        if self.cache is not None:
+            response["cache"] = self.cache.stats()
+        return response
+
+
+# -- TCP front-end ----------------------------------------------------
+
+
+async def serve(service: ShardedSearchService, host: str = "127.0.0.1", port: int = 0):
+    """Start the length-prefixed-JSON TCP server; returns the asyncio server.
+
+    Open connections and their handler tasks are tracked on the service so
+    a shutdown can drain them gracefully (close the transports, let each
+    handler observe EOF and finish) instead of leaving tasks to be killed
+    mid-read by loop teardown.
+    """
+
+    async def handler(reader, writer):
+        task = asyncio.current_task()
+        service._handler_tasks.add(task)
+        service._client_writers.add(writer)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    with contextlib.suppress(Exception):
+                        await write_frame(writer, _error("protocol", str(exc)))
+                    break
+                if message is None:
+                    break
+                response = await service.handle_request(message)
+                await write_frame(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            service._handler_tasks.discard(task)
+            service._client_writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    await service.start()
+    return await asyncio.start_server(handler, host, port)
+
+
+async def _serve_until_shutdown(service, host, port, ready_callback=None) -> None:
+    server = await serve(service, host, port)
+    actual_port = server.sockets[0].getsockname()[1]
+    if ready_callback is not None:
+        ready_callback(service, actual_port, asyncio.get_running_loop())
+    try:
+        await service.shutdown_event.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        # Drain live connections: closing the transports lets each handler
+        # see EOF and exit on its own before the loop is torn down.
+        for writer in list(service._client_writers):
+            writer.close()
+        if service._handler_tasks:
+            await asyncio.gather(*list(service._handler_tasks), return_exceptions=True)
+        await service.aclose()
+
+
+def run_service(shards_dir, measure, host: str = "127.0.0.1", port: int = 0, **kwargs) -> None:
+    """Blocking entry point for ``repro serve``: serve until a shutdown op."""
+    on_ready = kwargs.pop("on_ready", None)
+    service = ShardedSearchService(shards_dir, measure, **kwargs)
+    asyncio.run(_serve_until_shutdown(service, host, port, on_ready))
+
+
+class ServiceHandle:
+    """A service running in a background thread (tests, benchmarks, CI)."""
+
+    def __init__(self):
+        self.service: ShardedSearchService | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self.thread: threading.Thread | None = None
+        self.error: BaseException | None = None
+
+    def request(self, message: dict, timeout: float = 120.0) -> dict:
+        """Thread-safe in-process request (bypasses TCP, same code path)."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.handle_request(message), self.loop
+        )
+        return future.result(timeout)
+
+    def close(self, timeout: float = 30.0) -> None:
+        if self.thread is None or not self.thread.is_alive():
+            return
+        self.loop.call_soon_threadsafe(self.service.shutdown_event.set)
+        self.thread.join(timeout)
+
+
+def start_service_thread(shards_dir, measure, **kwargs) -> ServiceHandle:
+    """Run a full service (TCP included) in a daemon thread; returns its handle."""
+    host = kwargs.pop("host", "127.0.0.1")
+    port = kwargs.pop("port", 0)
+    handle = ServiceHandle()
+    ready = threading.Event()
+
+    def on_ready(service, actual_port, loop):
+        handle.service = service
+        handle.port = actual_port
+        handle.loop = loop
+        ready.set()
+
+    def runner():
+        try:
+            run_service(shards_dir, measure, host, port, on_ready=on_ready, **kwargs)
+        except BaseException as exc:  # startup or serve failure
+            handle.error = exc
+            ready.set()
+
+    handle.thread = threading.Thread(target=runner, name="repro-service", daemon=True)
+    handle.thread.start()
+    ready.wait(60.0)
+    if handle.error is not None:
+        raise handle.error
+    if handle.port is None:
+        raise RuntimeError("service failed to start within 60s")
+    return handle

@@ -1,0 +1,219 @@
+"""Shard a dataset into N independent format-v2 index archives.
+
+A shard set is a directory: one checksummed ``.npz`` + ``.data.npy``
+sidecar per shard (exactly PR 5's archive format, so every existing
+durability guarantee -- SHA-256 verification, mmap loading, cross-version
+portability -- applies per shard) plus a ``manifest.json`` describing the
+layout.  Shards are **contiguous slices** in dataset order; each shard
+records the global offset of its first object, so a worker's local result
+index ``i`` maps to global index ``offset + i``.  Contiguity is what makes
+the coordinator's merge provably exact: the canonical ``(distance,
+index)`` order over the whole dataset is the merge of the canonical orders
+over the slices.
+
+The manifest also embeds a provenance block (git SHA, platform, versions)
+-- a shard set is a benchmark-grade artifact like any BENCH_*.json.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.index.linear_scan import SignatureFilteredScan
+from repro.persistence import load_index, save_index
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SHARD_FORMAT_VERSION",
+    "ShardInfo",
+    "ShardManifest",
+    "load_manifest",
+    "load_shard",
+    "open_shards",
+    "save_shards",
+    "shard_slices",
+]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard: archive file, global offset, and object count."""
+
+    shard_id: int
+    file: str
+    offset: int
+    objects: int
+
+
+@dataclass
+class ShardManifest:
+    """The layout of one shard set, as stored in ``manifest.json``."""
+
+    n_shards: int
+    objects: int
+    length: int
+    shards: list[ShardInfo]
+    index_config: dict
+    provenance: dict = field(default_factory=dict)
+    directory: Path | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SHARD_FORMAT_VERSION,
+            "n_shards": self.n_shards,
+            "objects": self.objects,
+            "length": self.length,
+            "shards": [vars(s) for s in self.shards],
+            "index_config": self.index_config,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, directory: Path | None = None) -> "ShardManifest":
+        version = payload.get("format_version")
+        if version != SHARD_FORMAT_VERSION:
+            raise ValueError(f"unsupported shard manifest version {version!r}")
+        return cls(
+            n_shards=int(payload["n_shards"]),
+            objects=int(payload["objects"]),
+            length=int(payload["length"]),
+            shards=[ShardInfo(**s) for s in payload["shards"]],
+            index_config=dict(payload.get("index_config", {})),
+            provenance=dict(payload.get("provenance", {})),
+            directory=directory,
+        )
+
+    def shard_path(self, shard_id: int) -> Path:
+        if self.directory is None:
+            raise ValueError("manifest not bound to a directory")
+        return self.directory / self.shards[shard_id].file
+
+
+def shard_slices(n_objects: int, n_shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` slices covering ``range(n_objects)``.
+
+    The first ``n_objects % n_shards`` shards get one extra object, so
+    shard sizes differ by at most one.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if n_shards > n_objects:
+        raise ValueError(
+            f"cannot split {n_objects} objects into {n_shards} non-empty shards "
+            "(the index layer rejects empty collections)"
+        )
+    base, extra = divmod(n_objects, n_shards)
+    slices = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        slices.append((lo, hi))
+        lo = hi
+    return slices
+
+
+def save_shards(
+    database,
+    out_dir,
+    n_shards: int,
+    *,
+    n_coefficients: int = 16,
+    structure: str = "flat",
+    page_size: int = 1,
+    buffer_pages: int = 0,
+) -> ShardManifest:
+    """Split ``database`` into ``n_shards`` format-v2 archives under ``out_dir``.
+
+    Each shard gets its own :class:`SignatureFilteredScan` built over its
+    contiguous slice, persisted with :func:`repro.persistence.save_index`
+    (checksums + mmap sidecar).  Returns the written manifest.
+    """
+    from repro.obs.provenance import provenance_block
+
+    data = np.ascontiguousarray(np.asarray(database, dtype=np.float64))
+    if data.ndim != 2:
+        raise ValueError(f"database must be 2-D (objects x length), got shape {data.shape}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    slices = shard_slices(data.shape[0], n_shards)
+    index_config = {
+        "n_coefficients": n_coefficients,
+        "structure": structure,
+        "page_size": page_size,
+        "buffer_pages": buffer_pages,
+    }
+    shards: list[ShardInfo] = []
+    for shard_id, (lo, hi) in enumerate(slices):
+        index = SignatureFilteredScan(
+            data[lo:hi],
+            n_coefficients=n_coefficients,
+            structure=structure,
+            page_size=page_size,
+            buffer_pages=buffer_pages,
+        )
+        filename = f"shard-{shard_id:04d}.npz"
+        save_index(index, out / filename)
+        shards.append(ShardInfo(shard_id=shard_id, file=filename, offset=lo, objects=hi - lo))
+    manifest = ShardManifest(
+        n_shards=n_shards,
+        objects=data.shape[0],
+        length=data.shape[1],
+        shards=shards,
+        index_config=index_config,
+        provenance=provenance_block({"artifact": "shard-set", "n_shards": n_shards}),
+        directory=out,
+    )
+    (out / MANIFEST_NAME).write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    return manifest
+
+
+def load_manifest(directory) -> ShardManifest:
+    """Read and validate ``manifest.json``; checks every shard file exists."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = ShardManifest.from_dict(
+        json.loads(manifest_path.read_text()), directory=directory
+    )
+    covered = 0
+    for info in manifest.shards:
+        path = directory / info.file
+        if not path.exists():
+            raise FileNotFoundError(f"shard archive missing: {path}")
+        if info.offset != covered:
+            raise ValueError(
+                f"shard {info.shard_id} offset {info.offset} breaks contiguity "
+                f"(expected {covered})"
+            )
+        covered += info.objects
+    if covered != manifest.objects:
+        raise ValueError(f"shards cover {covered} objects, manifest says {manifest.objects}")
+    return manifest
+
+
+def load_shard(directory, shard_id: int, mmap: bool = True):
+    """Open one shard's archive; returns ``(ShardInfo, SignatureFilteredScan)``."""
+    manifest = load_manifest(directory)
+    info = manifest.shards[shard_id]
+    return info, load_index(manifest.shard_path(shard_id), mmap=mmap)
+
+
+def open_shards(directory, mmap: bool = True):
+    """Open every shard in a set; returns ``[(ShardInfo, index), ...]``.
+
+    In-process convenience for tests and tools -- the service proper opens
+    each shard inside its own worker process instead.
+    """
+    manifest = load_manifest(directory)
+    return [
+        (info, load_index(manifest.shard_path(info.shard_id), mmap=mmap))
+        for info in manifest.shards
+    ]

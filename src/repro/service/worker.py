@@ -1,0 +1,202 @@
+"""Shard worker process and its parent-side handle.
+
+One worker per shard: the child process opens its archive with
+``load_index(mmap=True)`` exactly once at startup (the expensive part --
+checksum verification and signature reconstruction -- is paid per process
+lifetime, not per query), then loops answering request chunks from the
+coordinator over a :class:`multiprocessing.Pipe`.  Messages are the wire
+protocol's JSON bytes via ``send_bytes``/``recv_bytes`` -- never pickle --
+so the worker boundary has the same data-only trust model as the archive
+format.
+
+The parent-side :class:`ShardWorker` wraps the pipe with a polling
+``request`` that watches the child's liveness: a worker that dies
+mid-query surfaces as :class:`WorkerDiedError` naming the shard, never as
+a coordinator hang on a half-closed pipe.
+
+Each worker keeps a private :class:`MetricsRegistry`; the ``metrics`` op
+ships its ``to_dict()`` snapshot for the coordinator to fold via
+``registry_from_dict`` + ``merge``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.protocol import decode_payload, encode_payload
+
+__all__ = ["ShardWorker", "WorkerDiedError", "worker_main"]
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker process is gone (crashed, killed, or pipe broken)."""
+
+    def __init__(self, shard_id: int, detail: str = ""):
+        self.shard_id = shard_id
+        message = f"shard worker {shard_id} died"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+def _search_one(request: dict, data, measure, counter):
+    """Answer one normalized request against this worker's shard slice."""
+    from repro.mining.queries import knn_search, range_search
+
+    query = np.asarray(request["query"], dtype=np.float64)
+    kind = request["kind"]
+    common = {
+        "mirror": bool(request.get("mirror", False)),
+        "max_degrees": request.get("max_degrees"),
+        "wedge_set_size": int(request.get("wedge_set_size", 8)),
+        "counter": counter,
+    }
+    if kind == "knn":
+        return knn_search(data, query, measure, k=int(request["k"]), **common)
+    if kind == "range":
+        return range_search(data, query, measure, radius=float(request["radius"]), **common)
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def worker_main(shard_id: int, archive_path: str, offset: int, conn, measure_spec: dict) -> None:
+    """Child-process entry point: open the shard, answer until shutdown/EOF."""
+    from repro.core.counters import StepCounter
+    from repro.core.search import SearchResult
+    from repro.obs.metrics import MetricsRegistry, record_query
+    from repro.persistence import load_index
+    from repro.service.protocol import measure_from_spec
+
+    index = load_index(Path(archive_path), mmap=True)
+    data = index.store.peek_all()
+    measure = measure_from_spec(measure_spec)
+    registry = MetricsRegistry()
+    requests_total = registry.counter(
+        "service_worker_requests_total", "Requests answered by this shard worker"
+    )
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # coordinator went away; nothing left to serve
+        message = decode_payload(raw)
+        op = message.get("op")
+        if op == "shutdown":
+            conn.send_bytes(encode_payload({"ok": True}))
+            break
+        if op == "ping":
+            conn.send_bytes(
+                encode_payload(
+                    {
+                        "ok": True,
+                        "shard": shard_id,
+                        "objects": int(data.shape[0]),
+                        "offset": offset,
+                        "backend": measure.backend_name,
+                    }
+                )
+            )
+            continue
+        if op == "metrics":
+            conn.send_bytes(
+                encode_payload({"ok": True, "shard": shard_id, "metrics": registry.to_dict()})
+            )
+            continue
+        if op == "search":
+            results = []
+            for request in message.get("requests", []):
+                counter = StepCounter()
+                start = time.perf_counter()
+                neighbors = _search_one(request, data, measure, counter)
+                wall = time.perf_counter() - start
+                kind = request["kind"]
+                requests_total.inc(1, shard=str(shard_id), kind=kind)
+                top = neighbors[0] if neighbors else None
+                record_query(
+                    SearchResult(
+                        top.index if top else -1,
+                        top.distance if top else math.inf,
+                        top.rotation if top else -1,
+                        counter,
+                        f"service-{kind}",
+                    ),
+                    measure.name,
+                    wall,
+                    registry=registry,
+                )
+                results.append(
+                    {
+                        # Local index -> global index via the shard offset.
+                        "neighbors": [
+                            [nb.index + offset, nb.distance, nb.rotation] for nb in neighbors
+                        ],
+                        "steps": counter.steps,
+                    }
+                )
+            conn.send_bytes(encode_payload({"ok": True, "results": results}))
+            continue
+        conn.send_bytes(encode_payload({"ok": False, "error": f"unknown op {op!r}"}))
+
+
+class ShardWorker:
+    """Parent-side handle: spawns the process, speaks the pipe protocol."""
+
+    def __init__(self, shard_id: int, archive_path, offset: int, measure_spec: dict, ctx=None):
+        self.shard_id = shard_id
+        self.archive_path = str(archive_path)
+        self.offset = offset
+        ctx = ctx if ctx is not None else multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(shard_id, self.archive_path, offset, child_conn, measure_spec),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        # One in-flight request per pipe: a metrics snapshot racing a
+        # search chunk would interleave responses.
+        self._lock = threading.Lock()
+
+    def request(self, message: dict, timeout: float = 120.0) -> dict:
+        """One request/response round-trip; raises :class:`WorkerDiedError`.
+
+        Polls in short slices so a worker that dies mid-query is noticed
+        within ~50 ms instead of hanging the coordinator until ``timeout``.
+        """
+        with self._lock:
+            try:
+                self._conn.send_bytes(encode_payload(message))
+                deadline = time.monotonic() + timeout
+                while not self._conn.poll(0.05):
+                    if not self.process.is_alive() and not self._conn.poll(0):
+                        raise WorkerDiedError(
+                            self.shard_id, f"exit code {self.process.exitcode}"
+                        )
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"shard worker {self.shard_id} gave no answer within {timeout}s"
+                        )
+                return decode_payload(self._conn.recv_bytes())
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise WorkerDiedError(self.shard_id, str(exc)) from exc
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Best-effort graceful shutdown, then terminate."""
+        if self.process.is_alive():
+            try:
+                self.request({"op": "shutdown"}, timeout=timeout)
+            except (WorkerDiedError, TimeoutError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self._conn.close()

@@ -22,7 +22,13 @@ from repro.core.search import (
 from repro.distances.dtw import DTWMeasure
 from repro.distances.euclidean import EuclideanMeasure
 from repro.index.linear_scan import SignatureFilteredScan
-from repro.obs.metrics import MetricsRegistry, global_registry, record_query
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_registry,
+    parse_prometheus_text,
+    record_query,
+    registry_from_dict,
+)
 from repro.obs.provenance import provenance_block
 from repro.obs.querylog import QueryLogger, read_query_log
 from repro.obs.report import (
@@ -207,6 +213,83 @@ class TestMetricsRegistry:
         )
         assert steps_state["count"] == 1
         assert steps_state["sum"] == result.counter.steps
+
+
+class TestPrometheusEscaping:
+    """Exposition-format escaping: hostile label values must round-trip."""
+
+    HOSTILE = [
+        'back\\slash"quote',
+        "new\nline",
+        'all\\three:"\n\\"',
+        "plain",
+        '\\n',  # a literal backslash-n, NOT a newline
+    ]
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hostile_total", "counts hostile labels")
+        for i, value in enumerate(self.HOSTILE):
+            counter.inc(i + 1, path=value)
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        got = {labels["path"]: value for name, labels, value in parsed["samples"]}
+        for i, value in enumerate(self.HOSTILE):
+            assert got[value] == i + 1, (value, got)
+
+    def test_each_escaped_line_is_single_line(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1, v="a\nb")
+        text = registry.to_prometheus()
+        for line in text.splitlines():
+            assert line.startswith(("#", "c_total"))
+        assert 'v="a\\nb"' in text
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline \\two").inc(1)
+        text = registry.to_prometheus()
+        assert "# HELP c_total line one\\nline \\\\two" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["families"]["c_total"]["help"] == "line one\nline \\two"
+
+    def test_histogram_labels_escape_too(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5, tag='q"uote')
+        parsed = parse_prometheus_text(registry.to_prometheus())
+        buckets = [s for s in parsed["samples"] if s[0] == "h_bucket"]
+        assert buckets and all(s[1]["tag"] == 'q"uote' for s in buckets)
+        le_values = {s[1]["le"] for s in buckets}
+        assert le_values == {"1", "+Inf"}
+
+
+class TestRegistryFromDict:
+    """to_dict() -> registry_from_dict is the service's snapshot transport."""
+
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", "a counter").inc(3, kind="x")
+        registry.counter("n_total").inc(1.5, kind="y")
+        registry.gauge("ratio", "a gauge").set(0.75, slot="a")
+        hist = registry.histogram("lat", "a histogram", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value, op="knn")
+        return registry
+
+    def test_round_trips_through_json(self):
+        original = self._populated()
+        rebuilt = registry_from_dict(json.loads(original.to_json()))
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.to_prometheus() == original.to_prometheus()
+
+    def test_rebuilt_registry_merges_like_the_original(self):
+        base = MetricsRegistry()
+        base.counter("n_total").inc(10, kind="x")
+        base.merge(registry_from_dict(self._populated().to_dict()))
+        assert base.counter("n_total").value(kind="x") == 13
+
+    def test_unknown_family_type_raises(self):
+        with pytest.raises(ValueError):
+            registry_from_dict({"bad": {"type": "summary", "samples": []}})
 
 
 class TestQueryLogger:

@@ -1,0 +1,133 @@
+"""Global top-K merge: exactness and tie-break parity with one process.
+
+The coordinator merges per-shard canonical top-k lists with
+``merge_neighbors``.  These tests pin the edge cases the sharded service
+depends on: K larger than a shard, duplicate distances straddling shard
+boundaries (the canonical ``(distance, index)`` tie-break must match a
+single-process ``knn_search`` bit for bit), and shards contributing
+nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.search import merge_neighbors
+from repro.distances.euclidean import EuclideanMeasure
+from repro.mining.queries import Neighbor, knn_search
+from repro.service.shard import shard_slices
+
+
+@pytest.fixture(scope="module")
+def tied_walks():
+    """A collection with duplicate objects spread across shard slices."""
+    rng = np.random.default_rng(5)
+    data = np.cumsum(rng.normal(size=(24, 16)), axis=1)
+    # Duplicates at indices that land in different thirds (shards of 8):
+    data[9] = data[2]  # shard 1 duplicates shard 0
+    data[17] = data[2]  # shard 2 duplicates shard 0
+    data[20] = data[5]  # another cross-shard tie pair
+    return data
+
+
+def _sharded_knn(data, query, measure, k, n_shards):
+    """Simulate the service merge: per-shard knn_search + merge_neighbors."""
+    partials = []
+    for lo, hi in shard_slices(len(data), n_shards):
+        local = knn_search(data[lo:hi], query, measure, k=min(k, hi - lo))
+        partials.append([Neighbor(nb.index + lo, nb.distance, nb.rotation) for nb in local])
+    return partials
+
+
+class TestMergeNeighbors:
+    def test_k_larger_than_a_shard(self, tied_walks):
+        measure = EuclideanMeasure()
+        query = tied_walks[0] + 0.05
+        k = 11  # > shard size 8: every shard contributes its full slice cap
+        partials = _sharded_knn(tied_walks, query, measure, k, 3)
+        merged = merge_neighbors(partials, k)
+        single = knn_search(tied_walks, query, measure, k=k)
+        assert [(nb.index, nb.distance, nb.rotation) for nb in merged] == [
+            (nb.index, nb.distance, nb.rotation) for nb in single
+        ]
+
+    def test_k_larger_than_the_whole_dataset(self, tied_walks):
+        measure = EuclideanMeasure()
+        query = tied_walks[3]
+        partials = _sharded_knn(tied_walks, query, measure, 100, 3)
+        merged = merge_neighbors(partials, 100)
+        assert len(merged) == len(tied_walks)
+        single = knn_search(tied_walks, query, measure, k=100)
+        assert [(nb.index, nb.distance) for nb in merged] == [
+            (nb.index, nb.distance) for nb in single
+        ]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_duplicate_distances_across_shards_tie_break_parity(self, tied_walks, k):
+        """Exact equal distances straddling shards must resolve by index."""
+        measure = EuclideanMeasure()
+        query = tied_walks[2]  # distance 0 to objects 2, 9 and 17
+        partials = _sharded_knn(tied_walks, query, measure, k, 3)
+        merged = merge_neighbors(partials, k)
+        single = knn_search(tied_walks, query, measure, k=k)
+        assert [(nb.index, nb.distance, nb.rotation) for nb in merged] == [
+            (nb.index, nb.distance, nb.rotation) for nb in single
+        ]
+        if k >= 3:
+            assert [nb.index for nb in merged[:3]] == [2, 9, 17]
+            assert all(nb.distance == 0.0 for nb in merged[:3])
+
+    def test_empty_shard_contribution(self):
+        hit = [Neighbor(4, 1.0, 0)]
+        assert merge_neighbors([[], hit, []], 2) == hit
+
+    def test_all_empty(self):
+        assert merge_neighbors([[], []], 5) == []
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            merge_neighbors([[Neighbor(0, 1.0, 0)]], 0)
+
+    def test_merge_is_partition_invariant(self, tied_walks):
+        """1, 2, 3 and 4 shards all produce the identical global answer."""
+        measure = EuclideanMeasure()
+        query = tied_walks[7] + 0.01
+        answers = []
+        for n_shards in (1, 2, 3, 4):
+            partials = _sharded_knn(tied_walks, query, measure, 5, n_shards)
+            merged = merge_neighbors(partials, 5)
+            answers.append([(nb.index, nb.distance, nb.rotation) for nb in merged])
+        assert all(answer == answers[0] for answer in answers)
+
+
+class TestCanonicalKnnTieBreak:
+    """Regression: the k-NN heap must evict the largest index among ties.
+
+    Before the fix the heap encoded ``(-distance, index, ...)``, so among
+    equal worst distances the *smallest* index was evicted -- making
+    boundary-tie results depend on scan history and breaking shard-merge
+    parity.
+    """
+
+    def test_eviction_prefers_smaller_index_on_ties(self):
+        rng = np.random.default_rng(3)
+        base = np.cumsum(rng.normal(size=12))
+        far = np.cumsum(rng.normal(size=12)) + 50.0
+        # objects 0 and 1 tie at the same distance; object 2 is closer and
+        # arrives afterwards, forcing one eviction from a full heap.
+        data = np.stack([far, far, base])
+        query = base + 0.25
+        result = knn_search(data, query, EuclideanMeasure(), k=2)
+        assert [nb.index for nb in result] == [2, 0]  # not [2, 1]
+
+    def test_matches_brute_force_canonical_order(self, tied_walks):
+        measure = EuclideanMeasure()
+        query = tied_walks[5]  # ties: objects 5 and 20 at distance 0
+        result = knn_search(tied_walks, query, measure, k=4)
+        brute = sorted(
+            (
+                (nb.distance, nb.index, nb.rotation)
+                for nb in knn_search(tied_walks, query, measure, k=len(tied_walks))
+            ),
+        )[:4]
+        assert [(nb.distance, nb.index, nb.rotation) for nb in result] == brute
+        assert [nb.index for nb in result[:2]] == [5, 20]

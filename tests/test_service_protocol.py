@@ -1,0 +1,134 @@
+"""Wire protocol tests: framing, limits, and measure specs."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.distances.dtw import DTWMeasure
+from repro.distances.euclidean import EuclideanMeasure
+from repro.distances.lcss import LCSSMeasure
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    measure_from_spec,
+    measure_to_spec,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestPayloadCodec:
+    def test_round_trip_preserves_floats_bitwise(self):
+        message = {"query": [0.1, 1e-300, -3.141592653589793, 2.0**-52]}
+        decoded = decode_payload(encode_payload(message))
+        assert decoded["query"] == message["query"]  # exact: repr round-trip
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+
+
+class TestBlockingFrames:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "knn", "query": [1.0, 2.0], "k": 3}
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_frame_is_an_error(self):
+        a, b = socket.socketpair()
+        try:
+            body = encode_payload({"op": "ping"})
+            a.sendall(struct.pack(">I", len(body)) + body[:3])
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestAsyncFrames:
+    def test_async_round_trip_and_clean_eof(self):
+        from repro.service.protocol import read_frame, write_frame
+
+        async def scenario():
+            server_got = []
+
+            async def handler(reader, writer):
+                while True:
+                    message = await read_frame(reader)
+                    if message is None:
+                        break
+                    server_got.append(message)
+                    await write_frame(writer, {"echo": message})
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_frame(writer, {"op": "ping", "n": 1})
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            return server_got, reply
+
+        got, reply = asyncio.run(scenario())
+        assert got == [{"op": "ping", "n": 1}]
+        assert reply == {"echo": {"op": "ping", "n": 1}}
+
+
+class TestMeasureSpecs:
+    @pytest.mark.parametrize(
+        "measure",
+        [
+            EuclideanMeasure(),
+            DTWMeasure(radius=3),
+            LCSSMeasure(delta=2, epsilon=0.5),
+        ],
+        ids=["euclidean", "dtw", "lcss"],
+    )
+    def test_spec_round_trip(self, measure):
+        spec = measure_to_spec(measure)
+        rebuilt = measure_from_spec(decode_payload(encode_payload(spec)))
+        assert rebuilt.name == measure.name
+        assert rebuilt.cache_key() == measure.cache_key()
+
+    def test_spec_pins_the_resolved_backend(self):
+        measure = DTWMeasure(radius=2)
+        spec = measure_to_spec(measure)
+        # The parent resolves the backend once; workers must not re-run
+        # auto-selection (mirrors search_many's resolve-once rule).
+        assert spec["backend"] == measure.backend_name
+        rebuilt = measure_from_spec(spec)
+        assert rebuilt.backend_name == measure.backend_name
+
+    def test_euclidean_spec_has_no_backend(self):
+        assert "backend" not in measure_to_spec(EuclideanMeasure())
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ProtocolError):
+            measure_from_spec({"name": "hamming"})

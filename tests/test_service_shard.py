@@ -1,0 +1,115 @@
+"""Sharder tests: slicing, manifest integrity, archive round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.shard import (
+    MANIFEST_NAME,
+    ShardManifest,
+    load_manifest,
+    load_shard,
+    open_shards,
+    save_shards,
+    shard_slices,
+)
+
+
+@pytest.fixture(scope="module")
+def walks():
+    rng = np.random.default_rng(11)
+    return np.cumsum(rng.normal(size=(23, 18)), axis=1)
+
+
+class TestShardSlices:
+    def test_balanced_and_contiguous(self):
+        slices = shard_slices(23, 4)
+        assert slices == [(0, 6), (6, 12), (12, 18), (18, 23)]
+        assert max(hi - lo for lo, hi in slices) - min(hi - lo for lo, hi in slices) <= 1
+
+    def test_single_shard_is_everything(self):
+        assert shard_slices(7, 1) == [(0, 7)]
+
+    def test_more_shards_than_objects_rejected(self):
+        # DiskStore rejects empty collections, so empty shards cannot exist.
+        with pytest.raises(ValueError):
+            shard_slices(3, 4)
+
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_slices(3, 0)
+
+
+class TestSaveShards:
+    def test_manifest_and_archives_written(self, walks, tmp_path):
+        manifest = save_shards(walks, tmp_path, 3, n_coefficients=8)
+        assert manifest.n_shards == 3
+        assert manifest.objects == 23
+        assert manifest.length == 18
+        assert (tmp_path / MANIFEST_NAME).exists()
+        for info in manifest.shards:
+            assert (tmp_path / info.file).exists()
+            # format-v2 sidecar per shard
+            assert (tmp_path / info.file.replace(".npz", ".data.npy")).exists()
+        assert manifest.provenance["artifact"] == "shard-set"
+        assert "kernel_backends" in manifest.provenance
+
+    def test_round_trip_preserves_data_bitwise(self, walks, tmp_path):
+        save_shards(walks, tmp_path, 4)
+        reopened = open_shards(tmp_path, mmap=True)
+        reassembled = np.concatenate([index.store.peek_all() for _info, index in reopened])
+        np.testing.assert_array_equal(reassembled, walks)
+        offsets = [info.offset for info, _index in reopened]
+        assert offsets == sorted(offsets)
+
+    def test_load_shard_single(self, walks, tmp_path):
+        save_shards(walks, tmp_path, 2)
+        info, index = load_shard(tmp_path, 1)
+        assert info.shard_id == 1
+        np.testing.assert_array_equal(index.store.peek_all(), walks[info.offset :])
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_shards(np.zeros(5), tmp_path, 1)
+
+    def test_index_config_recorded(self, walks, tmp_path):
+        manifest = save_shards(walks, tmp_path, 2, n_coefficients=4, structure="vptree")
+        reloaded = load_manifest(tmp_path)
+        assert reloaded.index_config == manifest.index_config
+        assert reloaded.index_config["structure"] == "vptree"
+
+
+class TestLoadManifest:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path)
+
+    def test_missing_shard_archive(self, walks, tmp_path):
+        save_shards(walks, tmp_path, 2)
+        (tmp_path / "shard-0001.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path)
+
+    def test_broken_contiguity_rejected(self, walks, tmp_path):
+        save_shards(walks, tmp_path, 2)
+        payload = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        payload["shards"][1]["offset"] += 1
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path)
+
+    def test_unsupported_version_rejected(self, walks, tmp_path):
+        save_shards(walks, tmp_path, 2)
+        payload = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        payload["format_version"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_manifest(tmp_path)
+
+    def test_unbound_manifest_has_no_paths(self):
+        manifest = ShardManifest(
+            n_shards=0, objects=0, length=0, shards=[], index_config={}
+        )
+        with pytest.raises(ValueError):
+            manifest.shard_path(0)
