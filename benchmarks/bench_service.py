@@ -26,6 +26,14 @@ Two classes of check:
 shard a small dataset, start a real server, fire 20 concurrent client
 queries, assert bit-identical answers and a parseable ``/metrics``
 exposition, and exercise the answer cache.
+
+``--chaos`` is the chaos-smoke CI gate: serve under a seeded
+``FaultPlan`` (from ``REPRO_FAULT_SPEC`` or a default that guarantees
+both a degraded shard and healed restarts), fire 50 concurrent
+``allow_partial`` queries, and require every reply to be either
+bit-identical to single-process search or a *well-formed partial* --
+the exact merge over precisely the shards it names as present.  Zero
+hangs, zero silent wrong answers, restart counters visible in /metrics.
 """
 
 from __future__ import annotations
@@ -45,10 +53,23 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from harness import write_json_result  # noqa: E402
 
+from repro.core.search import merge_neighbors  # noqa: E402
 from repro.distances.dtw import DTWMeasure  # noqa: E402
-from repro.mining.queries import knn_search, range_search  # noqa: E402
+from repro.mining.queries import Neighbor, knn_search, range_search  # noqa: E402
 from repro.obs.metrics import parse_prometheus_text  # noqa: E402
-from repro.service import ServiceClient, save_shards, start_service_thread  # noqa: E402
+from repro.service import (  # noqa: E402
+    FaultPlan,
+    ServiceClient,
+    save_shards,
+    start_service_thread,
+)
+from repro.service.faults import FAULT_ENV_VAR  # noqa: E402
+from repro.service.shard import shard_slices  # noqa: E402
+
+#: Default chaos plan: shard 1 crash-loops into degradation (forcing
+#: partial results), shard 2 crashes periodically but heals (forcing
+#: restarts), and everything sees latency jitter.
+DEFAULT_CHAOS_SPEC = "seed=7;crash:p=1,shard=1;crash:every=17,shard=2;delay:p=0.12,ms=25"
 
 
 def _make_data(m: int, n: int, seed: int = 2006) -> np.ndarray:
@@ -173,6 +194,13 @@ def quick_smoke() -> int:
                     failures.append("cache probe queries failed")
                 elif not again.get("cached"):
                     failures.append("sequential repeat was not served from the cache")
+                health = client.health()
+                if not health.get("ok") or health.get("status") != "ok":
+                    failures.append(f"health op not ok on a healthy service: {health}")
+                elif len(health["shards"]) != 3 or any(
+                    entry["state"] != "live" for entry in health["shards"]
+                ):
+                    failures.append(f"expected 3 live shards, got {health['shards']}")
                 metrics = client.metrics()
             if not metrics.get("ok"):
                 failures.append(f"metrics op failed: {metrics.get('error')}")
@@ -204,9 +232,162 @@ def quick_smoke() -> int:
     return 0
 
 
+def chaos_smoke(n_queries: int = 50, n_threads: int = 8) -> int:
+    """CI chaos gate: seeded faults, concurrent load, zero wrong answers."""
+    from repro.service.worker import RestartPolicy
+
+    spec = os.environ.get(FAULT_ENV_VAR, "").strip() or DEFAULT_CHAOS_SPEC
+    plan = FaultPlan.parse(spec)
+    print(f"    fault plan: {plan.to_spec()}")
+    data = _make_data(48, 32)
+    measure = DTWMeasure(radius=2)
+    slices = shard_slices(len(data), 3)
+    pool = _query_pool(data, 10)
+    k = 3
+
+    def expected_over(survivor_slices, query):
+        """Exact merge over a subset of shards, global indices."""
+        per_shard = []
+        for lo, hi in survivor_slices:
+            local = knn_search(data[lo:hi], query, measure, k=k)
+            per_shard.append(
+                [Neighbor(nb.index + lo, nb.distance, nb.rotation) for nb in local]
+            )
+        return [
+            [nb.index, nb.distance, nb.rotation] for nb in merge_neighbors(per_shard, k)
+        ]
+
+    full_expected = {qi: expected_over(slices, q) for qi, q in enumerate(pool)}
+    failures: list[str] = []
+    replies: list[tuple[int, dict]] = []
+    replies_lock = threading.Lock()
+    with tempfile.TemporaryDirectory(prefix="repro-svc-chaos-") as tmp:
+        save_shards(data, tmp, 3, n_coefficients=8)
+        handle = start_service_thread(
+            tmp,
+            measure,
+            cache_size=64,
+            fault_plan=plan,
+            restart_policy=RestartPolicy(
+                degrade_after=3, backoff_base=0.01, backoff_cap=0.1, seed=plan.seed
+            ),
+        )
+        try:
+
+            def worker(tid: int) -> None:
+                try:
+                    with ServiceClient(port=handle.port) as client:
+                        for j in range(tid, n_queries, n_threads):
+                            qi = j % len(pool)
+                            reply = client.knn(
+                                pool[qi], k=k, allow_partial=True, timeout_ms=30000
+                            )
+                            with replies_lock:
+                                replies.append((qi, reply))
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    failures.append(f"client thread {tid}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            hung = [t for t in threads if t.is_alive()]
+            elapsed = time.perf_counter() - t0
+            if hung:
+                failures.append(f"{len(hung)} client thread(s) hung past 120s")
+
+            partials = fulls = 0
+            for qi, reply in replies:
+                if not reply.get("ok"):
+                    # A structured error under chaos is acceptable only if
+                    # it is well-formed (typed, shard-attributed).
+                    error = reply.get("error", {})
+                    if not error.get("type"):
+                        failures.append(f"malformed error reply: {reply}")
+                    continue
+                if reply.get("partial"):
+                    partials += 1
+                    missing = set(reply.get("missing_shards", []))
+                    if not missing:
+                        failures.append(f"partial reply without missing_shards: {reply}")
+                        continue
+                    survivors = [
+                        span for sid, span in enumerate(slices) if sid not in missing
+                    ]
+                    if reply["neighbors"] != expected_over(survivors, pool[qi]):
+                        failures.append(
+                            f"partial reply for query#{qi} is NOT the exact merge "
+                            f"over its named survivors (missing={sorted(missing)})"
+                        )
+                else:
+                    fulls += 1
+                    if reply["neighbors"] != full_expected[qi]:
+                        failures.append(
+                            f"full reply for query#{qi} is not bit-identical "
+                            "to single-process search"
+                        )
+            answered = partials + fulls
+            print(
+                f"    {len(replies)}/{n_queries} replies in {elapsed:.1f}s: "
+                f"{fulls} full (bit-identical), {partials} partial (exact over "
+                f"survivors), {len(replies) - answered} structured errors"
+            )
+            if len(replies) != n_queries:
+                failures.append(f"expected {n_queries} replies, got {len(replies)}")
+            if answered == 0:
+                failures.append("no query was answered at all under chaos")
+
+            with ServiceClient(port=handle.port) as client:
+                health = client.health()
+                metrics = client.metrics()
+            if not health.get("ok"):
+                failures.append(f"health op failed under chaos: {health}")
+            else:
+                print(
+                    f"    health: status={health['status']} restarts={health['restarts']} "
+                    f"counters={ {n: int(v) for n, v in health['counters'].items()} }"
+                )
+            if not metrics.get("ok"):
+                failures.append(f"metrics op failed under chaos: {metrics}")
+            else:
+                parsed = parse_prometheus_text(metrics["prometheus"])
+                restarts = sum(
+                    value
+                    for name, _labels, value in parsed["samples"]
+                    if name == "service_worker_restarts_total"
+                )
+                if restarts < 1:
+                    failures.append(
+                        f"expected >=1 worker restart in /metrics, got {restarts}"
+                    )
+                else:
+                    print(f"    /metrics parses; service_worker_restarts_total={restarts:g}")
+        finally:
+            handle.close()
+    if failures:
+        print("\nCHAOS SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("    chaos smoke OK (every reply exact-full or exact-partial, no hangs)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke tripwire")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="CI chaos gate: seeded fault injection + concurrent exactness check",
+    )
+    parser.add_argument(
+        "--chaos-queries", type=int, default=50, help="queries for --chaos"
+    )
     parser.add_argument("--objects", type=int, default=96)
     parser.add_argument("--length", type=int, default=64)
     parser.add_argument("--dtw-radius", type=int, default=3)
@@ -231,6 +412,8 @@ def main(argv=None) -> int:
 
     if args.quick:
         return quick_smoke()
+    if args.chaos:
+        return chaos_smoke(n_queries=args.chaos_queries)
 
     client_levels = [int(c) for c in args.clients.split(",")]
     shard_counts = [int(s) for s in args.shard_counts.split(",")]

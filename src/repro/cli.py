@@ -398,7 +398,9 @@ def cmd_index_shard(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.service.faults import FaultPlan
     from repro.service.server import run_service
+    from repro.service.worker import RestartPolicy
 
     measure = _build_measure(args)
     query_log = None
@@ -406,6 +408,10 @@ def cmd_serve(args) -> int:
         from repro.obs.querylog import QueryLogger
 
         query_log = QueryLogger(args.obs_log)
+    # --fault-spec beats the REPRO_FAULT_SPEC env var (run_service falls
+    # back to the env var when no explicit plan is passed).
+    fault_plan = FaultPlan.parse(args.fault_spec) if args.fault_spec else None
+    restart_policy = RestartPolicy(degrade_after=args.degrade_after)
 
     def on_ready(service, port, loop):
         print(
@@ -426,6 +432,8 @@ def cmd_serve(args) -> int:
             batch_window=args.batch_window_ms / 1000.0,
             max_batch=args.max_batch,
             query_log=query_log,
+            restart_policy=restart_policy,
+            fault_plan=fault_plan,
             on_ready=on_ready,
         )
     finally:
@@ -440,39 +448,65 @@ def cmd_client(args) -> int:
 
     from repro.service.client import ServiceClient
 
+    op = "health" if args.health else args.op
     with ServiceClient(args.host, args.port) as client:
-        if args.op == "ping":
+        if op == "ping":
             payload = client.ping()
-        elif args.op == "metrics":
+        elif op == "health":
+            payload = client.health()
+            if payload.get("ok") and not args.json:
+                print(f"status: {payload['status']}  (total restarts: {payload['restarts']})")
+                for entry in payload["shards"]:
+                    last = f"  last failure: {entry['last_failure']}" if entry["last_failure"] else ""
+                    print(
+                        f"  shard {entry['shard']}: {entry['state']:<10} "
+                        f"pid={entry['pid']} restarts={entry['restarts']}{last}"
+                    )
+                counters = payload["counters"]
+                print(
+                    "counters: "
+                    + "  ".join(f"{name}={int(value)}" for name, value in sorted(counters.items()))
+                )
+                return 0
+        elif op == "metrics":
             payload = client.metrics()
             if payload.get("ok") and not args.json:
                 print(payload["prometheus"], end="")
                 return 0
-        elif args.op == "shutdown":
+        elif op == "shutdown":
             payload = client.shutdown()
         else:
             query_seed = args.query_seed if args.query_seed is not None else args.seed + 1
             pool = _build_collection(args.collection, args.size, args.length, query_seed)
             query = pool[args.query_index % len(pool)]
-            if args.op == "knn":
-                payload = client.knn(
-                    query, k=args.k, mirror=args.mirror, no_cache=args.no_cache
-                )
+            knobs = {
+                "mirror": args.mirror,
+                "no_cache": args.no_cache,
+                "timeout_ms": args.timeout_ms,
+                "allow_partial": args.allow_partial,
+            }
+            if op == "knn":
+                payload = client.knn(query, k=args.k, **knobs)
             else:
-                payload = client.range_query(
-                    query, args.range_radius, mirror=args.mirror, no_cache=args.no_cache
-                )
+                payload = client.range_query(query, args.range_radius, **knobs)
     if args.json or not payload.get("ok"):
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if payload.get("ok") else 1
-    if args.op in ("knn", "range"):
+    if op in ("knn", "range"):
         for rank, (index, distance, rotation) in enumerate(payload["neighbors"], 1):
             print(f"{rank}. object {index:>4}  distance {distance:.4f}  (rotation {rotation})")
+        answered = (
+            f"{payload.get('shards_answered', payload['shards'])}/{payload['shards']} shards"
+            if payload.get("partial")
+            else f"{payload['shards']} shards"
+        )
         print(
-            f"{len(payload['neighbors'])} results from {payload['shards']} shards, "
+            f"{len(payload['neighbors'])} results from {answered}, "
             f"{payload['steps']:,} steps, backend={payload['backend']}, "
             f"cached={payload['cached']}"
         )
+        if payload.get("partial"):
+            print(f"PARTIAL result: missing shards {payload.get('missing_shards')}")
     else:
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
@@ -677,13 +711,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--obs-log", default=None, metavar="FILE", help="append JSONL service query records to FILE"
     )
+    serve.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault-injection spec, e.g. "
+            "'seed=7;crash:p=0.05,shard=1;delay:ms=40,every=3' "
+            "(overrides the REPRO_FAULT_SPEC env var)"
+        ),
+    )
+    serve.add_argument(
+        "--degrade-after",
+        type=int,
+        default=3,
+        help="consecutive worker failures before a shard is marked degraded",
+    )
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser("client", help="query a running repro-service over TCP")
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7043)
     client.add_argument(
-        "--op", default="knn", choices=("knn", "range", "ping", "metrics", "shutdown")
+        "--op", default="knn", choices=("knn", "range", "ping", "health", "metrics", "shutdown")
+    )
+    client.add_argument(
+        "--health", action="store_true", help="shorthand for --op health"
+    )
+    client.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline enforced by the coordinator (milliseconds)",
+    )
+    client.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="accept an exact merge over surviving shards when some are degraded",
     )
     _add_collection_args(client)
     client.add_argument(

@@ -108,6 +108,11 @@ class Counter(_Metric):
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
+    def total(self) -> float:
+        """Sum across every label set (e.g. restarts over all shards)."""
+        with self._lock:
+            return sum(self._values.values())
+
     def samples(self):
         return [(dict(key), value) for key, value in sorted(self._values.items())]
 

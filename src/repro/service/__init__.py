@@ -10,29 +10,43 @@ LB_Keogh pruning, exact global merge):
   sidecar so co-located workers share page cache.
 * :mod:`repro.service.worker` -- one process per shard, opening its
   archive with ``load_index(mmap=True)`` once at startup and answering
-  k-NN / range chunks with a per-worker :class:`MetricsRegistry`.
+  k-NN / range chunks with a per-worker :class:`MetricsRegistry`.  Each
+  worker is wrapped in a :class:`SupervisedWorker` -- a self-healing state
+  machine (``live``/``restarting``/``degraded``) that respawns dead
+  processes with capped exponential backoff and replays in-flight work.
 * :mod:`repro.service.server` -- an asyncio front-end speaking
   length-prefixed JSON over TCP: micro-batches concurrent queries, fans
-  each chunk out to every shard, and performs the exact global top-K
-  merge (canonical ``(distance, index)`` tie-break) at the coordinator.
+  each chunk out to every shard under a per-request deadline with a
+  bounded retry, and performs the exact global top-K merge (canonical
+  ``(distance, index)`` tie-break) at the coordinator.  Requests may opt
+  into partial results (``allow_partial``) when shards are degraded.
 * :mod:`repro.service.cache` -- a hot-query LRU answer cache keyed by
-  (query hash, measure ``cache_key()``, operation, K); kernel backends
-  are bit-identical so the backend is deliberately *not* in the key.
-* :mod:`repro.service.client` -- a small blocking client used by the
-  ``repro client`` CLI, tests, and benchmarks.
+  (shard-set checksum, query hash, measure ``cache_key()``, operation,
+  K); kernel backends are bit-identical so the backend is deliberately
+  *not* in the key.
+* :mod:`repro.service.faults` -- deterministic fault injection
+  (:class:`FaultPlan`, ``REPRO_FAULT_SPEC``) for chaos tests and the CI
+  chaos-smoke job.
+* :mod:`repro.service.client` -- a small blocking client (with
+  reconnect-and-retry) used by the ``repro client`` CLI, tests, and
+  benchmarks.
 
 Exactness contract: for any dataset, sharding layout, and concurrency,
 the service returns bit-identical answers to single-process
 :func:`repro.mining.queries.knn_search` / ``range_search`` over the
 concatenated data -- zero false dismissals, enforced by the
-``bench_service`` tripwire in CI.
+``bench_service`` tripwire in CI.  Partial results weaken this only by
+announcement: they are the exact merge over the shards named as present,
+flagged ``partial`` with an explicit ``missing_shards`` list.
 """
 
 from repro.service.cache import AnswerCache
 from repro.service.client import ServiceClient
+from repro.service.faults import FaultInjector, FaultPlan, FaultRule
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    error_response,
     measure_from_spec,
     measure_to_spec,
 )
@@ -44,17 +58,31 @@ from repro.service.server import (
     start_service_thread,
 )
 from repro.service.shard import ShardManifest, load_manifest, open_shards, save_shards
-from repro.service.worker import ShardWorker, WorkerDiedError
+from repro.service.worker import (
+    RestartPolicy,
+    ShardDegradedError,
+    ShardWorker,
+    SupervisedWorker,
+    WorkerDiedError,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "AnswerCache",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RestartPolicy",
     "ServiceClient",
+    "ServiceHandle",
+    "ShardDegradedError",
     "ShardManifest",
     "ShardWorker",
     "ShardedSearchService",
+    "SupervisedWorker",
     "WorkerDiedError",
+    "error_response",
     "load_manifest",
     "measure_from_spec",
     "measure_to_spec",
@@ -62,6 +90,5 @@ __all__ = [
     "run_service",
     "save_shards",
     "serve",
-    "ServiceHandle",
     "start_service_thread",
 ]

@@ -5,8 +5,13 @@ again and again -- and an exact answer, once computed, stays exact for the
 lifetime of an immutable shard set.  The coordinator therefore memoizes
 whole answers keyed by
 
-``(operation kind, K or radius, mirror, max_degrees, measure.cache_key(),
-SHA-256 of the query's float64 bytes)``
+``(shard-manifest checksum, operation kind, K or radius, mirror,
+max_degrees, measure.cache_key(), SHA-256 of the query's float64 bytes)``
+
+The manifest checksum scopes every entry to the exact shard set it was
+computed over: serve a different (or rebuilt) shard set and the key
+changes, so stale answers are structurally impossible; ``invalidate``
+evicts a retired data version explicitly and ``clear`` drops everything.
 
 The kernel backend is **deliberately excluded** from the key: backends are
 bit-identical (CI-enforced), so an answer computed under ``wavefront`` is
@@ -40,17 +45,22 @@ class AnswerCache:
         self.evictions = 0
 
     @staticmethod
-    def make_key(kind: str, query, measure, **params) -> tuple:
+    def make_key(kind: str, query, measure, *, scope: str | None = None, **params) -> tuple:
         """The cache identity of one request.
 
         ``params`` carries the operation knobs (``k`` or ``radius``,
         ``mirror``, ``max_degrees``); the query series is hashed from its
         canonical float64 byte representation so a list arriving over JSON
-        and the ndarray it round-trips to share an identity.
+        and the ndarray it round-trips to share an identity.  ``scope``
+        names the data the answer was computed over -- the coordinator
+        passes the shard-manifest checksum, so answers from one shard set
+        can never be served for another and :meth:`invalidate` can evict
+        by data version.
         """
         series = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
         digest = hashlib.sha256(series.tobytes()).hexdigest()
         return (
+            scope,
             kind,
             tuple(sorted(params.items())),
             tuple(measure.cache_key()),
@@ -77,6 +87,32 @@ class AnswerCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were evicted.
+
+        Hit/miss/eviction counters are monotone (Prometheus semantics)
+        and survive a clear.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.evictions += dropped
+            return dropped
+
+    def invalidate(self, scope: str) -> int:
+        """Drop every entry keyed to ``scope`` (a shard-manifest checksum).
+
+        Returns the number of entries evicted.  After a shard set is
+        rebuilt in place, invalidating the *old* checksum guarantees no
+        answer computed over the old data outlives it.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == scope]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+            return len(stale)
 
     def __len__(self) -> int:
         return len(self._entries)

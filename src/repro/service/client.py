@@ -4,29 +4,122 @@ Speaks the length-prefixed JSON frame protocol over one persistent
 connection; requests are strictly sequential per client instance, so
 concurrency tests and benchmarks open one client per simulated user --
 exactly how a connection-pooled caller would behave.
+
+Resilience: the connection is **lazy and self-healing**.  A request that
+hits a dead connection (server restarted, connection reset, broken pipe)
+reconnects with capped exponential backoff and retries -- but only when
+the failure happened *before any response bytes arrived*, so a retried
+request can never be a duplicate of one the server half-answered.
+Queries are pure reads, so even that stronger property is belt-and-
+braces; the guard exists for the ``shutdown`` op and future mutating
+verbs.  Protocol-level resilience knobs ride each request: ``timeout_ms``
+(per-request deadline enforced by the coordinator) and ``allow_partial``
+(accept an exact merge over surviving shards when some are down).
 """
 
 from __future__ import annotations
 
 import socket
+import time
 
 import numpy as np
 
-from repro.service.protocol import recv_frame, send_frame
+from repro.service.protocol import ProtocolError, recv_frame, send_frame
 
 __all__ = ["ServiceClient"]
+
+#: Exceptions that mean "the connection is gone; a fresh one may work".
+_RETRYABLE = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
+
+#: What :func:`repro.service.protocol.recv_frame` raises on a clean EOF
+#: in place of a reply: all 4 length-prefix bytes still outstanding.
+_CLEAN_EOF_MESSAGE = "connection closed with 4 bytes outstanding"
 
 
 class ServiceClient:
     """One connection to a running service; usable as a context manager."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7043, timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7043,
+        timeout: float = 120.0,
+        *,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.05,
+        reconnect_cap: float = 2.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.reconnect_attempts = max(0, int(reconnect_attempts))
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_cap = reconnect_cap
+        self._sock: socket.socket | None = None
+        # Fail fast on a wrong address: the first connection is eager.
+        self._connect()
+
+    def _connect(self) -> None:
+        self.close()
+        self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+
+    def _reconnect_with_backoff(self) -> None:
+        """Re-establish the connection; raises the last error when spent."""
+        delay = self.reconnect_backoff
+        last: Exception | None = None
+        for _ in range(self.reconnect_attempts):
+            try:
+                self._connect()
+                return
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+                delay = min(self.reconnect_cap, delay * 2)
+        raise ConnectionError(
+            f"could not reconnect to {self.host}:{self.port} "
+            f"after {self.reconnect_attempts} attempts"
+        ) from last
 
     def request(self, message: dict) -> dict:
-        """One raw request/response round-trip."""
-        send_frame(self._sock, message)
-        return recv_frame(self._sock)
+        """One raw request/response round-trip, reconnecting if needed.
+
+        Retries (send + receive) only when the failure arrived before any
+        response bytes -- a send-side error or a clean EOF in place of the
+        reply.  A connection dying mid-reply raises, because the server
+        may already have acted on the request.
+        """
+        for attempt in range(self.reconnect_attempts + 1):
+            if self._sock is None:
+                self._reconnect_with_backoff()
+            try:
+                send_frame(self._sock, message)
+            except OSError as exc:
+                # Nothing of the reply existed yet: always safe to retry.
+                self._sock = None
+                if attempt >= self.reconnect_attempts:
+                    raise ConnectionError(f"send failed and retries spent: {exc}") from exc
+                continue
+            try:
+                return recv_frame(self._sock)
+            except _RETRYABLE as exc:
+                self._sock = None
+                if attempt >= self.reconnect_attempts:
+                    raise
+                continue
+            except ProtocolError as exc:
+                # A clean EOF before any reply bytes (server shut down
+                # between our send and its reply) is retryable; a torn
+                # frame is not -- the server may have half-acted.
+                self._sock = None
+                if str(exc) == _CLEAN_EOF_MESSAGE and attempt < self.reconnect_attempts:
+                    continue
+                raise
+        raise AssertionError("unreachable")
 
     @staticmethod
     def _query_list(query) -> list[float]:
@@ -40,18 +133,23 @@ class ServiceClient:
         mirror: bool = False,
         max_degrees: float | None = None,
         no_cache: bool = False,
+        timeout_ms: float | None = None,
+        allow_partial: bool = False,
     ) -> dict:
         """Global k-NN over every shard; exact, canonical tie-break."""
-        return self.request(
-            {
-                "op": "knn",
-                "query": self._query_list(query),
-                "k": k,
-                "mirror": mirror,
-                "max_degrees": max_degrees,
-                "no_cache": no_cache,
-            }
-        )
+        message = {
+            "op": "knn",
+            "query": self._query_list(query),
+            "k": k,
+            "mirror": mirror,
+            "max_degrees": max_degrees,
+            "no_cache": no_cache,
+        }
+        if timeout_ms is not None:
+            message["timeout_ms"] = timeout_ms
+        if allow_partial:
+            message["allow_partial"] = True
+        return self.request(message)
 
     def range_query(
         self,
@@ -61,21 +159,30 @@ class ServiceClient:
         mirror: bool = False,
         max_degrees: float | None = None,
         no_cache: bool = False,
+        timeout_ms: float | None = None,
+        allow_partial: bool = False,
     ) -> dict:
         """Global range search; results ordered by global database position."""
-        return self.request(
-            {
-                "op": "range",
-                "query": self._query_list(query),
-                "radius": radius,
-                "mirror": mirror,
-                "max_degrees": max_degrees,
-                "no_cache": no_cache,
-            }
-        )
+        message = {
+            "op": "range",
+            "query": self._query_list(query),
+            "radius": radius,
+            "mirror": mirror,
+            "max_degrees": max_degrees,
+            "no_cache": no_cache,
+        }
+        if timeout_ms is not None:
+            message["timeout_ms"] = timeout_ms
+        if allow_partial:
+            message["allow_partial"] = True
+        return self.request(message)
 
     def ping(self) -> dict:
         return self.request({"op": "ping"})
+
+    def health(self) -> dict:
+        """Per-shard supervisor state and resilience counters."""
+        return self.request({"op": "health"})
 
     def metrics(self) -> dict:
         return self.request({"op": "metrics"})
@@ -84,7 +191,12 @@ class ServiceClient:
         return self.request({"op": "shutdown"})
 
     def close(self) -> None:
-        self._sock.close()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -1,0 +1,234 @@
+"""Deterministic fault injection for the sharded query service.
+
+Chaos testing only proves something when the chaos is reproducible: a
+:class:`FaultPlan` is a seedable, serializable description of *which*
+failures to inject *where*, parsed from the ``REPRO_FAULT_SPEC``
+environment variable (or built programmatically) and shipped to each
+shard worker as plain data.  Every worker derives its own
+:class:`FaultInjector` from ``(plan seed, shard id)``, so a given request
+stream always produces the same crashes, delays, dropped pipes, and
+corrupt frames -- the chaos CI job and the resilience tests rely on this.
+
+Spec grammar (semicolon-separated clauses)::
+
+    REPRO_FAULT_SPEC="seed=7;crash:p=0.05,shard=1;delay:ms=40,every=3;corrupt:after=10,count=1"
+
+Each clause is either ``seed=N`` or ``<kind>[:key=value,...]`` with
+
+* ``kind``: one of ``crash`` (``os._exit`` before answering), ``delay``
+  (sleep ``ms`` before answering), ``drop`` (close the pipe and exit --
+  the parent sees EOF), ``corrupt`` (send an undecodable frame instead of
+  the answer, then exit -- the stream is no longer trustworthy).
+* ``p`` / ``probability``: chance of firing when eligible (default 1).
+* ``every``: eligible only on every Nth matching trigger (0 = all).
+* ``after``: eligible only once more than this many triggers have been
+  seen by this worker process (counts reset on respawn).
+* ``count``: maximum number of firings per worker process (0 = no cap).
+* ``ms`` / ``delay_ms``: sleep duration for ``delay`` rules.
+* ``shard``: target a single shard id (-1 = every shard).
+* ``op``: which worker op to target (default ``search``; ``*`` = all).
+
+Rules are evaluated in spec order; the first rule that fires wins for
+that trigger (a ``delay`` rule firing does not stop a later ``crash``
+rule -- delays are side effects, terminal kinds end evaluation).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_ENV_VAR",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+]
+
+#: Environment variable the service reads a default plan from.
+FAULT_ENV_VAR = "REPRO_FAULT_SPEC"
+
+#: Recognised failure kinds.  ``delay`` is a side effect (evaluation
+#: continues); the other three are terminal for the worker process.
+FAULT_KINDS = ("crash", "delay", "drop", "corrupt")
+
+_KEY_ALIASES = {
+    "p": "probability",
+    "probability": "probability",
+    "every": "every",
+    "after": "after",
+    "count": "count",
+    "ms": "delay_ms",
+    "delay_ms": "delay_ms",
+    "shard": "shard",
+    "op": "op",
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: a kind plus its trigger and targeting knobs."""
+
+    kind: str
+    probability: float = 1.0
+    every: int = 0
+    after: int = 0
+    count: int = 0
+    delay_ms: float = 0.0
+    shard: int = -1
+    op: str = "search"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.every < 0 or self.after < 0 or self.count < 0:
+            raise ValueError("every/after/count must be non-negative")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be non-negative, got {self.delay_ms}")
+
+    def matches(self, shard_id: int, op: str) -> bool:
+        """Whether this rule targets the given shard and worker op."""
+        if self.shard >= 0 and self.shard != shard_id:
+            return False
+        return self.op == "*" or self.op == op
+
+    def to_clause(self) -> str:
+        """This rule as one spec clause (inverse of parsing)."""
+        parts = []
+        if self.probability != 1.0:
+            parts.append(f"p={self.probability:g}")
+        for key in ("every", "after", "count"):
+            value = getattr(self, key)
+            if value:
+                parts.append(f"{key}={value}")
+        if self.delay_ms:
+            parts.append(f"ms={self.delay_ms:g}")
+        if self.shard >= 0:
+            parts.append(f"shard={self.shard}")
+        if self.op != "search":
+            parts.append(f"op={self.op}")
+        return self.kind + (":" + ",".join(parts) if parts else "")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of :class:`FaultRule`."""
+
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULT_SPEC`` grammar; raises :class:`ValueError`."""
+        rules: list[FaultRule] = []
+        seed = 0
+        for raw_clause in spec.split(";"):
+            clause = raw_clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed=") :])
+                continue
+            kind, _, raw_args = clause.partition(":")
+            kind = kind.strip()
+            kwargs: dict = {}
+            for raw_pair in raw_args.split(","):
+                pair = raw_pair.strip()
+                if not pair:
+                    continue
+                key, eq, value = pair.partition("=")
+                if not eq:
+                    raise ValueError(f"malformed fault clause {clause!r}: {pair!r} is not key=value")
+                field_name = _KEY_ALIASES.get(key.strip())
+                if field_name is None:
+                    raise ValueError(
+                        f"unknown fault rule key {key.strip()!r} in {clause!r}; "
+                        f"expected one of {sorted(set(_KEY_ALIASES))}"
+                    )
+                if field_name == "op":
+                    kwargs[field_name] = value.strip()
+                elif field_name in ("probability", "delay_ms"):
+                    kwargs[field_name] = float(value)
+                else:
+                    kwargs[field_name] = int(value)
+            rules.append(FaultRule(kind=kind, **kwargs))
+        return cls(rules=tuple(rules), seed=seed)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan described by ``REPRO_FAULT_SPEC``, or ``None`` if unset."""
+        spec = (environ if environ is not None else os.environ).get(FAULT_ENV_VAR, "").strip()
+        return cls.parse(spec) if spec else None
+
+    def to_spec(self) -> str:
+        """Round-trippable spec string (``parse(plan.to_spec()) == plan``)."""
+        clauses = [f"seed={self.seed}"] if self.seed else []
+        clauses.extend(rule.to_clause() for rule in self.rules)
+        return ";".join(clauses)
+
+    def to_dict(self) -> dict:
+        """Plain-data form shipped to worker processes."""
+        return {"seed": self.seed, "rules": [vars(rule) for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            rules=tuple(FaultRule(**rule) for rule in payload.get("rules", [])),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def injector(self, shard_id: int) -> "FaultInjector":
+        """The deterministic per-worker dispatcher for ``shard_id``."""
+        return FaultInjector(self, shard_id)
+
+
+class FaultInjector:
+    """Per-worker-process fault dispatcher.
+
+    Holds one trigger counter and one firing counter per rule, plus a
+    ``random.Random`` seeded by ``(plan seed, shard id)`` so probability
+    draws are reproducible for a given request order.  Counters live in
+    the worker process and reset when the supervisor respawns it -- an
+    ``after``-based crash loop therefore heals on restart, which is
+    exactly the behavior a supervisor must cope with.
+    """
+
+    def __init__(self, plan: FaultPlan, shard_id: int):
+        self.plan = plan
+        self.shard_id = shard_id
+        self._rng = random.Random(f"{plan.seed}:{shard_id}")
+        self._triggers = [0] * len(plan.rules)
+        self._fired = [0] * len(plan.rules)
+
+    def draw(self, op: str) -> tuple[list[FaultRule], FaultRule | None]:
+        """Evaluate one trigger: ``(delay rules fired, terminal rule or None)``.
+
+        ``delay`` rules are side effects: record the firing but keep
+        evaluating, so a delay can co-exist with a later crash rule.  The
+        first *terminal* rule (crash/drop/corrupt) that fires wins.
+        """
+        delays: list[FaultRule] = []
+        terminal: FaultRule | None = None
+        for i, rule in enumerate(self.plan.rules):
+            if not rule.matches(self.shard_id, op):
+                continue
+            self._triggers[i] += 1
+            triggers = self._triggers[i]
+            if triggers <= rule.after:
+                continue
+            if rule.every and triggers % rule.every != 0:
+                continue
+            if rule.count and self._fired[i] >= rule.count:
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            self._fired[i] += 1
+            if rule.kind == "delay":
+                delays.append(rule)
+            elif terminal is None:
+                terminal = rule
+        return delays, terminal

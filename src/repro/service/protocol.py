@@ -16,6 +16,15 @@ Measures cross process boundaries as **specs** -- small dicts naming the
 measure and its parameters plus the parent-resolved kernel backend
 (mirroring ``search_many``'s resolve-once-then-ship rule, so every worker
 uses the same backend the coordinator logged).
+
+Protocol version 2 (backwards compatible with 1) adds the resilience
+surface: ``knn``/``range`` requests accept ``timeout_ms`` (per-request
+deadline, propagated to the coordinator budget and per-worker slices) and
+``allow_partial`` (opt in to an exact merge over surviving shards with a
+``missing_shards`` list when a shard stays unreachable); a new ``health``
+op reports per-shard supervisor state (live/restarting/degraded),
+restart/retry/deadline counters, and pids.  Errors are always structured
+-- :func:`error_response` is the one shape every layer emits.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ __all__ = [
     "ProtocolError",
     "decode_payload",
     "encode_payload",
+    "error_response",
     "measure_from_spec",
     "measure_to_spec",
     "read_frame",
@@ -39,8 +49,10 @@ __all__ = [
     "write_frame",
 ]
 
-#: Version stamped into ping responses; bump on incompatible changes.
-PROTOCOL_VERSION = 1
+#: Version stamped into ping/health responses; bump on incompatible
+#: changes.  2 = deadlines (``timeout_ms``), partial results
+#: (``allow_partial`` / ``missing_shards``), and the ``health`` op.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame, coordinator- and client-side.  Generous for
 #: query payloads (a length-1024 float64 series is ~20 KB of JSON) while
@@ -52,6 +64,16 @@ _LENGTH = struct.Struct(">I")
 
 class ProtocolError(RuntimeError):
     """A malformed frame, oversized length prefix, or bad message."""
+
+
+def error_response(kind: str, message: str, **extra) -> dict:
+    """The structured error shape every service layer returns.
+
+    ``kind`` is machine-matchable (``bad-request``, ``worker-died``,
+    ``worker-timeout``, ``deadline-exceeded``, ``shard-degraded``, ...);
+    ``extra`` carries context such as ``shard`` or ``missing_shards``.
+    """
+    return {"ok": False, "error": {"type": kind, "message": message, **extra}}
 
 
 def encode_payload(message: dict) -> bytes:

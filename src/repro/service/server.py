@@ -12,46 +12,78 @@ indices, exact distances); the coordinator folds them with
 tie-break makes the merged answer bit-identical to a single-process
 ``knn_search`` over the concatenated data.
 
-Failure model: a worker that dies mid-query produces a structured
-``{"ok": false, "error": {"type": "worker-died", "shard": ...}}`` response
-for every query in the affected batch -- the coordinator never hangs on a
-dead pipe, and the error names the shard so an operator knows what to
-restart.
+Failure model (the self-healing layer):
+
+* Workers are :class:`~repro.service.worker.SupervisedWorker` state
+  machines: a dead worker is respawned with capped exponential backoff
+  and the in-flight chunk replayed once; a background **monitor thread**
+  resurrects silently dead workers between requests; a shard that fails
+  ``RestartPolicy.degrade_after`` times in a row is marked *degraded*
+  and stops consuming restarts.
+* Every query carries a **deadline** (``timeout_ms``, default the
+  service's ``request_timeout``): the coordinator splits the remaining
+  budget across the initial fan-out and ``retry_budget`` bounded retries
+  of shards that died or timed out, and ships the slice to the worker as
+  ``budget_seconds`` so a worker stops computing once the budget is spent.
+* A shard that stays unanswerable fails the affected queries with a
+  structured error -- unless the request opted in with
+  ``allow_partial=true``, in which case the reply is the **exact** merge
+  over the shards that did answer, flagged ``partial`` with a
+  ``missing_shards`` list.  Exactness over reachable data is preserved
+  bit for bit; partial answers are never cached.
 
 Metrics: the coordinator keeps its own registry (request counts, batch
-sizes, worker deaths) and answers the ``metrics`` op by pulling each
-worker's snapshot, rebuilding it with ``registry_from_dict``, and folding
-everything into one Prometheus exposition.
+sizes, worker deaths/restarts/degradations, retries, deadline misses,
+partial results, restart-latency histogram) and answers the ``metrics``
+op by pulling each *reachable* worker's snapshot, rebuilding it with
+``registry_from_dict``, and folding everything into one Prometheus
+exposition.  The ``health`` op reports the supervisor state machine
+per shard without touching the workers at all.
 """
 
 from __future__ import annotations
 
 import asyncio
+import atexit
 import contextlib
+import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs.metrics import MetricsRegistry, registry_from_dict
 from repro.service.cache import AnswerCache
+from repro.service.faults import FaultPlan
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    error_response,
     measure_to_spec,
     read_frame,
     write_frame,
 )
 from repro.service.shard import load_manifest
-from repro.service.worker import ShardWorker, WorkerDiedError
+from repro.service.worker import (
+    RestartPolicy,
+    ShardDegradedError,
+    SupervisedWorker,
+    WorkerDiedError,
+)
 
 __all__ = ["ServiceHandle", "ShardedSearchService", "serve", "start_service_thread"]
 
 #: Batch-size histogram buckets (requests per micro-batch).
 BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: Floor on a per-worker wait slice so a retry attempt is never handed a
+#: microscopic timeout by rounding.
+MIN_SLICE_SECONDS = 0.05
 
-def _error(kind: str, message: str, **extra) -> dict:
-    return {"ok": False, "error": {"type": kind, "message": message, **extra}}
+_error = error_response
+
+#: Keys of a normalized request that are coordinator-internal and must
+#: not ride the worker pipes.
+_COORDINATOR_KEYS = ("deadline", "allow_partial")
 
 
 class ShardedSearchService:
@@ -67,6 +99,10 @@ class ShardedSearchService:
         max_batch: int = 64,
         request_timeout: float = 120.0,
         query_log=None,
+        restart_policy: RestartPolicy | None = None,
+        retry_budget: int = 1,
+        monitor_interval: float = 0.25,
+        fault_plan: FaultPlan | None = None,
     ):
         self.manifest = load_manifest(shards_dir)
         self.measure = measure
@@ -78,6 +114,11 @@ class ShardedSearchService:
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.request_timeout = request_timeout
+        self.retry_budget = max(0, int(retry_budget))
+        self.monitor_interval = monitor_interval
+        self.restart_policy = restart_policy if restart_policy is not None else RestartPolicy()
+        #: Chaos hook: an explicit plan wins, else ``REPRO_FAULT_SPEC``.
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self.cache = AnswerCache(cache_size) if cache_size else None
         self.query_log = query_log
         self.registry = MetricsRegistry()
@@ -90,12 +131,24 @@ class ShardedSearchService:
         self._worker_deaths = self.registry.counter(
             "service_worker_deaths_total", "Shard workers observed dead"
         )
+        self._shard_retries = self.registry.counter(
+            "service_shard_retries_total", "Shard chunks retried after a death or timeout"
+        )
+        self._deadline_exceeded = self.registry.counter(
+            "service_deadline_exceeded_total", "Requests that ran out of deadline budget"
+        )
+        self._partial_results = self.registry.counter(
+            "service_partial_results_total", "Replies served as exact merges over surviving shards"
+        )
         self.workers = [
-            ShardWorker(
+            SupervisedWorker(
                 info.shard_id,
                 self.manifest.shard_path(info.shard_id),
                 info.offset,
                 self.measure_spec,
+                policy=self.restart_policy,
+                registry=self.registry,
+                fault_plan=self.fault_plan,
             )
             for info in self.manifest.shards
         ]
@@ -110,6 +163,8 @@ class ShardedSearchService:
         self._query_seq = 0
         self._handler_tasks: set = set()
         self._client_writers: set = set()
+        self._monitor_thread: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -119,9 +174,28 @@ class ShardedSearchService:
             self._queue = asyncio.Queue()
             self.shutdown_event = asyncio.Event()
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self._monitor_thread is None and self.monitor_interval > 0:
+            self._monitor_stop.clear()
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop, name="repro-service-monitor", daemon=True
+            )
+            self._monitor_thread.start()
+
+    def _monitor_loop(self) -> None:
+        """Poll worker liveness so dead shards heal without traffic."""
+        while not self._monitor_stop.wait(self.monitor_interval):
+            for worker in self.workers:
+                try:
+                    worker.check()
+                except Exception:  # pragma: no cover - monitor must never die
+                    pass
 
     async def aclose(self) -> None:
         """Stop the dispatcher and every worker; fail leftover requests."""
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(5)
+            self._monitor_thread = None
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -138,6 +212,24 @@ class ShardedSearchService:
             return_exceptions=True,
         )
         self._executor.shutdown(wait=True)
+
+    def reap_workers(self) -> None:
+        """Last-resort synchronous cleanup: kill any surviving children.
+
+        Registered via ``atexit`` by :func:`run_service` so an interpreter
+        that exits without the graceful path (an exception past the loop,
+        a signal handled as a plain exit) never leaves orphaned shard
+        workers burning CPU.  Safe to call repeatedly.
+        """
+        self._monitor_stop.set()
+        for supervisor in self.workers:
+            try:
+                process = supervisor.worker.process
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(2)
+            except Exception:
+                pass
 
     # -- request entry ------------------------------------------------
 
@@ -157,6 +249,8 @@ class ShardedSearchService:
                 "backend": self.backend,
                 "cache": self.cache is not None,
             }
+        if op == "health":
+            return self._health_response()
         if op == "metrics":
             return await self._metrics_response()
         if op == "shutdown":
@@ -200,12 +294,21 @@ class ShardedSearchService:
             raise ValueError(
                 f"query length {len(query)} != shard set length {self.manifest.length}"
             )
+        timeout_ms = message.get("timeout_ms")
+        if timeout_ms is None:
+            budget = self.request_timeout
+        else:
+            budget = float(timeout_ms) / 1000.0
+            if budget <= 0:
+                raise ValueError(f"timeout_ms must be positive, got {timeout_ms}")
         request = {
             "kind": kind,
             "query": [float(x) for x in query],
             "mirror": bool(message.get("mirror", False)),
             "max_degrees": message.get("max_degrees"),
             "wedge_set_size": int(message.get("wedge_set_size", 8)),
+            "allow_partial": bool(message.get("allow_partial", False)),
+            "deadline": time.monotonic() + budget,
         }
         if kind == "knn":
             k = int(message.get("k", 1))
@@ -229,7 +332,16 @@ class ShardedSearchService:
             knobs["k"] = request["k"]
         else:
             knobs["radius"] = request["radius"]
-        return AnswerCache.make_key(request["kind"], request["query"], self.measure, **knobs)
+        # The shard-manifest checksum scopes every entry to this exact
+        # shard set: a re-sharded or rebuilt dataset can never serve a
+        # stale answer, even through a process that kept its cache.
+        return AnswerCache.make_key(
+            request["kind"],
+            request["query"],
+            self.measure,
+            scope=self.manifest.checksum,
+            **knobs,
+        )
 
     async def _run_batch(self, batch: list) -> None:
         self._batch_sizes.observe(len(batch))
@@ -242,6 +354,12 @@ class ShardedSearchService:
                 request = self._normalize(message)
             except (KeyError, TypeError, ValueError) as exc:
                 plans.append(("done", _error("bad-request", str(exc))))
+                continue
+            if request["deadline"] <= time.monotonic():
+                self._deadline_exceeded.inc(1)
+                plans.append(
+                    ("done", _error("deadline-exceeded", "deadline expired before dispatch"))
+                )
                 continue
             use_cache = self.cache is not None and not message.get("no_cache", False)
             key = self._cache_key(request) if use_cache else None
@@ -261,16 +379,31 @@ class ShardedSearchService:
             jobs.append(request)
             job_keys.append(key)
 
-        answers: list[dict] = []
-        failure: dict | None = None
+        answers: list[dict | None] = []
+        missing: list[tuple[int, dict]] = []  # (shard_id, structured error)
         if jobs:
-            failure, shard_replies, wall = await self._fan_out(jobs)
-            if failure is None:
-                for j, request in enumerate(jobs):
-                    answer = self._merge_job(request, j, shard_replies, wall)
-                    if job_keys[j] is not None:
-                        self.cache.put(job_keys[j], answer)
-                    answers.append(answer)
+            outcomes, wall = await self._fan_out(jobs)
+            ok_replies = [
+                outcome for _status, outcome in (outcomes[w.shard_id] for w in self.workers)
+                if _status == "ok"
+            ]
+            missing = [
+                (w.shard_id, outcome)
+                for w in self.workers
+                for _status, outcome in (outcomes[w.shard_id],)
+                if _status != "ok"
+            ]
+            missing_ids = [shard_id for shard_id, _ in missing]
+            for j, request in enumerate(jobs):
+                if not ok_replies:
+                    answers.append(None)
+                    continue
+                answer = self._merge_job(request, j, ok_replies, wall, missing_ids)
+                if job_keys[j] is not None and not missing:
+                    # Partial answers are never cached: the cache must
+                    # only ever serve the full exact merge.
+                    self.cache.put(job_keys[j], answer)
+                answers.append(answer)
 
         for (message, fut), plan in zip(batch, plans):
             if fut.done():
@@ -279,65 +412,131 @@ class ShardedSearchService:
                 fut.set_result(plan[1])
                 continue
             _tag, idx, request = plan
-            if failure is not None:
-                fut.set_result(failure)
-                continue
-            response = {**answers[idx], "ok": True, "cached": False}
+            fut.set_result(self._job_response(request, answers[idx], missing))
+
+    def _job_response(self, request: dict, answer: dict | None, missing: list) -> dict:
+        """Decide one message's reply from its job answer + missing shards."""
+        if not missing:
+            response = {**answer, "ok": True, "cached": False}
             self._log_query(request, response)
-            fut.set_result(response)
+            return response
+        missing_ids = [shard_id for shard_id, _ in missing]
+        if answer is not None and request["allow_partial"]:
+            self._partial_results.inc(1)
+            response = {**answer, "ok": True, "cached": False}
+            self._log_query(request, response)
+            return response
+        # Surface the first failing shard's structured error, annotated
+        # with the full missing set so the caller knows the blast radius.
+        first_error = missing[0][1]["error"]
+        if first_error["type"] == "deadline-exceeded":
+            self._deadline_exceeded.inc(1)
+        return {
+            "ok": False,
+            "error": {**first_error, "missing_shards": missing_ids},
+        }
 
     async def _fan_out(self, jobs: list[dict]):
-        """Ship one chunk to every worker; returns (failure, replies, wall)."""
-        loop = asyncio.get_running_loop()
-        chunk = {"op": "search", "requests": jobs}
-        start = time.perf_counter()
-        replies = await asyncio.gather(
-            *(
-                loop.run_in_executor(self._executor, worker.request, chunk, self.request_timeout)
-                for worker in self.workers
-            ),
-            return_exceptions=True,
-        )
-        wall = time.perf_counter() - start
-        shard_replies = []
-        for worker, reply in zip(self.workers, replies):
-            if isinstance(reply, WorkerDiedError):
-                self._worker_deaths.inc(1, shard=str(reply.shard_id))
-                return (
-                    _error(
-                        "worker-died",
-                        f"shard worker {reply.shard_id} died mid-query: {reply}",
-                        shard=reply.shard_id,
-                    ),
-                    None,
-                    wall,
-                )
-            if isinstance(reply, TimeoutError):
-                return (
-                    _error("worker-timeout", str(reply), shard=worker.shard_id),
-                    None,
-                    wall,
-                )
-            if isinstance(reply, BaseException):
-                return (
-                    _error("internal", repr(reply), shard=worker.shard_id),
-                    None,
-                    wall,
-                )
-            if not reply.get("ok"):
-                return (
-                    _error(
-                        "worker-error",
-                        str(reply.get("error", "unknown worker error")),
-                        shard=worker.shard_id,
-                    ),
-                    None,
-                    wall,
-                )
-            shard_replies.append(reply)
-        return None, shard_replies, wall
+        """Ship one chunk to every worker, retrying failed shards once.
 
-    def _merge_job(self, request: dict, j: int, shard_replies: list, wall: float) -> dict:
+        Returns ``(outcomes, wall)`` where ``outcomes`` maps shard id to
+        ``(status, payload)``: ``("ok", reply)`` for answered shards, or a
+        failure status with a structured error.  The deadline budget (the
+        tightest in the batch -- members arrive within one 2 ms window) is
+        split across the initial attempt and ``retry_budget`` retries.
+        """
+        loop = asyncio.get_running_loop()
+        wire = [{k: v for k, v in job.items() if k not in _COORDINATOR_KEYS} for job in jobs]
+        deadline = min(job["deadline"] for job in jobs)
+        start = time.perf_counter()
+        outcomes: dict[int, tuple[str, dict]] = {}
+        ask = list(self.workers)
+        for attempt in range(self.retry_budget + 1):
+            if not ask:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            reserve = self.retry_budget - attempt
+            if reserve > 0:
+                slice_timeout = min(
+                    remaining, max(remaining / (reserve + 1), MIN_SLICE_SECONDS)
+                )
+            else:
+                slice_timeout = remaining
+            chunk = {"op": "search", "requests": wire, "budget_seconds": slice_timeout}
+            replies = await asyncio.gather(
+                *(
+                    loop.run_in_executor(self._executor, worker.request, chunk, slice_timeout)
+                    for worker in ask
+                ),
+                return_exceptions=True,
+            )
+            retry: list = []
+            for worker, reply in zip(ask, replies):
+                status, outcome = self._classify(worker, reply)
+                if status in ("died", "timeout") and attempt < self.retry_budget:
+                    self._shard_retries.inc(1, shard=str(worker.shard_id))
+                    retry.append(worker)
+                else:
+                    outcomes[worker.shard_id] = (status, outcome)
+            ask = retry
+        for worker in ask:
+            # Deadline spent before this shard's (re)try could run.
+            outcomes[worker.shard_id] = (
+                "timeout",
+                _error(
+                    "deadline-exceeded",
+                    f"deadline exhausted before shard {worker.shard_id} answered",
+                    shard=worker.shard_id,
+                ),
+            )
+        wall = time.perf_counter() - start
+        return outcomes, wall
+
+    def _classify(self, worker, reply) -> tuple[str, dict]:
+        """Map one shard's raw fan-out result to ``(status, payload)``."""
+        shard = worker.shard_id
+        if isinstance(reply, dict):
+            if reply.get("ok"):
+                return ("ok", reply)
+            if reply.get("error_type") == "deadline-exceeded":
+                return (
+                    "timeout",
+                    _error("worker-timeout", str(reply.get("error")), shard=shard),
+                )
+            return (
+                "fatal",
+                _error(
+                    "worker-error",
+                    str(reply.get("error", "unknown worker error")),
+                    shard=shard,
+                ),
+            )
+        if isinstance(reply, WorkerDiedError):
+            self._worker_deaths.inc(1, shard=str(reply.shard_id))
+            return (
+                "died",
+                _error(
+                    "worker-died",
+                    f"shard worker {reply.shard_id} died mid-query: {reply}",
+                    shard=reply.shard_id,
+                ),
+            )
+        if isinstance(reply, ShardDegradedError):
+            return ("fatal", _error("shard-degraded", str(reply), shard=shard))
+        if isinstance(reply, TimeoutError):
+            return ("timeout", _error("worker-timeout", str(reply), shard=shard))
+        return ("fatal", _error("internal", repr(reply), shard=shard))
+
+    def _merge_job(
+        self,
+        request: dict,
+        j: int,
+        shard_replies: list,
+        wall: float,
+        missing_ids: list[int] | None = None,
+    ) -> dict:
         from repro.core.search import merge_neighbors
         from repro.mining.queries import Neighbor
 
@@ -352,15 +551,20 @@ class ShardedSearchService:
             # does the same over global indices.
             merged = sorted((nb for part in partials for nb in part), key=lambda nb: nb.index)
         steps = sum(reply["results"][j]["steps"] for reply in shard_replies)
-        return {
+        answer = {
             "kind": request["kind"],
             "neighbors": [[nb.index, nb.distance, nb.rotation] for nb in merged],
             "steps": steps,
             "wall_seconds": wall,
             "shards": self.manifest.n_shards,
+            "shards_answered": len(shard_replies),
+            "partial": bool(missing_ids),
             "backend": self.backend,
             "measure": self.measure.name,
         }
+        if missing_ids:
+            answer["missing_shards"] = list(missing_ids)
+        return answer
 
     def _log_query(self, request: dict, response: dict) -> None:
         if self.query_log is None:
@@ -375,6 +579,7 @@ class ShardedSearchService:
                 "backend": self.backend,
                 "shards": self.manifest.n_shards,
                 "cached": response.get("cached", False),
+                "partial": response.get("partial", False),
                 "k": request.get("k"),
                 "radius": request.get("radius"),
                 "steps": response["steps"],
@@ -386,7 +591,39 @@ class ShardedSearchService:
             }
         )
 
-    # -- metrics ------------------------------------------------------
+    # -- health and metrics -------------------------------------------
+
+    def _health_response(self) -> dict:
+        """Supervisor state per shard, plus resilience counters.
+
+        Never touches the workers themselves -- health must stay cheap
+        and answerable even while every shard is crash-looping.
+        """
+        shards = [worker.describe() for worker in self.workers]
+        states = {entry["state"] for entry in shards}
+        if "degraded" in states:
+            status = "degraded"
+        elif "restarting" in states:
+            status = "restarting"
+        else:
+            status = "ok"
+        return {
+            "ok": True,
+            "server": "repro-service",
+            "protocol": PROTOCOL_VERSION,
+            "status": status,
+            "shards": shards,
+            "restarts": sum(entry["restarts"] for entry in shards),
+            "counters": {
+                "worker_deaths": self._worker_deaths.total(),
+                "worker_restarts": self.registry.counter(
+                    "service_worker_restarts_total"
+                ).total(),
+                "shard_retries": self._shard_retries.total(),
+                "deadline_exceeded": self._deadline_exceeded.total(),
+                "partial_results": self._partial_results.total(),
+            },
+        }
 
     async def _metrics_response(self) -> dict:
         loop = asyncio.get_running_loop()
@@ -400,21 +637,24 @@ class ShardedSearchService:
             return_exceptions=True,
         )
         merged = MetricsRegistry()
+        unreachable: list[int] = []
         for worker, reply in zip(self.workers, replies):
+            # A dead or degraded shard must not take /metrics down with
+            # it: fold what is reachable and name the rest.
             if isinstance(reply, WorkerDiedError):
                 self._worker_deaths.inc(1, shard=str(reply.shard_id))
-                return _error(
-                    "worker-died",
-                    f"shard worker {reply.shard_id} is dead",
-                    shard=reply.shard_id,
-                )
+                unreachable.append(worker.shard_id)
+                continue
             if isinstance(reply, BaseException):
-                return _error("internal", repr(reply), shard=worker.shard_id)
+                unreachable.append(worker.shard_id)
+                continue
             merged.merge(registry_from_dict(reply["metrics"]))
         merged.merge(self.registry)
         if self.cache is not None:
             self.cache.record_into(merged)
         response = {"ok": True, "prometheus": merged.to_prometheus()}
+        if unreachable:
+            response["unreachable_shards"] = unreachable
         if self.cache is not None:
             response["cache"] = self.cache.stats()
         return response
@@ -461,14 +701,31 @@ async def serve(service: ShardedSearchService, host: str = "127.0.0.1", port: in
     return await asyncio.start_server(handler, host, port)
 
 
-async def _serve_until_shutdown(service, host, port, ready_callback=None) -> None:
+async def _serve_until_shutdown(
+    service, host, port, ready_callback=None, install_signal_handlers=None
+) -> None:
     server = await serve(service, host, port)
     actual_port = server.sockets[0].getsockname()[1]
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers is None:
+        install_signal_handlers = threading.current_thread() is threading.main_thread()
+    installed: list = []
+    if install_signal_handlers:
+        # SIGTERM/SIGINT become a graceful shutdown: drain connections,
+        # stop the workers -- the fix for the orphaned-worker leak when
+        # `repro serve` is killed by the init system or Ctrl-C.
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(sig, service.shutdown_event.set)
+                installed.append(sig)
     if ready_callback is not None:
-        ready_callback(service, actual_port, asyncio.get_running_loop())
+        ready_callback(service, actual_port, loop)
     try:
         await service.shutdown_event.wait()
     finally:
+        for sig in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(sig)
         server.close()
         await server.wait_closed()
         # Drain live connections: closing the transports lets each handler
@@ -481,10 +738,23 @@ async def _serve_until_shutdown(service, host, port, ready_callback=None) -> Non
 
 
 def run_service(shards_dir, measure, host: str = "127.0.0.1", port: int = 0, **kwargs) -> None:
-    """Blocking entry point for ``repro serve``: serve until a shutdown op."""
+    """Blocking entry point for ``repro serve``: serve until a shutdown op.
+
+    Installs SIGTERM/SIGINT handlers (when running on the main thread)
+    that trigger the graceful drain, plus an ``atexit`` reaper so shard
+    worker processes are never orphaned however the interpreter exits.
+    """
     on_ready = kwargs.pop("on_ready", None)
+    install_signal_handlers = kwargs.pop("install_signal_handlers", None)
     service = ShardedSearchService(shards_dir, measure, **kwargs)
-    asyncio.run(_serve_until_shutdown(service, host, port, on_ready))
+    atexit.register(service.reap_workers)
+    try:
+        asyncio.run(
+            _serve_until_shutdown(service, host, port, on_ready, install_signal_handlers)
+        )
+    finally:
+        atexit.unregister(service.reap_workers)
+        service.reap_workers()
 
 
 class ServiceHandle:

@@ -17,6 +17,7 @@ The manifest also embeds a provenance block (git SHA, platform, versions)
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -63,6 +64,10 @@ class ShardManifest:
     index_config: dict
     provenance: dict = field(default_factory=dict)
     directory: Path | None = None
+    #: SHA-256 of the ``manifest.json`` bytes this object was read from
+    #: (or wrote).  Identifies the shard set as a whole -- the answer
+    #: cache scopes its keys by it -- and is derived, never serialized.
+    checksum: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -170,7 +175,9 @@ def save_shards(
         provenance=provenance_block({"artifact": "shard-set", "n_shards": n_shards}),
         directory=out,
     )
-    (out / MANIFEST_NAME).write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    manifest_bytes = json.dumps(manifest.to_dict(), indent=2, sort_keys=True).encode("utf-8")
+    (out / MANIFEST_NAME).write_bytes(manifest_bytes)
+    manifest.checksum = hashlib.sha256(manifest_bytes).hexdigest()
     return manifest
 
 
@@ -180,9 +187,9 @@ def load_manifest(directory) -> ShardManifest:
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
         raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
-    manifest = ShardManifest.from_dict(
-        json.loads(manifest_path.read_text()), directory=directory
-    )
+    manifest_bytes = manifest_path.read_bytes()
+    manifest = ShardManifest.from_dict(json.loads(manifest_bytes), directory=directory)
+    manifest.checksum = hashlib.sha256(manifest_bytes).hexdigest()
     covered = 0
     for info in manifest.shards:
         path = directory / info.file

@@ -1,0 +1,188 @@
+"""Fault-injection harness tests: grammar, determinism, real worker faults.
+
+The unit half exercises the spec grammar and the injector's trigger
+arithmetic in-process; the integration half points real shard-worker
+processes at terminal fault rules and checks the parent-side handle
+classifies every failure mode (crash, drop, corrupt, delay) correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service.faults import FAULT_ENV_VAR, FaultPlan, FaultRule
+from repro.service.shard import save_shards
+from repro.service.worker import ShardWorker, WorkerDiedError
+
+
+class TestGrammar:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7;crash:p=0.05,shard=1;delay:ms=40,every=3;corrupt:after=10,count=1"
+        )
+        assert plan.seed == 7
+        assert [rule.kind for rule in plan.rules] == ["crash", "delay", "corrupt"]
+        crash, delay, corrupt = plan.rules
+        assert crash.probability == 0.05 and crash.shard == 1
+        assert delay.delay_ms == 40 and delay.every == 3
+        assert corrupt.after == 10 and corrupt.count == 1
+
+    def test_spec_round_trip(self):
+        spec = "seed=11;crash:p=0.5,shard=2;delay:ms=25,every=4,op=*;drop:after=3"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.parse("seed=3;crash:every=17,shard=1;delay:p=0.1,ms=5")
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_parse_rejects_unknown_kind_and_keys(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode:p=1")
+        with pytest.raises(ValueError, match="unknown fault rule key"):
+            FaultPlan.parse("crash:frequency=2")
+        with pytest.raises(ValueError, match="not key=value"):
+            FaultPlan.parse("crash:p")
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan.parse("crash:p=1.5")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULT_ENV_VAR: "  "}) is None
+        plan = FaultPlan.from_env({FAULT_ENV_VAR: "seed=5;crash:p=0.2"})
+        assert plan.seed == 5 and plan.rules[0].kind == "crash"
+
+
+class TestInjector:
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan.parse("seed=9;crash:p=0.3")
+        a = plan.injector(0)
+        b = plan.injector(0)
+        draws_a = [a.draw("search")[1] is not None for _ in range(50)]
+        draws_b = [b.draw("search")[1] is not None for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_shards_draw_independently(self):
+        # Different shard id -> different RNG stream (seeded by seed:shard).
+        plan = FaultPlan.parse("seed=9;crash:p=0.3")
+        inj_a, inj_b = plan.injector(0), plan.injector(1)
+        a = [inj_a.draw("search")[1] is not None for _ in range(40)]
+        b = [inj_b.draw("search")[1] is not None for _ in range(40)]
+        assert a != b
+
+    def test_every_and_after_and_count(self):
+        plan = FaultPlan.parse("crash:every=3")
+        inj = plan.injector(0)
+        fired = [inj.draw("search")[1] is not None for _ in range(9)]
+        assert fired == [False, False, True] * 3
+
+        plan = FaultPlan.parse("crash:after=2")
+        inj = plan.injector(0)
+        assert [inj.draw("search")[1] is not None for _ in range(4)] == [
+            False,
+            False,
+            True,
+            True,
+        ]
+
+        plan = FaultPlan.parse("crash:count=2")
+        inj = plan.injector(0)
+        assert [inj.draw("search")[1] is not None for _ in range(4)] == [
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_shard_and_op_targeting(self):
+        rule = FaultRule(kind="crash", shard=1)
+        assert rule.matches(1, "search") and not rule.matches(0, "search")
+        assert not rule.matches(1, "metrics")
+        wildcard = FaultRule(kind="crash", op="*")
+        assert wildcard.matches(5, "metrics")
+        inj = FaultPlan(rules=(FaultRule(kind="crash", shard=1),)).injector(0)
+        assert inj.draw("search") == ([], None)
+
+    def test_delay_is_a_side_effect_not_terminal(self):
+        plan = FaultPlan.parse("delay:ms=1;crash:every=2")
+        inj = plan.injector(0)
+        delays, terminal = inj.draw("search")
+        assert [r.kind for r in delays] == ["delay"] and terminal is None
+        delays, terminal = inj.draw("search")
+        assert [r.kind for r in delays] == ["delay"] and terminal.kind == "crash"
+
+
+@pytest.fixture(scope="module")
+def one_shard(tmp_path_factory):
+    rng = np.random.default_rng(5)
+    data = np.cumsum(rng.normal(size=(8, 12)), axis=1)
+    directory = tmp_path_factory.mktemp("fault-shards")
+    manifest = save_shards(data, directory, 1, n_coefficients=6)
+    return manifest.shard_path(0), data
+
+
+def _chunk(data, n=1):
+    return {
+        "op": "search",
+        "requests": [
+            {"kind": "knn", "query": [float(x) for x in data[i % len(data)]], "k": 1}
+            for i in range(n)
+        ],
+    }
+
+
+class TestRealWorkerFaults:
+    """Each terminal fault kind, against a live worker process."""
+
+    def _worker(self, one_shard, spec):
+        path, _data = one_shard
+        fault_spec = FaultPlan.parse(spec).to_dict()
+        return ShardWorker(0, path, 0, {"name": "euclidean"}, fault_spec=fault_spec)
+
+    @pytest.mark.parametrize("kind", ["crash", "drop", "corrupt"])
+    def test_terminal_faults_surface_as_worker_died(self, one_shard, kind):
+        worker = self._worker(one_shard, f"{kind}:p=1")
+        try:
+            with pytest.raises(WorkerDiedError):
+                worker.request(_chunk(one_shard[1]), timeout=30)
+        finally:
+            worker.stop()
+
+    def test_delay_slows_but_answers(self, one_shard):
+        import time
+
+        worker = self._worker(one_shard, "delay:ms=120")
+        try:
+            start = time.perf_counter()
+            reply = worker.request(_chunk(one_shard[1]), timeout=30)
+            elapsed = time.perf_counter() - start
+            assert reply["ok"] and elapsed >= 0.1
+        finally:
+            worker.stop()
+
+    def test_every_counts_per_process_and_resets_on_respawn(self, one_shard):
+        worker = self._worker(one_shard, "crash:every=2")
+        try:
+            assert worker.request(_chunk(one_shard[1]), timeout=30)["ok"]
+            with pytest.raises(WorkerDiedError):
+                worker.request(_chunk(one_shard[1]), timeout=30)
+            worker.respawn()
+            # Fresh process, fresh trigger counters: first request is safe.
+            assert worker.request(_chunk(one_shard[1]), timeout=30)["ok"]
+        finally:
+            worker.stop()
+
+    def test_budget_aborts_with_structured_deadline_error(self, one_shard):
+        path, data = one_shard
+        worker = ShardWorker(0, path, 0, {"name": "euclidean"})
+        try:
+            chunk = _chunk(data, n=4)
+            chunk["budget_seconds"] = 0.0  # spent before the first request
+            reply = worker.request(chunk, timeout=30)
+            assert reply["ok"] is False
+            assert reply["error_type"] == "deadline-exceeded"
+            assert reply["shard"] == 0
+            # The pipe is still synchronized: the next request answers.
+            assert worker.request(_chunk(data), timeout=30)["ok"]
+        finally:
+            worker.stop()

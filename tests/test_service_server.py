@@ -167,19 +167,37 @@ class TestTcpFrontEnd:
 
 
 class TestWorkerDeath:
-    def test_killed_worker_yields_structured_error(self, shard_dir, walks):
+    def test_killed_worker_self_heals_bit_identically(self, shard_dir, walks):
+        """The PR's headline acceptance: SIGKILL a worker, the next query to
+        that shard succeeds bit-identically and the restart counter moved."""
         handle = start_service_thread(shard_dir, EuclideanMeasure(), cache_size=0)
         try:
-            ok = handle.request({"op": "knn", "query": list(walks[0]), "k": 1})
-            assert ok["ok"]
+            query = walks[0] + 0.07
+            before = handle.request({"op": "knn", "query": list(query), "k": 3})
+            assert before["ok"]
             victim = handle.service.workers[1]
-            victim.process.kill()
-            victim.process.join(10)
-            failed = handle.request({"op": "knn", "query": list(walks[0]), "k": 1})
-            assert failed["ok"] is False
-            assert failed["error"]["type"] == "worker-died"
-            assert failed["error"]["shard"] == 1
-            assert "shard worker 1" in failed["error"]["message"]
+            victim.worker.process.kill()
+            victim.worker.process.join(10)
+            after = handle.request({"op": "knn", "query": list(query), "k": 3})
+            assert after["ok"], after
+            assert after["neighbors"] == before["neighbors"]
+            assert after.get("partial") is False
+            expected = knn_search(walks, query, EuclideanMeasure(), k=3)
+            assert after["neighbors"] == [
+                [nb.index, nb.distance, nb.rotation] for nb in expected
+            ]
+            metrics = handle.request({"op": "metrics"})
+            parsed = parse_prometheus_text(metrics["prometheus"])
+            restarts = sum(
+                value
+                for name, _labels, value in parsed["samples"]
+                if name == "service_worker_restarts_total"
+            )
+            assert restarts >= 1
+            health = handle.request({"op": "health"})
+            assert health["ok"]
+            assert health["shards"][1]["restarts"] >= 1
+            assert health["shards"][1]["state"] == "live"
             # The front-end itself stays responsive.
             assert handle.request({"op": "ping"})["ok"]
         finally:
