@@ -161,6 +161,14 @@ def run_load(handle, pool, clients: int, requests_per_client: int, k: int) -> di
     }
 
 
+def _fetch_json(url: str) -> dict:
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
 def quick_smoke() -> int:
     """CI tripwire: shard, serve, 20 concurrent queries, exact + parseable."""
     data = _make_data(36, 32)
@@ -169,7 +177,7 @@ def quick_smoke() -> int:
     failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-svc-quick-") as tmp:
         save_shards(data, tmp, 3, n_coefficients=8)
-        handle = start_service_thread(tmp, measure, cache_size=64)
+        handle = start_service_thread(tmp, measure, cache_size=64, telemetry_port=0)
         try:
             failures += check_exactness(handle, data, measure, pool, k=3)
             print(f"    exactness: {len(pool)} knn + {len(pool)} range queries bit-identical")
@@ -221,6 +229,24 @@ def quick_smoke() -> int:
                     f"    /metrics parses ({len(parsed['families'])} families), "
                     f"cache {cache.get('hits')}h/{cache.get('misses')}m"
                 )
+
+            # The telemetry sidecar serves live state over HTTP.
+            base = f"http://127.0.0.1:{handle.service.telemetry.port}"
+            slo = _fetch_json(f"{base}/slo")
+            if set(slo.get("windows", {})) != {"10s", "1m", "5m"}:
+                failures.append(f"/slo windows malformed: {sorted(slo.get('windows', {}))}")
+            elif slo["windows"]["5m"]["count"] < 20:
+                failures.append(f"/slo saw {slo['windows']['5m']['count']} requests, expected >=20")
+            traces = _fetch_json(f"{base}/traces/recent")
+            if traces.get("traces_total", 0) < 1 or not traces.get("recent"):
+                failures.append(f"/traces/recent is empty: total={traces.get('traces_total')}")
+            telemetry_health = _fetch_json(f"{base}/health")
+            if set(telemetry_health.get("slo", {})) != {"alerts", "windows"}:
+                failures.append(f"/health lacks the slo block: {sorted(telemetry_health)}")
+            print(
+                f"    telemetry plane: /slo count={slo['windows']['5m']['count']}, "
+                f"{traces.get('traces_total', 0)} stitched traces"
+            )
         finally:
             handle.close()
     if failures:
@@ -377,6 +403,73 @@ def chaos_smoke(n_queries: int = 50, n_threads: int = 8) -> int:
     return 0
 
 
+def slo_agreement(data, measure, pool, k: int, clients: int = 8, per_client: int = 6):
+    """Cross-check the SLO engine against external client-side measurement.
+
+    One load level against a fresh telemetry-enabled service; the
+    ``/slo`` self-reported p50/p95/p99 must agree with the percentiles
+    computed from the clients' own stopwatches over the *same* traffic.
+    The 5-minute window is compared (a slow host can stretch the load
+    past the 1-minute window, which would honestly forget the early
+    requests), and the tolerance is loose by design -- the external
+    number includes TCP framing and client scheduling the coordinator
+    cannot see -- but a broken sketch (wrong bucketing, wrong window,
+    dropped samples) is orders of magnitude off, which is what this
+    gate catches.
+    """
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-svc-slo-") as tmp:
+        save_shards(data, tmp, 3, n_coefficients=8)
+        handle = start_service_thread(tmp, measure, cache_size=0, telemetry_port=0)
+        try:
+            load = run_load(handle, pool, clients, per_client, k=k)
+            failures += load["errors"]
+            base = f"http://127.0.0.1:{handle.service.telemetry.port}"
+            window = _fetch_json(f"{base}/slo")["windows"]["5m"]
+        finally:
+            handle.close()
+    expected = load["requests"]
+    if window["count"] != expected:
+        failures.append(
+            f"slo_agreement: /slo 5m window saw {window['count']} requests, "
+            f"expected {expected}"
+        )
+    comparison = {}
+    for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+        external = load[quantile]
+        reported = window[quantile]
+        tolerance = max(0.5 * external, 25.0)
+        delta = abs(reported - external)
+        comparison[quantile] = {
+            "external_ms": external,
+            "self_reported_ms": round(reported, 3),
+            "delta_ms": round(delta, 3),
+            "tolerance_ms": round(tolerance, 3),
+        }
+        if delta > tolerance:
+            failures.append(
+                f"slo_agreement: {quantile} self-reported {reported:.2f} ms vs "
+                f"external {external:.2f} ms (delta {delta:.2f} > "
+                f"tolerance {tolerance:.2f})"
+            )
+    result = {
+        "clients": clients,
+        "requests": expected,
+        "window": "5m",
+        "comparison": comparison,
+        "agrees": not failures,
+    }
+    print(
+        "slo agreement (self-reported vs external): "
+        + "  ".join(
+            f"{q} {c['self_reported_ms']}/{c['external_ms']} ms"
+            for q, c in comparison.items()
+        )
+        + ("  OK" if result["agrees"] else "  DISAGREES")
+    )
+    return result, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke tripwire")
@@ -433,8 +526,14 @@ def main(argv=None) -> int:
             save_shards(data, shard_dir, n_shards, n_coefficients=8)
             phases[f"shard_{n_shards}_build"] = time.perf_counter() - t0
             for cache_on in (False, True):
+                # A roomy server deadline: at 64 clients on a small host the
+                # queue alone can exceed the 120 s default, and a deadline
+                # storm (timeouts kill workers) would poison the percentiles.
                 handle = start_service_thread(
-                    shard_dir, measure, cache_size=1024 if cache_on else 0
+                    shard_dir,
+                    measure,
+                    cache_size=1024 if cache_on else 0,
+                    request_timeout=600.0,
                 )
                 try:
                     if not cache_on:
@@ -458,14 +557,26 @@ def main(argv=None) -> int:
                                 round(stats["hits"] / seen, 4) if seen else 0.0
                             )
                         results.append(row)
+                        if row["requests"] == 0:
+                            failures.append(
+                                f"shards={n_shards} cache={cache_on} "
+                                f"clients={clients}: no request completed"
+                            )
                         print(
                             f"shards={n_shards} cache={'on ' if cache_on else 'off'} "
                             f"clients={clients:>2}: {row['qps']:>8} QPS  "
-                            f"p50 {row['p50_ms']:>8} ms  p95 {row['p95_ms']:>8} ms  "
-                            f"p99 {row['p99_ms']:>8} ms"
+                            f"p50 {row['p50_ms']!s:>8} ms  p95 {row['p95_ms']!s:>8} ms  "
+                            f"p99 {row['p99_ms']!s:>8} ms"
                         )
                 finally:
                     handle.close()
+
+    # Telemetry cross-check: the SLO engine's self-reported percentiles
+    # must agree with external measurement on the same traffic.
+    t0 = time.perf_counter()
+    slo_result, slo_failures = slo_agreement(data, measure, pool, k=args.k)
+    phases["slo_agreement"] = time.perf_counter() - t0
+    failures += slo_failures
 
     # The 4-vs-1-shard QPS floor at the highest client count, cache off.
     top = max(client_levels)
@@ -499,6 +610,7 @@ def main(argv=None) -> int:
             "query_pool": args.pool,
             "client_levels": client_levels,
             "shard_counts": shard_counts,
+            "request_timeout_s": 600.0,
         },
         "cpu_count": cpu_count,
         "results": results,
@@ -507,6 +619,7 @@ def main(argv=None) -> int:
             "range_queries_checked": args.pool * len(shard_counts),
             "bit_identical_to_single_process": not any("query#" in f for f in failures),
         },
+        "slo_agreement": slo_result,
         "speedup_at_top_clients": speedup,
         "speedup_floor": args.min_speedup,
         "speedup_floor_enforced": floor_enforced,

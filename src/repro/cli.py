@@ -21,7 +21,13 @@ Mine a light-curve archive for outliers::
 Trace one query and summarize a structured run log::
 
     python -m repro search --size 50 --trace --obs-log runs.jsonl
-    python -m repro obs runs.jsonl
+    python -m repro obs log runs.jsonl
+
+Watch a live service and render one of its stitched traces::
+
+    python -m repro serve --shards shards/ --measure dtw --telemetry-port 9464
+    python -m repro top --port 9464
+    python -m repro obs trace http://127.0.0.1:9464/traces/recent --waterfall
 
 Build a durable index archive once, then inspect and query it (optionally
 memory-mapped, so the collection never materialises in RAM)::
@@ -185,6 +191,65 @@ def cmd_obs(args) -> int:
     else:
         print(format_summary(summary))
     return 0
+
+
+def _fetch_json(source: str, timeout: float = 10.0) -> dict:
+    """Load JSON from a local file or an http(s) URL (telemetry endpoint)."""
+    import json
+
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(source, timeout=timeout) as resp:  # noqa: S310 - operator-supplied URL
+            return json.loads(resp.read().decode("utf-8"))
+    with open(source, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def cmd_obs_trace(args) -> int:
+    from repro.obs.waterfall import pick_trace, render_waterfall
+
+    try:
+        payload = _fetch_json(args.source)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.source}: {exc}") from exc
+    try:
+        trace = pick_trace(payload, trace_id=args.trace_id, index=args.index)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        import json
+
+        print(json.dumps(trace, indent=2, sort_keys=True))
+    else:
+        # --waterfall is the default (and only) text rendering; the flag
+        # exists so scripts can state their intent explicitly.
+        print(render_waterfall(trace, width=args.width))
+    return 0
+
+
+def cmd_top(args) -> int:
+    import json
+    import time
+
+    from repro.service.telemetry import format_dashboard
+
+    base = f"http://{args.host}:{args.port}"
+    while True:
+        try:
+            slo = _fetch_json(base + "/slo", timeout=args.timeout)
+            health = _fetch_json(base + "/health", timeout=args.timeout)
+            traces = _fetch_json(base + "/traces/recent", timeout=args.timeout)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot reach telemetry at {base}: {exc}", file=sys.stderr)
+            return 1
+        frame = format_dashboard(slo, health, traces)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home keeps the dashboard in place between polls.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+        time.sleep(args.interval)
 
 
 def _make_obs(args):
@@ -407,18 +472,25 @@ def cmd_serve(args) -> int:
     if args.obs_log:
         from repro.obs.querylog import QueryLogger
 
-        query_log = QueryLogger(args.obs_log)
+        query_log = QueryLogger(
+            args.obs_log, max_bytes=args.obs_log_max_bytes, keep=args.obs_log_keep
+        )
     # --fault-spec beats the REPRO_FAULT_SPEC env var (run_service falls
     # back to the env var when no explicit plan is passed).
     fault_plan = FaultPlan.parse(args.fault_spec) if args.fault_spec else None
     restart_policy = RestartPolicy(degrade_after=args.degrade_after)
 
     def on_ready(service, port, loop):
+        telemetry = (
+            f", telemetry http://{service.telemetry.host}:{service.telemetry.port}"
+            if service.telemetry is not None
+            else ""
+        )
         print(
             f"repro-service listening on {args.host}:{port} "
             f"({service.manifest.n_shards} shards, {service.manifest.objects} objects, "
             f"measure={measure.name}, backend={service.backend}, "
-            f"cache={'on' if service.cache is not None else 'off'})",
+            f"cache={'on' if service.cache is not None else 'off'}{telemetry})",
             flush=True,
         )
 
@@ -434,6 +506,9 @@ def cmd_serve(args) -> int:
             query_log=query_log,
             restart_policy=restart_policy,
             fault_plan=fault_plan,
+            tracing=not args.no_tracing,
+            telemetry_port=args.telemetry_port,
+            telemetry_host=args.telemetry_host,
             on_ready=on_ready,
         )
     finally:
@@ -727,6 +802,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="consecutive worker failures before a shard is marked degraded",
     )
+    serve.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /health, /slo, /traces/recent over HTTP on PORT (0 = ephemeral)",
+    )
+    serve.add_argument("--telemetry-host", default="127.0.0.1")
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable per-batch distributed tracing (answers are bit-identical either way)",
+    )
+    serve.add_argument(
+        "--obs-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the --obs-log file before it exceeds N bytes",
+    )
+    serve.add_argument(
+        "--obs-log-keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated --obs-log files to retain (default 3)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser("client", help="query a running repro-service over TCP")
@@ -766,11 +868,48 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--json", action="store_true", help="emit the raw response as JSON")
     client.set_defaults(func=cmd_client)
 
-    obs = sub.add_parser("obs", help="summarize a JSONL query log (tier funnel, slow queries)")
-    obs.add_argument("log", help="path to a query log written by QueryLogger / --obs-log")
-    obs.add_argument("--top", type=int, default=5, help="how many slow queries to list")
-    obs.add_argument("--json", action="store_true", help="emit the summary as JSON")
-    obs.set_defaults(func=cmd_obs)
+    obs = sub.add_parser("obs", help="observability: query-log summaries and trace rendering")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_log = obs_sub.add_parser(
+        "log", help="summarize a JSONL query log (tier funnel, slow queries)"
+    )
+    obs_log.add_argument("log", help="path to a query log written by QueryLogger / --obs-log")
+    obs_log.add_argument("--top", type=int, default=5, help="how many slow queries to list")
+    obs_log.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    obs_log.set_defaults(func=cmd_obs)
+    obs_trace = obs_sub.add_parser(
+        "trace", help="render a stitched cross-process trace as a waterfall"
+    )
+    obs_trace.add_argument(
+        "source",
+        help="trace JSON: a file, or a live service's http://HOST:PORT/traces/recent URL",
+    )
+    obs_trace.add_argument(
+        "--waterfall",
+        action="store_true",
+        help="timeline rendering (the default; flag kept for explicit scripts)",
+    )
+    obs_trace.add_argument(
+        "--trace-id", default=None, metavar="ID", help="select by trace id (prefix match)"
+    )
+    obs_trace.add_argument(
+        "--index", type=int, default=0, help="select the Nth trace when no --trace-id (default 0)"
+    )
+    obs_trace.add_argument("--width", type=int, default=100, help="waterfall width in columns")
+    obs_trace.add_argument("--json", action="store_true", help="emit the selected trace as JSON")
+    obs_trace.set_defaults(func=cmd_obs_trace)
+
+    top = sub.add_parser("top", help="live terminal dashboard over a service's telemetry port")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9464, help="telemetry HTTP port")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit (CI / scripting)"
+    )
+    top.add_argument("--timeout", type=float, default=5.0, help="per-request HTTP timeout")
+    top.set_defaults(func=cmd_top)
 
     classify = sub.add_parser("classify", help="Table-8 protocol on one dataset")
     classify.add_argument("--dataset", required=True)
@@ -796,6 +935,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     parser = build_parser()
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: `repro obs <logfile>` predates the log/trace split.
+    if argv[:1] == ["obs"] and len(argv) > 1 and argv[1] not in ("log", "trace", "-h", "--help"):
+        argv.insert(1, "log")
     args = parser.parse_args(argv)
     return args.func(args)
 

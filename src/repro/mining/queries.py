@@ -62,12 +62,15 @@ def knn_search(
     max_degrees: float | None = None,
     wedge_set_size: int = 8,
     counter: StepCounter | None = None,
+    tracer=None,
 ) -> list[Neighbor]:
     """The k nearest rotation-invariant neighbours, ascending by distance.
 
     Exact: identical to sorting all rotation-invariant distances and taking
     the first k, but pruned with wedges against the running k-th best.
     Returns fewer than ``k`` entries only when the database is smaller.
+    ``tracer`` (a :class:`repro.obs.Tracer`) records per-tier pruning
+    spans via ``h_merge``; it never affects answers or step counts.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
@@ -84,7 +87,7 @@ def knn_search(
     for i, obj in enumerate(database):
         obj = np.asarray(obj, dtype=np.float64)
         threshold = -heap[0][0] if len(heap) == k else math.inf
-        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter)
+        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter, tracer=tracer)
         if not math.isfinite(dist):
             continue
         if len(heap) < k:
@@ -105,6 +108,7 @@ def range_search(
     max_degrees: float | None = None,
     wedge_set_size: int = 8,
     counter: StepCounter | None = None,
+    tracer=None,
 ) -> list[Neighbor]:
     """Every object within ``radius`` of the query under any rotation.
 
@@ -122,7 +126,7 @@ def range_search(
     threshold = radius * (1.0 + 1e-12) + 1e-300
     for i, obj in enumerate(database):
         obj = np.asarray(obj, dtype=np.float64)
-        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter)
+        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter, tracer=tracer)
         if math.isfinite(dist) and dist <= radius:
             hits.append(Neighbor(i, dist, rotation))
     return hits

@@ -13,9 +13,20 @@ Three pillars, all dependency-free and opt-in:
   finished query into the standard family set, and registries
   :meth:`~MetricsRegistry.merge` across pool workers.
 * **Query logs** (:mod:`repro.obs.querylog`) -- :class:`QueryLogger`
-  appends one JSONL record per query; :mod:`repro.obs.report` summarizes
-  a log into the tier funnel / slow-query / cache-ratio report behind
-  ``python -m repro obs``.
+  appends one JSONL record per query (with opt-in size-based rotation);
+  :mod:`repro.obs.report` summarizes a log into the tier funnel /
+  slow-query / cache-ratio report behind ``python -m repro obs log``.
+
+On top of those, the service layer gets:
+
+* **Distributed traces** -- spans carry W3C-style
+  ``trace_id``/``span_id``/``parent_id``; :meth:`Tracer.attach_tree`
+  stitches worker subtrees shipped back in protocol replies into one
+  cross-process trace, rendered by :mod:`repro.obs.waterfall`.
+* **Rolling SLOs** (:mod:`repro.obs.slo`) -- :class:`SloEngine` tracks
+  p50/p95/p99 latency, QPS, error rate, cache hit ratio, and named
+  operational events over 10s/1m/5m sliding windows of mergeable
+  log-bucket histograms, with threshold-based burn alerts.
 
 :func:`provenance_block` stamps benchmark artifacts with git SHA,
 platform, and versions so BENCH_*.json results are attributable.
@@ -42,13 +53,32 @@ from repro.obs.report import (
     summarize_query_log,
     tier_funnel,
 )
-from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.slo import SlidingWindow, SloEngine, SloThresholds, quantile_from_buckets
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    span_from_dict,
+)
+from repro.obs.waterfall import pick_trace, render_waterfall
 
 __all__ = [
     "Span",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "new_trace_id",
+    "new_span_id",
+    "span_from_dict",
+    "SloEngine",
+    "SloThresholds",
+    "SlidingWindow",
+    "quantile_from_buckets",
+    "pick_trace",
+    "render_waterfall",
     "Counter",
     "Gauge",
     "Histogram",

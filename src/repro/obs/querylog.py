@@ -48,22 +48,52 @@ class QueryLogger:
         file-like object (anything with ``write``) to stream elsewhere.
     append:
         Open mode for path destinations; ``False`` truncates.
+    max_bytes:
+        Opt-in size-based rotation: before a write would push the file
+        past this size, it is rotated to ``<path>.1`` (existing ``.1``
+        shifts to ``.2`` and so on, oldest deleted past ``keep``) and a
+        fresh file is started.  ``None`` (default) never rotates.
+    keep:
+        How many rotated files to retain (``<path>.1`` .. ``<path>.N``).
 
     Use as a context manager or call :meth:`close` explicitly.  Records
     missing a ``query_id`` get a monotonically increasing sequence number.
     """
 
-    def __init__(self, path, append: bool = True):
+    def __init__(self, path, append: bool = True, *, max_bytes: int | None = None, keep: int = 3):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be positive, got {keep}")
         self._seq = 0
+        self.max_bytes = max_bytes
+        self.keep = keep
         if hasattr(path, "write"):
+            if max_bytes is not None:
+                raise ValueError("rotation requires a path destination, not a file-like object")
             self._fh = path
             self._owns = False
             self.path = None
+            self._size = 0
         else:
             self.path = Path(path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
             self._owns = True
+            self._size = self.path.stat().st_size if append and self.path.exists() else 0
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        for i in range(self.keep, 0, -1):
+            older = self.path.with_name(f"{self.path.name}.{i}")
+            if i == self.keep:
+                older.unlink(missing_ok=True)
+                continue
+            if older.exists():
+                older.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._size = 0
 
     def log(self, record: dict) -> dict:
         """Write one record (a JSON object) as a single line; returns it."""
@@ -74,8 +104,12 @@ class QueryLogger:
             record["query_id"] = self._seq
         self._seq += 1
         record.setdefault("ts", time.time())
-        self._fh.write(json.dumps(_jsonable(record), sort_keys=True) + "\n")
+        line = json.dumps(_jsonable(record), sort_keys=True) + "\n"
+        if self.max_bytes is not None and self._owns and self._size and self._size + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
         self._fh.flush()
+        self._size += len(line)
         return record
 
     def log_result(

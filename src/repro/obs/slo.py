@@ -1,0 +1,288 @@
+"""Rolling SLO engine: sliding-window latency/error/throughput stats.
+
+The service-level view of the paper's exactness story: answers are
+provably exact (zero false dismissals), so the remaining questions are
+operational -- *how fast*, *how often wrong at the transport layer*, and
+*is it getting worse right now*.  :class:`SloEngine` answers those with
+sliding windows (10s / 1m / 5m by default), each a ring of time slots
+holding a fixed log-bucket latency histogram plus counters for errors,
+cache hits, and arbitrary named events (restarts, deadline misses).
+
+Design notes:
+
+- **Log-bucket quantiles.**  Latencies land in geometric buckets
+  (``DEFAULT_LATENCY_BOUNDS``: ~0.1ms to ~300s, x sqrt(2) per step), and
+  p50/p95/p99 are read back with linear interpolation inside the winning
+  bucket.  Relative error is bounded by the bucket ratio (~41%
+  worst-case, far less in practice) and the sketch is O(1) per record
+  and mergeable bucket-by-bucket -- the same shape as
+  ``MetricsRegistry.merge`` so multi-process snapshots fold together.
+- **Absolute slot ids.**  Each window of ``seconds`` is ``slots`` ring
+  entries keyed by ``int(now / slot_span)``; stale entries are lazily
+  evicted on record/snapshot.  No background thread, no timers.
+- **Alerts.**  :class:`SloThresholds` declares burn conditions on one
+  window; :meth:`SloEngine.alerts` evaluates them from the current
+  snapshot so ``health`` responses can surface SLO burn without extra
+  plumbing.
+
+Everything here is observation-only: the engine never touches search
+state or step counters, so answers are bit-identical with it on or off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_WINDOWS",
+    "SloThresholds",
+    "SlidingWindow",
+    "SloEngine",
+    "quantile_from_buckets",
+]
+
+#: Geometric latency bucket upper bounds in seconds: 0.1ms .. ~300s,
+#: multiplying by sqrt(2) each step (44 buckets + overflow).
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(1e-4 * 2 ** (i / 2.0) for i in range(44))
+
+#: Window name -> span in seconds.
+DEFAULT_WINDOWS: dict[str, float] = {"10s": 10.0, "1m": 60.0, "5m": 300.0}
+
+
+def quantile_from_buckets(bounds: tuple[float, ...], counts: list[int], q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) from a log-bucket histogram.
+
+    ``counts`` has ``len(bounds) + 1`` entries (the last is overflow).
+    Linear interpolation within the winning bucket; the overflow bucket
+    reports its lower bound (we cannot know how far past it values went).
+    Returns 0.0 on an empty histogram.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if seen + count >= rank:
+            lo = bounds[i - 1] if i > 0 else 0.0
+            if i >= len(bounds):  # overflow bucket
+                return bounds[-1]
+            hi = bounds[i]
+            frac = (rank - seen) / count
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        seen += count
+    return bounds[-1]
+
+
+class _Slot:
+    """One time slot of a sliding window: histogram + counters."""
+
+    __slots__ = ("sid", "counts", "total", "errors", "cache_hits", "events")
+
+    def __init__(self, sid: int, n_buckets: int):
+        self.sid = sid
+        self.counts = [0] * n_buckets
+        self.total = 0
+        self.errors = 0
+        self.cache_hits = 0
+        self.events: dict[str, int] = {}
+
+
+class SlidingWindow:
+    """A ring of time slots covering the trailing ``seconds``.
+
+    Not thread-safe on its own; :class:`SloEngine` serialises access.
+    """
+
+    def __init__(self, seconds: float, slots: int = 10, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS):
+        if seconds <= 0 or slots < 1:
+            raise ValueError(f"window needs positive seconds/slots, got {seconds}/{slots}")
+        self.seconds = float(seconds)
+        self.slots = slots
+        self.bounds = bounds
+        self.slot_span = self.seconds / slots
+        self._ring: dict[int, _Slot] = {}
+
+    def _slot(self, now: float) -> _Slot:
+        sid = int(now / self.slot_span)
+        slot = self._ring.get(sid)
+        if slot is None:
+            slot = _Slot(sid, len(self.bounds) + 1)
+            self._ring[sid] = slot
+            self._prune(sid)
+        return slot
+
+    def _prune(self, current_sid: int) -> None:
+        oldest = current_sid - self.slots + 1
+        for sid in [s for s in self._ring if s < oldest]:
+            del self._ring[sid]
+
+    def _bucket(self, value: float) -> int:
+        # Binary search over the geometric bounds.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def record(self, latency_seconds: float, now: float, *, error: bool = False, cached: bool = False) -> None:
+        slot = self._slot(now)
+        slot.counts[self._bucket(latency_seconds)] += 1
+        slot.total += 1
+        if error:
+            slot.errors += 1
+        if cached:
+            slot.cache_hits += 1
+
+    def record_event(self, name: str, n: int, now: float) -> None:
+        slot = self._slot(now)
+        slot.events[name] = slot.events.get(name, 0) + n
+
+    def merge(self, other: "SlidingWindow") -> None:
+        """Fold another window's live slots in (same bounds/slot span)."""
+        for sid, slot in other._ring.items():
+            mine = self._ring.get(sid)
+            if mine is None:
+                mine = _Slot(sid, len(self.bounds) + 1)
+                self._ring[sid] = mine
+            for i, c in enumerate(slot.counts):
+                mine.counts[i] += c
+            mine.total += slot.total
+            mine.errors += slot.errors
+            mine.cache_hits += slot.cache_hits
+            for name, n in slot.events.items():
+                mine.events[name] = mine.events.get(name, 0) + n
+
+    def snapshot(self, now: float) -> dict:
+        """Aggregate live slots into one stats dict."""
+        current_sid = int(now / self.slot_span)
+        self._prune(current_sid)
+        counts = [0] * (len(self.bounds) + 1)
+        total = errors = cache_hits = 0
+        events: dict[str, int] = {}
+        for slot in self._ring.values():
+            if slot.sid > current_sid:
+                continue
+            for i, c in enumerate(slot.counts):
+                counts[i] += c
+            total += slot.total
+            errors += slot.errors
+            cache_hits += slot.cache_hits
+            for name, n in slot.events.items():
+                events[name] = events.get(name, 0) + n
+        return {
+            "count": total,
+            "qps": total / self.seconds,
+            "p50_ms": quantile_from_buckets(self.bounds, counts, 0.50) * 1e3,
+            "p95_ms": quantile_from_buckets(self.bounds, counts, 0.95) * 1e3,
+            "p99_ms": quantile_from_buckets(self.bounds, counts, 0.99) * 1e3,
+            "errors": errors,
+            "error_rate": errors / total if total else 0.0,
+            "cache_hits": cache_hits,
+            "cache_hit_ratio": cache_hits / total if total else 0.0,
+            "events": events,
+        }
+
+
+@dataclass(frozen=True)
+class SloThresholds:
+    """Burn conditions evaluated against one window's snapshot.
+
+    ``None`` disables a condition.  Latency thresholds are milliseconds;
+    ``error_rate`` is a fraction (0..1).
+    """
+
+    window: str = "1m"
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+    error_rate: float | None = None
+
+    def evaluate(self, stats: dict) -> list[dict]:
+        alerts = []
+        for slo in ("p50_ms", "p95_ms", "p99_ms", "error_rate"):
+            threshold = getattr(self, slo)
+            if threshold is None or stats.get("count", 0) == 0:
+                continue
+            value = stats.get(slo, 0.0)
+            if value > threshold:
+                alerts.append({"slo": slo, "window": self.window, "value": value, "threshold": threshold})
+        return alerts
+
+
+class SloEngine:
+    """Thread-safe multi-window SLO tracker for one service process.
+
+    ``clock`` defaults to ``time.monotonic``; tests inject a fake clock
+    to step windows deterministically.
+    """
+
+    def __init__(
+        self,
+        windows: dict[str, float] | None = None,
+        *,
+        slots: int = 10,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+        thresholds: SloThresholds | None = None,
+        clock=time.monotonic,
+    ):
+        self.windows = {
+            name: SlidingWindow(seconds, slots=slots, bounds=bounds)
+            for name, seconds in (windows or DEFAULT_WINDOWS).items()
+        }
+        self.thresholds = thresholds
+        self.clock = clock
+        self._lock = threading.Lock()
+
+    def record(self, latency_seconds: float, *, error: bool = False, cached: bool = False) -> None:
+        """Record one finished request."""
+        now = self.clock()
+        with self._lock:
+            for window in self.windows.values():
+                window.record(latency_seconds, now, error=error, cached=cached)
+
+    def record_event(self, name: str, n: int = 1, **labels) -> None:
+        """Count a named operational event (restart, deadline miss, ...).
+
+        Labels flatten into the event key (``restarts/shard=1``) so
+        per-shard counts stay distinguishable without a label schema.
+        """
+        if labels:
+            suffix = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            name = f"{name}/{suffix}"
+        now = self.clock()
+        with self._lock:
+            for window in self.windows.values():
+                window.record_event(name, n, now)
+
+    def merge(self, other: "SloEngine") -> None:
+        """Fold another engine's windows in (matching window names)."""
+        with self._lock:
+            for name, window in self.windows.items():
+                theirs = other.windows.get(name)
+                if theirs is not None:
+                    window.merge(theirs)
+
+    def snapshot(self) -> dict:
+        """Per-window stats dict, JSON-ready."""
+        now = self.clock()
+        with self._lock:
+            return {name: window.snapshot(now) for name, window in self.windows.items()}
+
+    def alerts(self, snapshot: dict | None = None) -> list[dict]:
+        """SLO burn alerts from the configured thresholds (may be [])."""
+        if self.thresholds is None:
+            return []
+        snap = snapshot if snapshot is not None else self.snapshot()
+        stats = snap.get(self.thresholds.window)
+        if stats is None:
+            return []
+        return self.thresholds.evaluate(stats)

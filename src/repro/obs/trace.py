@@ -16,13 +16,48 @@ this).  When tracing is off, the search stack holds the module-level
 :data:`NULL_TRACER` singleton, whose ``enabled`` attribute lets hot loops
 skip instrumentation after a single attribute lookup and whose
 ``span``/``event`` methods are allocation-free no-ops.
+
+Distributed traces: every span carries W3C-trace-context-style
+identifiers -- a 16-byte ``trace_id`` shared by every span of one
+request, an 8-byte ``span_id`` of its own, and the ``parent_id`` it hangs
+under.  A :class:`Tracer` may *adopt* a remote context
+(``Tracer(trace_id=..., parent_id=...)``), which is how the sharded query
+service propagates one trace across the coordinator->worker process
+boundary: the coordinator ships ``{"trace_id", "parent_id"}`` inside the
+request chunk, the worker records its subtree under that context, returns
+it as plain data in the reply, and the coordinator stitches it back with
+:meth:`Tracer.attach_tree` (clocks are per-process ``perf_counter``, so
+the subtree is *rebased* onto the parent span's timeline).
+:meth:`Tracer.attach` records already-finished work -- e.g. parallel
+fan-out legs timed in executor threads -- as a span with explicit
+start/end, sidestepping the nesting stack that concurrent spans would
+corrupt.
 """
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_trace_id",
+    "new_span_id",
+    "span_from_dict",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-byte (32 hex chars) W3C-style trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 8-byte (16 hex chars) W3C-style span id."""
+    return os.urandom(8).hex()
 
 
 class Span:
@@ -33,7 +68,17 @@ class Span:
     and child spans opened while this span is active become its children.
     """
 
-    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+    __slots__ = (
+        "name",
+        "attributes",
+        "start",
+        "end",
+        "children",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_tracer",
+    )
 
     def __init__(self, name: str, tracer: "Tracer | None", attributes: dict):
         self.name = name
@@ -41,6 +86,9 @@ class Span:
         self.start = perf_counter()
         self.end: float | None = None
         self.children: list[Span] = []
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self._tracer = tracer
 
     def __enter__(self) -> "Span":
@@ -69,13 +117,20 @@ class Span:
 
     def to_dict(self) -> dict:
         """The span subtree as JSON-ready plain data."""
-        return {
+        payload = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, {len(self.children)} children)"
@@ -99,15 +154,42 @@ class _DroppedSpan:
 _DROPPED_SPAN = _DroppedSpan()
 
 
+def _tree_size(payload: dict) -> int:
+    """Number of spans in a ``Span.to_dict`` subtree."""
+    return 1 + sum(_tree_size(child) for child in payload.get("children", ()))
+
+
+def span_from_dict(payload: dict, *, shift: float = 0.0) -> Span:
+    """Rebuild a :class:`Span` subtree from :meth:`Span.to_dict` data.
+
+    ``shift`` is added to every start time (durations are preserved) --
+    the rebasing hook for stitching a remote process's subtree onto the
+    local clock.
+    """
+    span = Span(payload.get("name", "?"), None, dict(payload.get("attributes", {})))
+    span.start = float(payload.get("start", 0.0)) + shift
+    span.end = span.start + float(payload.get("duration", 0.0))
+    span.trace_id = payload.get("trace_id")
+    span.span_id = payload.get("span_id")
+    span.parent_id = payload.get("parent_id")
+    span.children = [span_from_dict(child, shift=shift) for child in payload.get("children", ())]
+    return span
+
+
 class Tracer:
     """Collects a forest of :class:`Span` trees for one traced run.
 
     Parameters
     ----------
     max_spans:
-        Hard cap on recorded spans+events; beyond it new spans are silently
-        dropped (and counted on :attr:`dropped`) so a traced scan over a
-        huge database cannot exhaust memory.
+        Hard cap on recorded spans+events; beyond it new spans are
+        dropped (and counted on :attr:`dropped` /  ``dropped_spans`` in
+        :meth:`to_dict`) so a traced scan over a huge database cannot
+        exhaust memory.
+    trace_id / parent_id:
+        Adopt a remote trace context: every recorded span carries this
+        ``trace_id``, and root spans hang under ``parent_id``.  Omitted,
+        a fresh ``trace_id`` is minted and roots have no parent.
 
     Attributes
     ----------
@@ -122,14 +204,27 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, max_spans: int = 250_000):
+    def __init__(
+        self,
+        max_spans: int = 250_000,
+        *,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+    ):
         if max_spans < 1:
             raise ValueError(f"max_spans must be positive, got {max_spans}")
         self.max_spans = max_spans
+        self.trace_id = trace_id or new_trace_id()
+        self.parent_id = parent_id
         self.roots: list[Span] = []
         self.dropped = 0
         self._stack: list[Span] = []
         self._count = 0
+
+    def _assign_context(self, span: Span) -> None:
+        span.trace_id = self.trace_id
+        span.span_id = new_span_id()
+        span.parent_id = self._stack[-1].span_id if self._stack else self.parent_id
 
     def span(self, name: str, **attributes):
         """Open a nested span; use as ``with tracer.span("phase"):``."""
@@ -138,6 +233,7 @@ class Tracer:
             return _DROPPED_SPAN
         self._count += 1
         span = Span(name, self, attributes)
+        self._assign_context(span)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -153,10 +249,73 @@ class Tracer:
         self._count += 1
         span = Span(name, None, attributes)
         span.end = span.start
+        self._assign_context(span)
         if self._stack:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
+
+    def attach(
+        self,
+        parent: Span | None,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        span_id: str | None = None,
+        **attributes,
+    ) -> Span | None:
+        """Record already-finished work as a span with explicit timing.
+
+        Concurrent work (parallel shard fan-out timed in executor
+        threads) cannot use the nesting stack -- interleaved enters and
+        exits would corrupt it.  ``attach`` sidesteps the stack entirely:
+        the span is hung under ``parent`` (or the tracer roots) post-hoc.
+        Passing ``span_id`` lets the caller pre-mint the id so it can be
+        shipped to a remote process as *its* parent context before the
+        span object exists.  Returns ``None`` (and counts a drop) past
+        the cap.
+        """
+        if self._count >= self.max_spans:
+            self.dropped += 1
+            return None
+        self._count += 1
+        span = Span(name, None, attributes)
+        span.start = start
+        span.end = end
+        span.trace_id = self.trace_id
+        span.span_id = span_id or new_span_id()
+        span.parent_id = parent.span_id if parent is not None else self.parent_id
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def attach_tree(self, parent: Span | None, payload: dict, *, shift: float = 0.0) -> Span | None:
+        """Stitch a remote span subtree (as ``Span.to_dict`` data) in.
+
+        ``shift`` rebases the subtree's clock: remote ``perf_counter``
+        values are meaningless here, so callers pass
+        ``local_attempt_start - remote_root_start`` to line the subtree
+        up with the local timeline.  The whole tree is attached or (past
+        the cap) dropped as a unit, counted in :attr:`dropped`.
+        """
+        size = _tree_size(payload)
+        if self._count + size > self.max_spans:
+            self.dropped += size
+            return None
+        self._count += size
+        span = span_from_dict(payload, shift=shift)
+        if span.trace_id is None:
+            span.trace_id = self.trace_id
+        if span.parent_id is None:
+            span.parent_id = parent.span_id if parent is not None else self.parent_id
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
 
     def _pop(self, span: Span) -> None:
         # Tolerate out-of-order exits (generators, exceptions): pop back to
@@ -181,9 +340,11 @@ class Tracer:
     def to_dict(self) -> dict:
         """The whole trace as JSON-ready plain data."""
         return {
+            "trace_id": self.trace_id,
             "spans": [root.to_dict() for root in self.roots],
             "span_count": self._count,
             "dropped": self.dropped,
+            "dropped_spans": self.dropped,
         }
 
     def format_tree(self, max_children: int = 12) -> str:
@@ -255,7 +416,7 @@ class NullTracer:
         return []
 
     def to_dict(self) -> dict:
-        return {"spans": [], "span_count": 0, "dropped": 0}
+        return {"trace_id": None, "spans": [], "span_count": 0, "dropped": 0, "dropped_spans": 0}
 
     def format_tree(self, max_children: int = 12) -> str:
         return ""

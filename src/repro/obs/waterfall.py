@@ -1,0 +1,129 @@
+"""Waterfall rendering for stitched cross-process traces.
+
+Takes the plain-data span trees produced by ``Tracer.to_dict`` (or the
+``/traces/recent`` telemetry endpoint) and renders a timeline: one row
+per span, indented by depth, with a bar scaled to the trace's total
+extent.  Durationful spans draw ``#`` bars; zero-duration events draw a
+single ``+`` tick.  This is where queue wait, pipe transit, per-tier
+pruning time, retries, and replays become visible at a glance.
+"""
+
+from __future__ import annotations
+
+__all__ = ["pick_trace", "render_waterfall", "flatten_spans"]
+
+# Attributes worth showing inline on a waterfall row, in display order.
+_KEY_ATTRS = (
+    "shard",
+    "attempt",
+    "status",
+    "outcome",
+    "kind",
+    "error",
+    "queue_ms",
+    "transit_ms",
+    "tier",
+    "steps",
+    "requests",
+    "rejected",
+    "batch_size",
+)
+
+
+def _trace_entries(payload: dict) -> list[dict]:
+    """Normalize a /traces/recent payload into a list of trace entries."""
+    entries: list[dict] = []
+    seen: set[str] = set()
+    for key in ("errors", "slowest", "recent"):
+        for entry in payload.get(key, ()):  # each: {"trace_id", ..., "trace": {...}}
+            tid = entry.get("trace_id")
+            if tid in seen:
+                continue
+            seen.add(tid)
+            entries.append(entry)
+    return entries
+
+
+def pick_trace(payload: dict, *, trace_id: str | None = None, index: int = 0) -> dict:
+    """Select one trace (a ``Tracer.to_dict`` dict) from ``payload``.
+
+    Accepts three shapes: a ``/traces/recent`` response (picks by
+    ``trace_id`` or ``index`` across errors/slowest/recent, deduped), a
+    tracer dict (``{"spans": [...]}``), or a single span dict.  Raises
+    ``ValueError`` when nothing matches.
+    """
+    if "spans" in payload:
+        return payload
+    if "name" in payload and "start" in payload:  # bare span
+        return {"spans": [payload], "trace_id": payload.get("trace_id"), "dropped_spans": 0}
+    entries = _trace_entries(payload)
+    if trace_id is not None:
+        for entry in entries:
+            if entry.get("trace_id") == trace_id or str(entry.get("trace_id", "")).startswith(trace_id):
+                return entry["trace"]
+        raise ValueError(f"no trace matching id {trace_id!r} (have {len(entries)})")
+    if not entries:
+        raise ValueError("payload contains no traces")
+    if not 0 <= index < len(entries):
+        raise ValueError(f"trace index {index} out of range (have {len(entries)})")
+    return entries[index]["trace"]
+
+
+def flatten_spans(trace: dict) -> list[tuple[int, dict]]:
+    """Depth-first ``(depth, span_dict)`` rows of a tracer dict."""
+    rows: list[tuple[int, dict]] = []
+
+    def walk(span: dict, depth: int) -> None:
+        rows.append((depth, span))
+        for child in span.get("children", ()):  # already in record order
+            walk(child, depth + 1)
+
+    for root in trace.get("spans", ()):  # usually a single batch root
+        walk(root, 0)
+    return rows
+
+
+def _attr_text(span: dict) -> str:
+    attrs = span.get("attributes", {})
+    shown = [f"{key}={attrs[key]}" for key in _KEY_ATTRS if key in attrs]
+    extra = len([k for k in attrs if k not in _KEY_ATTRS])
+    if extra:
+        shown.append(f"+{extra} attrs")
+    return " ".join(shown)
+
+
+def render_waterfall(trace: dict, *, width: int = 100) -> str:
+    """Render one stitched trace as an aligned text waterfall."""
+    rows = flatten_spans(trace)
+    if not rows:
+        return "(empty trace)"
+    t0 = min(span["start"] for _, span in rows)
+    t1 = max(span["start"] + span.get("duration", 0.0) for _, span in rows)
+    extent = max(t1 - t0, 1e-9)
+
+    labels = []
+    for depth, span in rows:
+        dur = span.get("duration", 0.0)
+        dur_text = f"{dur * 1e3:8.3f}ms" if dur > 0 else "     event"
+        labels.append(f"{'  ' * depth}{span.get('name', '?')}  {dur_text}")
+    label_width = min(max(len(label) for label in labels), 58)
+    bar_width = max(width - label_width - 3, 20)
+
+    lines = []
+    trace_id = trace.get("trace_id")
+    header = f"trace {trace_id}" if trace_id else "trace"
+    lines.append(f"{header}  span_count={trace.get('span_count', len(rows))}  extent={extent * 1e3:.3f}ms")
+    dropped = trace.get("dropped_spans", trace.get("dropped", 0))
+    if dropped:
+        lines.append(f"!! {dropped} spans dropped at tracer cap -- waterfall is incomplete")
+    for (_, span), label in zip(rows, labels):
+        offset = int((span["start"] - t0) / extent * bar_width)
+        dur = span.get("duration", 0.0)
+        if dur > 0:
+            length = max(int(dur / extent * bar_width), 1)
+            bar = " " * offset + "#" * min(length, bar_width - offset)
+        else:
+            bar = " " * min(offset, bar_width - 1) + "+"
+        attrs = _attr_text(span)
+        lines.append(f"{label[:label_width]:<{label_width}} |{bar:<{bar_width}}|" + (f" {attrs}" if attrs else ""))
+    return "\n".join(lines)

@@ -30,6 +30,15 @@ LB_Keogh pruning, exact global merge):
 * :mod:`repro.service.client` -- a small blocking client (with
   reconnect-and-retry) used by the ``repro client`` CLI, tests, and
   benchmarks.
+* :mod:`repro.service.telemetry` -- the live telemetry plane: a
+  :class:`TraceBuffer` ring of stitched cross-process traces and a
+  stdlib HTTP sidecar (:class:`TelemetryServer`, ``--telemetry-port``)
+  serving ``/metrics``, ``/health``, ``/slo``, and ``/traces/recent``
+  for Prometheus scrapes and the ``repro top`` dashboard.  Every batch
+  is traced end to end (queue wait, shard fan-out, worker-side tier
+  spans rebased across the process boundary, retries, replays) and a
+  :class:`repro.obs.SloEngine` tracks sliding-window latency
+  percentiles, QPS, error rate, and cache ratio.
 
 Exactness contract: for any dataset, sharding layout, and concurrency,
 the service returns bit-identical answers to single-process
@@ -58,6 +67,7 @@ from repro.service.server import (
     start_service_thread,
 )
 from repro.service.shard import ShardManifest, load_manifest, open_shards, save_shards
+from repro.service.telemetry import TelemetryServer, TraceBuffer, format_dashboard
 from repro.service.worker import (
     RestartPolicy,
     ShardDegradedError,
@@ -81,8 +91,11 @@ __all__ = [
     "ShardWorker",
     "ShardedSearchService",
     "SupervisedWorker",
+    "TelemetryServer",
+    "TraceBuffer",
     "WorkerDiedError",
     "error_response",
+    "format_dashboard",
     "load_manifest",
     "measure_from_spec",
     "measure_to_spec",

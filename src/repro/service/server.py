@@ -52,8 +52,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs.metrics import MetricsRegistry, registry_from_dict
+from repro.obs.slo import SloEngine, SloThresholds
+from repro.obs.trace import Tracer, new_span_id
 from repro.service.cache import AnswerCache
 from repro.service.faults import FaultPlan
+from repro.service.telemetry import TelemetryServer, TraceBuffer
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -103,6 +106,12 @@ class ShardedSearchService:
         retry_budget: int = 1,
         monitor_interval: float = 0.25,
         fault_plan: FaultPlan | None = None,
+        tracing: bool = True,
+        trace_recent: int = 16,
+        trace_slowest: int = 16,
+        trace_max_spans: int = 20_000,
+        worker_trace_max_spans: int = 4096,
+        slo_thresholds: SloThresholds | None = None,
     ):
         self.manifest = load_manifest(shards_dir)
         self.measure = measure
@@ -140,6 +149,24 @@ class ShardedSearchService:
         self._partial_results = self.registry.counter(
             "service_partial_results_total", "Replies served as exact merges over surviving shards"
         )
+        self._trace_dropped_spans = self.registry.counter(
+            "service_trace_dropped_spans_total",
+            "Spans discarded at a tracer cap (coordinator or worker side)",
+        )
+        self._traces_total = self.registry.counter(
+            "service_traces_total", "Stitched cross-process traces recorded"
+        )
+        #: Tracing is observation-only: answers and step counts are
+        #: bit-identical with it on or off (regression-tested).
+        self.tracing = bool(tracing)
+        self.trace_max_spans = trace_max_spans
+        self.worker_trace_max_spans = worker_trace_max_spans
+        self.traces = TraceBuffer(recent=trace_recent, slowest=trace_slowest, errors=trace_recent)
+        self.slo = SloEngine(thresholds=slo_thresholds)
+        self.telemetry: TelemetryServer | None = None
+        self._current_trace_id: str | None = None
+        self._restarts_seen: dict[int, int] = {}
+        self._degraded_seen: set[int] = set()
         self.workers = [
             SupervisedWorker(
                 info.shard_id,
@@ -189,6 +216,18 @@ class ShardedSearchService:
                     worker.check()
                 except Exception:  # pragma: no cover - monitor must never die
                     pass
+            self._window_worker_events()
+
+    def _window_worker_events(self) -> None:
+        """Feed restart/degradation deltas into the SLO sliding windows."""
+        for worker in self.workers:
+            seen = self._restarts_seen.get(worker.shard_id, 0)
+            if worker.restarts > seen:
+                self.slo.record_event("restarts", worker.restarts - seen, shard=worker.shard_id)
+                self._restarts_seen[worker.shard_id] = worker.restarts
+            if worker.state == "degraded" and worker.shard_id not in self._degraded_seen:
+                self._degraded_seen.add(worker.shard_id)
+                self.slo.record_event("degraded", 1, shard=worker.shard_id)
 
     async def aclose(self) -> None:
         """Stop the dispatcher and every worker; fail leftover requests."""
@@ -201,9 +240,12 @@ class ShardedSearchService:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._dispatcher
             self._dispatcher = None
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
         if self._queue is not None:
             while not self._queue.empty():
-                _, fut = self._queue.get_nowait()
+                _, fut, _ = self._queue.get_nowait()
                 if not fut.done():
                     fut.set_result(_error("shutdown", "service is shutting down"))
         loop = asyncio.get_running_loop()
@@ -261,8 +303,15 @@ class ShardedSearchService:
             if self._queue is None:
                 return _error("not-started", "service dispatcher is not running")
             fut = asyncio.get_running_loop().create_future()
-            await self._queue.put((message, fut))
-            return await fut
+            accepted = time.perf_counter()
+            await self._queue.put((message, fut, accepted))
+            response = await fut
+            self.slo.record(
+                time.perf_counter() - accepted,
+                error=not response.get("ok", False),
+                cached=bool(response.get("cached", False)),
+            )
+            return response
         return _error("bad-request", f"unknown op {op!r}")
 
     # -- dispatcher ---------------------------------------------------
@@ -281,7 +330,7 @@ class ShardedSearchService:
             try:
                 await self._run_batch(batch)
             except Exception as exc:  # pragma: no cover - defensive
-                for _, fut in batch:
+                for _, fut, _ in batch:
                     if not fut.done():
                         fut.set_result(_error("internal", repr(exc)))
 
@@ -345,11 +394,32 @@ class ShardedSearchService:
 
     async def _run_batch(self, batch: list) -> None:
         self._batch_sizes.observe(len(batch))
+        # One stitched trace per micro-batch: the batch root span, a
+        # queue-wait span per member, fan-out spans per shard attempt
+        # (with worker subtrees rebased in), and the merge.  Tracing is
+        # observation-only; every branch below behaves identically with
+        # ``tracer is None``.
+        tracer: Tracer | None = None
+        batch_span = None
+        batch_start = time.perf_counter()
+        if self.tracing:
+            tracer = Tracer(max_spans=self.trace_max_spans)
+            batch_span = tracer.span("service.batch", batch_size=len(batch))
+        self._current_trace_id = tracer.trace_id if tracer is not None else None
         jobs: list[dict] = []  # distinct requests to actually compute
         job_keys: list[tuple | None] = []
         job_by_key: dict[tuple, int] = {}
         plans: list[tuple] = []  # per batch item: ("done", resp) | ("job", idx, req)
-        for message, _fut in batch:
+        for message, _fut, enqueued_at in batch:
+            if tracer is not None:
+                tracer.attach(
+                    batch_span,
+                    "queue.wait",
+                    enqueued_at,
+                    batch_start,
+                    op=str(message.get("op")),
+                    queue_ms=round((batch_start - enqueued_at) * 1e3, 3),
+                )
             try:
                 request = self._normalize(message)
             except (KeyError, TypeError, ValueError) as exc:
@@ -357,6 +427,7 @@ class ShardedSearchService:
                 continue
             if request["deadline"] <= time.monotonic():
                 self._deadline_exceeded.inc(1)
+                self.slo.record_event("deadline_exceeded")
                 plans.append(
                     ("done", _error("deadline-exceeded", "deadline expired before dispatch"))
                 )
@@ -366,6 +437,8 @@ class ShardedSearchService:
             if use_cache:
                 cached = self.cache.get(key)
                 if cached is not None:
+                    if tracer is not None:
+                        tracer.event("cache.hit", kind=request["kind"])
                     response = {**cached, "ok": True, "cached": True}
                     self._log_query(request, response)
                     plans.append(("done", response))
@@ -382,7 +455,7 @@ class ShardedSearchService:
         answers: list[dict | None] = []
         missing: list[tuple[int, dict]] = []  # (shard_id, structured error)
         if jobs:
-            outcomes, wall = await self._fan_out(jobs)
+            outcomes, wall = await self._fan_out(jobs, tracer, batch_span)
             ok_replies = [
                 outcome for _status, outcome in (outcomes[w.shard_id] for w in self.workers)
                 if _status == "ok"
@@ -394,6 +467,7 @@ class ShardedSearchService:
                 if _status != "ok"
             ]
             missing_ids = [shard_id for shard_id, _ in missing]
+            merge_start = time.perf_counter()
             for j, request in enumerate(jobs):
                 if not ok_replies:
                     answers.append(None)
@@ -404,15 +478,52 @@ class ShardedSearchService:
                     # only ever serve the full exact merge.
                     self.cache.put(job_keys[j], answer)
                 answers.append(answer)
+            if tracer is not None:
+                tracer.attach(
+                    batch_span,
+                    "coordinator.merge",
+                    merge_start,
+                    time.perf_counter(),
+                    jobs=len(jobs),
+                    shards_answered=len(ok_replies),
+                )
 
-        for (message, fut), plan in zip(batch, plans):
+        batch_error = False
+        for (message, fut, _enqueued_at), plan in zip(batch, plans):
             if fut.done():
                 continue
             if plan[0] == "done":
-                fut.set_result(plan[1])
-                continue
-            _tag, idx, request = plan
-            fut.set_result(self._job_response(request, answers[idx], missing))
+                response = plan[1]
+            else:
+                _tag, idx, request = plan
+                response = self._job_response(request, answers[idx], missing)
+            if not response.get("ok", False):
+                batch_error = True
+            fut.set_result(response)
+
+        if tracer is not None:
+            batch_span.set(jobs=len(jobs))
+            if batch_error:
+                batch_span.set(error=True)
+            batch_span.__exit__(None, None, None)
+            self._record_trace(tracer, batch_span, len(batch), batch_error, missing)
+            self._current_trace_id = None
+
+    def _record_trace(self, tracer, batch_span, batch_size: int, error: bool, missing: list) -> None:
+        """Fold one finished batch's trace into the ring buffers + metrics."""
+        self._traces_total.inc(1)
+        if tracer.dropped:
+            self._trace_dropped_spans.inc(tracer.dropped, side="coordinator")
+        entry = {
+            "trace_id": tracer.trace_id,
+            "wall_seconds": batch_span.duration,
+            "batch_size": batch_size,
+            "error": error,
+            "missing_shards": [shard_id for shard_id, _ in missing],
+            "dropped_spans": tracer.dropped,
+            "trace": tracer.to_dict(),
+        }
+        self.traces.add(entry)
 
     def _job_response(self, request: dict, answer: dict | None, missing: list) -> dict:
         """Decide one message's reply from its job answer + missing shards."""
@@ -431,12 +542,67 @@ class ShardedSearchService:
         first_error = missing[0][1]["error"]
         if first_error["type"] == "deadline-exceeded":
             self._deadline_exceeded.inc(1)
+            self.slo.record_event("deadline_exceeded")
         return {
             "ok": False,
             "error": {**first_error, "missing_shards": missing_ids},
         }
 
-    async def _fan_out(self, jobs: list[dict]):
+    def _timed_request(self, worker, chunk: dict, timeout: float):
+        """Executor-thread wrapper: round-trip one shard, never raise.
+
+        Returns ``(reply_or_exception, start, end, attempt_log)`` on the
+        coordinator's ``perf_counter`` clock, so the fan-out can build
+        trace spans for the attempt (and any supervisor replay) after
+        the fact without a barrier between concurrent shards.
+        """
+        attempt_log: list = []
+        start = time.perf_counter()
+        try:
+            reply = worker.request(chunk, timeout, attempt_log)
+        except Exception as exc:
+            return exc, start, time.perf_counter(), attempt_log
+        return reply, start, time.perf_counter(), attempt_log
+
+    def _stitch_shard(self, tracer, batch_span, worker, span_id, result, attempt, status) -> None:
+        """Attach one shard attempt's spans (and worker subtree) to the trace."""
+        reply, t0, t1, attempt_log = result
+        fanout = tracer.attach(
+            batch_span,
+            "fanout.shard",
+            t0,
+            t1,
+            span_id=span_id,
+            shard=worker.shard_id,
+            attempt=attempt,
+            status=status,
+        )
+        if fanout is None:
+            return
+        for note in attempt_log:
+            attrs = {"outcome": note["outcome"]}
+            if note["error"]:
+                attrs["error"] = note["error"]
+            tracer.attach(fanout, f"worker.{note['phase']}", note["start"], note["end"], **attrs)
+        worker_trace = reply.get("trace") if isinstance(reply, dict) else None
+        if worker_trace is not None:
+            # Rebase the worker's private clock onto ours: its subtree
+            # started (one pipe transit after) the successful round-trip
+            # began.  The leftover gap is the pipe + queue transit.
+            ok_notes = [note for note in attempt_log if note["outcome"] == "ok"]
+            local_start = ok_notes[-1]["start"] if ok_notes else t0
+            local_end = ok_notes[-1]["end"] if ok_notes else t1
+            shift = local_start - worker_trace["start"]
+            transit = (local_end - local_start) - worker_trace.get("duration", 0.0)
+            stitched = tracer.attach_tree(fanout, worker_trace, shift=shift)
+            if stitched is not None:
+                stitched.set(transit_ms=round(max(transit, 0.0) * 1e3, 3))
+        dropped = reply.get("dropped_spans", 0) if isinstance(reply, dict) else 0
+        if dropped:
+            tracer.dropped += dropped
+            self._trace_dropped_spans.inc(dropped, side="worker")
+
+    async def _fan_out(self, jobs: list[dict], tracer=None, batch_span=None):
         """Ship one chunk to every worker, retrying failed shards once.
 
         Returns ``(outcomes, wall)`` where ``outcomes`` maps shard id to
@@ -444,6 +610,12 @@ class ShardedSearchService:
         failure status with a structured error.  The deadline budget (the
         tightest in the batch -- members arrive within one 2 ms window) is
         split across the initial attempt and ``retry_budget`` retries.
+
+        With ``tracer`` set, each shard's chunk carries a trace context
+        (``trace_id`` + a pre-minted fan-out span id as the worker's
+        parent) and the reply's span subtree is stitched under a
+        ``fanout.shard`` span recording attempt timing, retries, replays,
+        and pipe transit.
         """
         loop = asyncio.get_running_loop()
         wire = [{k: v for k, v in job.items() if k not in _COORDINATOR_KEYS} for job in jobs]
@@ -464,25 +636,56 @@ class ShardedSearchService:
                 )
             else:
                 slice_timeout = remaining
-            chunk = {"op": "search", "requests": wire, "budget_seconds": slice_timeout}
-            replies = await asyncio.gather(
-                *(
-                    loop.run_in_executor(self._executor, worker.request, chunk, slice_timeout)
-                    for worker in ask
-                ),
-                return_exceptions=True,
-            )
+            base_chunk = {"op": "search", "requests": wire, "budget_seconds": slice_timeout}
+            span_ids: list[str | None] = []
+            calls = []
+            for worker in ask:
+                if tracer is not None:
+                    span_id = new_span_id()
+                    chunk = {
+                        **base_chunk,
+                        "trace": {
+                            "trace_id": tracer.trace_id,
+                            "parent_id": span_id,
+                            "max_spans": self.worker_trace_max_spans,
+                        },
+                    }
+                else:
+                    span_id = None
+                    chunk = base_chunk
+                span_ids.append(span_id)
+                calls.append(
+                    loop.run_in_executor(self._executor, self._timed_request, worker, chunk, slice_timeout)
+                )
+            results = await asyncio.gather(*calls, return_exceptions=True)
             retry: list = []
-            for worker, reply in zip(ask, replies):
+            for worker, span_id, result in zip(ask, span_ids, results):
+                if isinstance(result, BaseException):  # executor itself failed
+                    result = (result, start, time.perf_counter(), [])
+                reply = result[0]
                 status, outcome = self._classify(worker, reply)
+                if tracer is not None:
+                    self._stitch_shard(tracer, batch_span, worker, span_id, result, attempt, status)
                 if status in ("died", "timeout") and attempt < self.retry_budget:
                     self._shard_retries.inc(1, shard=str(worker.shard_id))
+                    self.slo.record_event("shard_retries", shard=worker.shard_id)
                     retry.append(worker)
                 else:
                     outcomes[worker.shard_id] = (status, outcome)
             ask = retry
         for worker in ask:
             # Deadline spent before this shard's (re)try could run.
+            self.slo.record_event("deadline_exceeded", shard=worker.shard_id)
+            if tracer is not None:
+                now = time.perf_counter()
+                tracer.attach(
+                    batch_span,
+                    "fanout.shard",
+                    now,
+                    now,
+                    shard=worker.shard_id,
+                    status="deadline-exhausted",
+                )
             outcomes[worker.shard_id] = (
                 "timeout",
                 _error(
@@ -515,6 +718,7 @@ class ShardedSearchService:
             )
         if isinstance(reply, WorkerDiedError):
             self._worker_deaths.inc(1, shard=str(reply.shard_id))
+            self.slo.record_event("worker_deaths", shard=reply.shard_id)
             return (
                 "died",
                 _error(
@@ -574,6 +778,9 @@ class ShardedSearchService:
         self.query_log.log(
             {
                 "query_id": f"svc-{self._query_seq:06d}",
+                # Joins this record against the stitched trace in
+                # /traces/recent (None with tracing disabled).
+                "trace_id": self._current_trace_id,
                 "op": request["kind"],
                 "measure": self.measure.name,
                 "backend": self.backend,
@@ -607,7 +814,9 @@ class ShardedSearchService:
             status = "restarting"
         else:
             status = "ok"
+        slo_snapshot = self.slo.snapshot()
         return {
+            "slo": {"alerts": self.slo.alerts(slo_snapshot), "windows": slo_snapshot},
             "ok": True,
             "server": "repro-service",
             "protocol": PROTOCOL_VERSION,
@@ -702,11 +911,21 @@ async def serve(service: ShardedSearchService, host: str = "127.0.0.1", port: in
 
 
 async def _serve_until_shutdown(
-    service, host, port, ready_callback=None, install_signal_handlers=None
+    service,
+    host,
+    port,
+    ready_callback=None,
+    install_signal_handlers=None,
+    telemetry_port=None,
+    telemetry_host="127.0.0.1",
 ) -> None:
     server = await serve(service, host, port)
     actual_port = server.sockets[0].getsockname()[1]
     loop = asyncio.get_running_loop()
+    if telemetry_port is not None:
+        # The sidecar serves /metrics, /health, /slo, /traces/recent from
+        # its own thread; closed by ``aclose`` during the drain below.
+        service.telemetry = TelemetryServer(service, loop, host=telemetry_host, port=telemetry_port)
     if install_signal_handlers is None:
         install_signal_handlers = threading.current_thread() is threading.main_thread()
     installed: list = []
@@ -746,11 +965,21 @@ def run_service(shards_dir, measure, host: str = "127.0.0.1", port: int = 0, **k
     """
     on_ready = kwargs.pop("on_ready", None)
     install_signal_handlers = kwargs.pop("install_signal_handlers", None)
+    telemetry_port = kwargs.pop("telemetry_port", None)
+    telemetry_host = kwargs.pop("telemetry_host", "127.0.0.1")
     service = ShardedSearchService(shards_dir, measure, **kwargs)
     atexit.register(service.reap_workers)
     try:
         asyncio.run(
-            _serve_until_shutdown(service, host, port, on_ready, install_signal_handlers)
+            _serve_until_shutdown(
+                service,
+                host,
+                port,
+                on_ready,
+                install_signal_handlers,
+                telemetry_port=telemetry_port,
+                telemetry_host=telemetry_host,
+            )
         )
     finally:
         atexit.unregister(service.reap_workers)

@@ -1,0 +1,229 @@
+"""The live telemetry plane: trace ring buffer + HTTP exposition sidecar.
+
+The coordinator's obs state (metrics registry, SLO windows, stitched
+traces) is only useful if an operator can reach it without speaking the
+binary query protocol.  :class:`TelemetryServer` is a stdlib
+``http.server`` running on its own daemon thread next to ``repro serve``
+(``--telemetry-port``), exposing:
+
+* ``GET /metrics`` -- the merged coordinator+worker registries in
+  Prometheus text format (same payload as the ``metrics`` op).
+* ``GET /health`` -- the supervisor state machine per shard as JSON,
+  including SLO burn alerts (same as the ``health`` op).
+* ``GET /slo`` -- the sliding-window p50/p95/p99 / QPS / error-rate /
+  cache-ratio stats per window, plus active alerts.
+* ``GET /traces/recent`` -- the :class:`TraceBuffer`: the N most recent
+  and M slowest stitched cross-process traces, with errors and
+  deadline-exceeded traces always sampled into their own ring.
+
+Read-only by construction: every handler snapshots existing state;
+nothing here can mutate the query path, so answers stay bit-identical
+whether the sidecar is running or not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["TraceBuffer", "TelemetryServer", "format_dashboard"]
+
+#: Content type carrying the Prometheus text exposition version.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TraceBuffer:
+    """Ring buffers of stitched traces: recent, slowest, and errors.
+
+    Entries are plain dicts (``{"trace_id", "wall_seconds", "batch_size",
+    "error", ..., "trace": <Tracer.to_dict()>}``).  Errors and
+    deadline-exceeded batches are *always* sampled into their own ring so
+    a flood of healthy traffic cannot evict the interesting failures.
+    Thread-safe: the event loop appends, the HTTP sidecar reads.
+    """
+
+    def __init__(self, recent: int = 16, slowest: int = 16, errors: int = 16):
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=max(1, recent))
+        self._errors: deque = deque(maxlen=max(1, errors))
+        self._slowest: list = []  # min-heap of (wall, seq, entry)
+        self.max_slowest = max(1, slowest)
+        self.traces_total = 0
+        self.dropped_spans_total = 0
+        self._seq = 0
+
+    def add(self, entry: dict) -> None:
+        with self._lock:
+            self._seq += 1
+            self.traces_total += 1
+            self.dropped_spans_total += int(entry.get("dropped_spans", 0))
+            self._recent.append(entry)
+            if entry.get("error"):
+                self._errors.append(entry)
+            heapq.heappush(self._slowest, (float(entry.get("wall_seconds", 0.0)), self._seq, entry))
+            if len(self._slowest) > self.max_slowest:
+                heapq.heappop(self._slowest)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; slowest ordered worst-first."""
+        with self._lock:
+            slowest = sorted(self._slowest, key=lambda item: (-item[0], -item[1]))
+            return {
+                "traces_total": self.traces_total,
+                "dropped_spans_total": self.dropped_spans_total,
+                "recent": list(self._recent),
+                "slowest": [entry for _, _, entry in slowest],
+                "errors": list(self._errors),
+            }
+
+
+def _make_handler(telemetry: "TelemetryServer"):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-telemetry"
+
+        def log_message(self, fmt, *args):  # quiet by default
+            return
+
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            self._send(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(200, telemetry.prometheus_text().encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+                elif path == "/health":
+                    self._send_json(telemetry.service._health_response())
+                elif path == "/slo":
+                    self._send_json(telemetry.slo_payload())
+                elif path == "/traces/recent":
+                    self._send_json(telemetry.service.traces.to_dict())
+                else:
+                    self._send_json({"ok": False, "error": f"unknown path {path!r}"}, status=404)
+            except BrokenPipeError:
+                pass
+            except Exception as exc:  # never kill the sidecar thread
+                with _suppress_broken_pipe():
+                    self._send_json({"ok": False, "error": repr(exc)}, status=500)
+
+    return Handler
+
+
+class _suppress_broken_pipe:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is not None and issubclass(exc_type, (BrokenPipeError, OSError))
+
+
+class TelemetryServer:
+    """The HTTP sidecar thread serving one service's telemetry.
+
+    ``loop`` is the service's event loop: ``/metrics`` needs the workers'
+    registries, which only the coordinator may request, so the handler
+    submits ``_metrics_response`` onto the loop and waits.  If the loop
+    is unreachable (shutting down), it degrades to the coordinator-only
+    registry rather than failing the scrape.
+    """
+
+    def __init__(self, service, loop, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.loop = loop
+        self.host = host
+        self.httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self.httpd.daemon_threads = True
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-telemetry", daemon=True
+        )
+        self.thread.start()
+
+    def prometheus_text(self) -> str:
+        try:
+            future = asyncio.run_coroutine_threadsafe(self.service._metrics_response(), self.loop)
+            reply = future.result(10.0)
+            return reply["prometheus"]
+        except Exception:
+            return self.service.registry.to_prometheus()
+
+    def slo_payload(self) -> dict:
+        snapshot = self.service.slo.snapshot()
+        return {
+            "ok": True,
+            "windows": snapshot,
+            "alerts": self.service.slo.alerts(snapshot),
+        }
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(5)
+
+
+def _fmt_window(name: str, stats: dict) -> str:
+    return (
+        f"{name:>4}  n={stats['count']:<6} qps={stats['qps']:7.1f}  "
+        f"p50={stats['p50_ms']:8.2f}ms p95={stats['p95_ms']:8.2f}ms p99={stats['p99_ms']:8.2f}ms  "
+        f"err={stats['error_rate'] * 100:5.1f}%  cache={stats['cache_hit_ratio'] * 100:5.1f}%"
+    )
+
+
+def format_dashboard(slo: dict, health: dict, traces: dict) -> str:
+    """Render one ``repro top`` frame from the three telemetry payloads."""
+    lines = ["repro service telemetry", "=" * 78, ""]
+    status = health.get("status", "?")
+    counters = health.get("counters", {})
+    lines.append(
+        f"status: {status}   restarts={health.get('restarts', 0)} "
+        f"deaths={counters.get('worker_deaths', 0)} retries={counters.get('shard_retries', 0)} "
+        f"deadline_exceeded={counters.get('deadline_exceeded', 0)} "
+        f"partial={counters.get('partial_results', 0)}"
+    )
+    for shard in health.get("shards", ()):  # one line per shard
+        lines.append(
+            f"  shard {shard['shard']}: {shard['state']} pid={shard['pid']} "
+            f"restarts={shard['restarts']} gen={shard['generation']}"
+        )
+    lines.append("")
+    lines.append("sliding windows")
+    for name in ("10s", "1m", "5m"):
+        stats = slo.get("windows", {}).get(name)
+        if stats is not None:
+            lines.append("  " + _fmt_window(name, stats))
+    alerts = slo.get("alerts", [])
+    if alerts:
+        lines.append("")
+        lines.append("SLO BURN:")
+        for alert in alerts:
+            lines.append(
+                f"  !! {alert['slo']} over {alert['window']}: "
+                f"{alert['value']:.2f} > budget {alert['threshold']:.2f}"
+            )
+    events = slo.get("windows", {}).get("1m", {}).get("events", {})
+    if events:
+        lines.append("")
+        lines.append("events (1m): " + "  ".join(f"{k}={v}" for k, v in sorted(events.items())))
+    lines.append("")
+    lines.append(
+        f"traces: total={traces.get('traces_total', 0)} "
+        f"dropped_spans={traces.get('dropped_spans_total', 0)}"
+    )
+    for entry in traces.get("slowest", ())[:5]:
+        lines.append(
+            f"  slow {entry.get('trace_id', '?')[:16]}  {entry.get('wall_seconds', 0.0) * 1e3:9.2f}ms  "
+            f"batch={entry.get('batch_size', '?')}"
+            + ("  ERROR" if entry.get("error") else "")
+        )
+    return "\n".join(lines)

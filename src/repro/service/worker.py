@@ -98,9 +98,10 @@ class ShardDegradedError(RuntimeError):
         )
 
 
-def _search_one(request: dict, data, measure, counter):
+def _search_one(request: dict, data, measure, counter, tracer=None):
     """Answer one normalized request against this worker's shard slice."""
     from repro.mining.queries import knn_search, range_search
+    from repro.obs.trace import NULL_TRACER
 
     query = np.asarray(request["query"], dtype=np.float64)
     kind = request["kind"]
@@ -109,6 +110,7 @@ def _search_one(request: dict, data, measure, counter):
         "max_degrees": request.get("max_degrees"),
         "wedge_set_size": int(request.get("wedge_set_size", 8)),
         "counter": counter,
+        "tracer": tracer if tracer is not None else NULL_TRACER,
     }
     if kind == "knn":
         return knn_search(data, query, measure, k=int(request["k"]), **common)
@@ -146,6 +148,7 @@ def worker_main(
     from repro.core.counters import StepCounter
     from repro.core.search import SearchResult
     from repro.obs.metrics import MetricsRegistry, record_query
+    from repro.obs.trace import NULL_TRACER, Tracer
     from repro.persistence import load_index
     from repro.service.protocol import measure_from_spec
 
@@ -189,6 +192,21 @@ def worker_main(
             continue
         if op == "search":
             budget = message.get("budget_seconds")
+            # Adopt the coordinator's trace context when one was shipped
+            # in the chunk; the subtree rides home in the reply as plain
+            # data for the coordinator to stitch (see server._fan_out).
+            trace_ctx = message.get("trace")
+            if trace_ctx:
+                tracer = Tracer(
+                    max_spans=int(trace_ctx.get("max_spans", 4096)),
+                    trace_id=trace_ctx.get("trace_id"),
+                    parent_id=trace_ctx.get("parent_id"),
+                )
+            else:
+                tracer = NULL_TRACER
+            chunk_span = tracer.span(
+                "worker.chunk", shard=shard_id, requests=len(message.get("requests", []))
+            )
             chunk_start = time.perf_counter()
             results = []
             aborted: str | None = None
@@ -206,10 +224,14 @@ def worker_main(
                     if terminal is not None:
                         _apply_terminal_fault(terminal, conn)
                 counter = StepCounter()
-                start = time.perf_counter()
-                neighbors = _search_one(request, data, measure, counter)
-                wall = time.perf_counter() - start
                 kind = request["kind"]
+                with tracer.span("worker.query", kind=kind) as query_span:
+                    start = time.perf_counter()
+                    neighbors = _search_one(
+                        request, data, measure, counter, tracer if trace_ctx else None
+                    )
+                    wall = time.perf_counter() - start
+                    query_span.set(steps=counter.steps)
                 requests_total.inc(1, shard=str(shard_id), kind=kind)
                 top = neighbors[0] if neighbors else None
                 record_query(
@@ -233,19 +255,21 @@ def worker_main(
                         "steps": counter.steps,
                     }
                 )
+            chunk_span.__exit__(None, None, None)
+            reply: dict
             if aborted is not None:
-                conn.send_bytes(
-                    encode_payload(
-                        {
-                            "ok": False,
-                            "error": aborted,
-                            "error_type": "deadline-exceeded",
-                            "shard": shard_id,
-                        }
-                    )
-                )
+                reply = {
+                    "ok": False,
+                    "error": aborted,
+                    "error_type": "deadline-exceeded",
+                    "shard": shard_id,
+                }
             else:
-                conn.send_bytes(encode_payload({"ok": True, "results": results}))
+                reply = {"ok": True, "results": results}
+            if trace_ctx and tracer.roots:
+                reply["trace"] = tracer.roots[0].to_dict()
+                reply["dropped_spans"] = tracer.dropped
+            conn.send_bytes(encode_payload(reply))
             continue
         conn.send_bytes(encode_payload({"ok": False, "error": f"unknown op {op!r}"}))
 
@@ -463,20 +487,62 @@ class SupervisedWorker:
 
     # -- request path --------------------------------------------------
 
-    def request(self, message: dict, timeout: float = 120.0) -> dict:
-        """Round-trip with self-healing; see the class docstring."""
+    def request(self, message: dict, timeout: float = 120.0, attempt_log: list | None = None) -> dict:
+        """Round-trip with self-healing; see the class docstring.
+
+        ``attempt_log``, when given, collects one dict per pipe
+        round-trip -- ``{"phase": "attempt"|"replay", "start", "end",
+        "outcome", "error"}`` on the caller's ``perf_counter`` clock --
+        so the coordinator can materialize failed-attempt and replay
+        spans in the stitched trace after the fact.
+        """
+
+        def timed(phase: str) -> dict:
+            start = time.perf_counter()
+            try:
+                reply = self.worker.request(message, timeout)
+            except Exception as exc:
+                if attempt_log is not None:
+                    if isinstance(exc, WorkerDiedError):
+                        outcome = "died"
+                    elif isinstance(exc, TimeoutError):
+                        outcome = "timeout"
+                    else:
+                        outcome = type(exc).__name__
+                    attempt_log.append(
+                        {
+                            "phase": phase,
+                            "start": start,
+                            "end": time.perf_counter(),
+                            "outcome": outcome,
+                            "error": str(exc),
+                        }
+                    )
+                raise
+            if attempt_log is not None:
+                attempt_log.append(
+                    {
+                        "phase": phase,
+                        "start": start,
+                        "end": time.perf_counter(),
+                        "outcome": "ok",
+                        "error": None,
+                    }
+                )
+            return reply
+
         if self.state == STATE_DEGRADED:
             raise ShardDegradedError(self.shard_id, self.consecutive_failures)
         generation = self.worker.generation
         try:
-            reply = self.worker.request(message, timeout)
+            reply = timed("attempt")
         except WorkerDiedError as exc:
             if not self._revive(generation, str(exc)):
                 raise ShardDegradedError(self.shard_id, self.consecutive_failures) from exc
             # Replay the in-flight chunk exactly once on the fresh process.
             generation = self.worker.generation
             try:
-                reply = self.worker.request(message, timeout)
+                reply = timed("replay")
             except WorkerDiedError as exc2:
                 self._revive(generation, str(exc2))
                 raise

@@ -112,8 +112,93 @@ class TestTracer:
             assert span.set(b=2) is span
         assert NULL_TRACER.event("y") is None
         assert NULL_TRACER.find("x") == []
-        assert NULL_TRACER.to_dict() == {"spans": [], "span_count": 0, "dropped": 0}
+        assert NULL_TRACER.to_dict() == {
+            "trace_id": None,
+            "spans": [],
+            "span_count": 0,
+            "dropped": 0,
+            "dropped_spans": 0,
+        }
         assert NULL_TRACER.format_tree() == ""
+
+    def test_spans_carry_w3c_style_trace_context(self):
+        tracer = Tracer()
+        assert len(tracer.trace_id) == 32
+        with tracer.span("parent") as parent:
+            tracer.event("child")
+        assert parent.trace_id == tracer.trace_id
+        assert len(parent.span_id) == 16
+        assert parent.parent_id is None
+        (child,) = parent.children
+        assert child.trace_id == tracer.trace_id
+        assert child.parent_id == parent.span_id
+        payload = parent.to_dict()
+        assert payload["trace_id"] == tracer.trace_id
+        assert payload["span_id"] == parent.span_id
+
+    def test_tracer_adopts_remote_context(self):
+        remote = Tracer(trace_id="ab" * 16, parent_id="cd" * 8)
+        with remote.span("worker.chunk") as root:
+            pass
+        assert root.trace_id == "ab" * 16
+        assert root.parent_id == "cd" * 8
+        assert remote.to_dict()["trace_id"] == "ab" * 16
+
+    def test_attach_records_explicit_timing_and_preminted_id(self):
+        tracer = Tracer()
+        with tracer.span("batch") as batch:
+            pass
+        span = tracer.attach(batch, "fanout", 10.0, 10.5, span_id="ee" * 8, shard=3)
+        assert span in batch.children
+        assert span.span_id == "ee" * 8
+        assert span.parent_id == batch.span_id
+        assert span.duration == pytest.approx(0.5)
+        assert span.attributes["shard"] == 3
+
+    def test_attach_tree_rebases_remote_clock(self):
+        worker = Tracer(trace_id="ab" * 16)
+        with worker.span("worker.chunk") as chunk:
+            with worker.span("worker.query"):
+                pass
+        payload = chunk.to_dict()
+
+        local = Tracer(trace_id="ab" * 16)
+        with local.span("batch") as batch:
+            pass
+        shift = 100.0 - payload["start"]
+        stitched = local.attach_tree(batch, payload, shift=shift)
+        assert stitched.start == pytest.approx(100.0)
+        assert stitched.duration == pytest.approx(payload["duration"])
+        assert stitched.children[0].name == "worker.query"
+        assert stitched.trace_id == "ab" * 16
+        # Remote span ids survive stitching, so parentage stays intact.
+        assert stitched.children[0].parent_id == stitched.span_id
+
+    def test_attach_tree_drops_whole_subtree_at_cap(self):
+        worker = Tracer()
+        with worker.span("root"):
+            worker.event("a")
+            worker.event("b")
+        payload = worker.roots[0].to_dict()
+
+        tight = Tracer(max_spans=2)
+        with tight.span("batch") as batch:
+            pass
+        assert tight.attach_tree(batch, payload) is None
+        assert tight.dropped == 3
+        assert tight.to_dict()["dropped_spans"] == 3
+        assert batch.children == []
+
+    def test_dropped_spans_reported_in_trace_output(self):
+        tracer = Tracer(max_spans=1)
+        with tracer.span("only"):
+            for _ in range(5):
+                tracer.event("lost")
+        assert tracer.attach(None, "late", 0.0, 1.0) is None
+        payload = tracer.to_dict()
+        assert payload["dropped_spans"] == 6
+        assert payload["dropped"] == 6
+        assert payload["span_count"] == 1
 
 
 class TestMetricsRegistry:
@@ -352,6 +437,40 @@ class TestQueryLogger:
         path.write_text('{"ok": 1}\n\nnot json\n')
         with pytest.raises(ValueError, match=":3:"):
             read_query_log(path)
+
+    def test_size_based_rotation_keeps_n_files(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        # Each record is ~40 bytes; cap at ~2 records per file.
+        with QueryLogger(path, max_bytes=90, keep=2) as log:
+            for i in range(10):
+                log.log({"query_id": i})
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["runs.jsonl", "runs.jsonl.1", "runs.jsonl.2"]
+        # Live file holds the newest records, .1 the next-newest, etc.
+        live_ids = [r["query_id"] for r in read_query_log(path)]
+        prev_ids = [r["query_id"] for r in read_query_log(tmp_path / "runs.jsonl.1")]
+        assert live_ids[-1] == 9
+        assert max(prev_ids) < min(live_ids)
+        # No record straddles files and none were lost within the window.
+        surviving = prev_ids + live_ids
+        assert surviving == sorted(surviving)
+
+    def test_rotation_respects_preexisting_size_on_append(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with QueryLogger(path, max_bytes=80) as log:
+            log.log({"query_id": 0})
+        with QueryLogger(path, append=True, max_bytes=80) as log:
+            log.log({"query_id": 1})
+            log.log({"query_id": 2})
+        assert (tmp_path / "runs.jsonl.1").exists()
+
+    def test_rotation_rejects_file_like_and_bad_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            QueryLogger(io.StringIO(), max_bytes=100)
+        with pytest.raises(ValueError):
+            QueryLogger(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            QueryLogger(tmp_path / "x.jsonl", max_bytes=100, keep=0)
 
 
 class TestReport:

@@ -1,0 +1,131 @@
+"""Fault-injected tracing test: a crash + replay shows up as one trace.
+
+Satellite for the observability PR: drive a deterministic worker crash
+(``crash:every=3,shard=0,op=search``) under the supervisor and assert the
+affected query still produces a *single* stitched trace containing the
+failed attempt span, the replay span, and the healed worker's subtree --
+all with the same ``trace_id`` and correct parentage under the shard's
+fan-out span.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances.euclidean import EuclideanMeasure
+from repro.service import FaultPlan, RestartPolicy, save_shards, start_service_thread
+
+
+@pytest.fixture(scope="module")
+def walks():
+    rng = np.random.default_rng(44)
+    return np.cumsum(rng.normal(size=(14, 16)), axis=1)
+
+
+@pytest.fixture(scope="module")
+def shard_dir(walks, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("tracing-shards")
+    save_shards(walks, directory, 2, n_coefficients=8)
+    return directory
+
+
+def _walk(span: dict):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk(child)
+
+
+def _spans(trace: dict):
+    for root in trace["spans"]:
+        yield from _walk(root)
+
+
+class TestCrashReplayTrace:
+    @pytest.fixture()
+    def crashed_trace(self, shard_dir, walks):
+        """Run queries until shard 0's third search op crashes the worker."""
+        handle = start_service_thread(
+            shard_dir,
+            EuclideanMeasure(),
+            cache_size=0,
+            fault_plan=FaultPlan.parse("seed=3;crash:every=3,shard=0,op=search"),
+            restart_policy=RestartPolicy(
+                degrade_after=4, backoff_base=0.001, backoff_cap=0.005, jitter=0.0, seed=1
+            ),
+            monitor_interval=0.0,
+        )
+        try:
+            replies = [
+                handle.request({"op": "knn", "query": [float(x) for x in walks[i]], "k": 2})
+                for i in range(3)
+            ]
+            # The supervisor healed the third query transparently.
+            assert all(reply["ok"] for reply in replies), replies
+            assert handle.service.workers[0].restarts == 1
+            entry = handle.service.traces.to_dict()["recent"][-1]
+            return entry
+        finally:
+            handle.close()
+
+    def test_crash_heals_into_one_stitched_trace(self, crashed_trace):
+        trace = crashed_trace["trace"]
+        spans = list(_spans(trace))
+        # One trace id across coordinator, failed attempt, and replay.
+        assert {span["trace_id"] for span in spans} == {trace["trace_id"]}
+        assert crashed_trace["error"] is False
+        assert crashed_trace["missing_shards"] == []
+
+        fanouts = {
+            span["attributes"]["shard"]: span
+            for span in spans
+            if span["name"] == "fanout.shard"
+        }
+        assert set(fanouts) == {0, 1}
+        crashed = fanouts[0]
+        assert crashed["attributes"]["status"] == "ok"  # healed, not missing
+
+        children = {child["name"]: child for child in crashed["children"]}
+        attempt = children["worker.attempt"]
+        replay = children["worker.replay"]
+        assert attempt["attributes"]["outcome"] == "died"
+        assert "error" in attempt["attributes"]
+        assert replay["attributes"]["outcome"] == "ok"
+        # The replay only starts after the failed attempt ended.
+        assert replay["start"] >= attempt["start"] + attempt["duration"] - 1e-6
+
+        # The healed worker's subtree is stitched under the same fan-out
+        # span, parented by the pre-minted span id.
+        chunk = children["worker.chunk"]
+        assert chunk["parent_id"] == crashed["span_id"]
+        assert chunk["attributes"]["shard"] == 0
+        assert any(span["name"] == "worker.query" for span in _walk(chunk))
+
+        # The untouched shard has a plain ok attempt and no replay.
+        healthy_children = {child["name"] for child in fanouts[1]["children"]}
+        assert "worker.replay" not in healthy_children
+        assert "worker.chunk" in healthy_children
+
+    def test_slo_window_saw_the_restart(self, shard_dir, walks):
+        handle = start_service_thread(
+            shard_dir,
+            EuclideanMeasure(),
+            cache_size=0,
+            fault_plan=FaultPlan.parse("seed=3;crash:every=2,shard=1,op=search"),
+            restart_policy=RestartPolicy(
+                degrade_after=4, backoff_base=0.001, backoff_cap=0.005, jitter=0.0, seed=1
+            ),
+            monitor_interval=0.0,
+        )
+        try:
+            for i in range(2):
+                reply = handle.request(
+                    {"op": "knn", "query": [float(x) for x in walks[i]], "k": 1}
+                )
+                assert reply["ok"], reply
+            assert handle.service.workers[1].restarts == 1
+            # The monitor thread folds restart deltas into the windows;
+            # with monitor_interval=0 the test drives one poll by hand.
+            handle.service._window_worker_events()
+            events = handle.service.slo.snapshot()["1m"]["events"]
+            assert events.get("restarts/shard=1", 0) >= 1
+        finally:
+            handle.close()

@@ -1,0 +1,148 @@
+"""Sliding-window SLO engine: quantiles, expiry, merge, alerts."""
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_LATENCY_BOUNDS,
+    SlidingWindow,
+    SloEngine,
+    SloThresholds,
+    quantile_from_buckets,
+)
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestQuantileFromBuckets:
+    def test_empty_histogram_is_zero(self):
+        counts = [0] * (len(DEFAULT_LATENCY_BOUNDS) + 1)
+        assert quantile_from_buckets(DEFAULT_LATENCY_BOUNDS, counts, 0.5) == 0.0
+
+    def test_single_bucket_interpolates(self):
+        bounds = (1.0, 2.0, 4.0)
+        counts = [0, 10, 0, 0]
+        # All mass in (1, 2]: median interpolates to the bucket midpoint.
+        assert quantile_from_buckets(bounds, counts, 0.5) == pytest.approx(1.5)
+        assert quantile_from_buckets(bounds, counts, 1.0) == pytest.approx(2.0)
+
+    def test_overflow_bucket_reports_last_bound(self):
+        bounds = (1.0, 2.0)
+        counts = [0, 0, 5]
+        assert quantile_from_buckets(bounds, counts, 0.99) == 2.0
+
+    def test_quantile_bounded_by_bucket_ratio(self):
+        # Geometric buckets bound relative error: estimates never stray
+        # past one bucket boundary from the true value.
+        engine_bounds = DEFAULT_LATENCY_BOUNDS
+        window = SlidingWindow(60.0, bounds=engine_bounds)
+        true = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for v in true:
+            window.record(v, now=100.0)
+        snap = window.snapshot(now=100.0)
+        assert snap["p50_ms"] == pytest.approx(50.0, rel=0.5)
+        assert snap["p99_ms"] == pytest.approx(99.0, rel=0.5)
+
+
+class TestSlidingWindow:
+    def test_counts_qps_errors_cache(self):
+        window = SlidingWindow(10.0)
+        for i in range(20):
+            window.record(0.01, now=100.0, error=(i < 2), cached=(i < 5))
+        snap = window.snapshot(now=100.0)
+        assert snap["count"] == 20
+        assert snap["qps"] == pytest.approx(2.0)
+        assert snap["errors"] == 2
+        assert snap["error_rate"] == pytest.approx(0.1)
+        assert snap["cache_hit_ratio"] == pytest.approx(0.25)
+
+    def test_old_slots_expire(self):
+        window = SlidingWindow(10.0, slots=10)
+        window.record(0.01, now=100.0)
+        assert window.snapshot(now=100.0)["count"] == 1
+        # 9 seconds later it is still inside the 10s window...
+        assert window.snapshot(now=109.0)["count"] == 1
+        # ...but 11 seconds later it has aged out.
+        assert window.snapshot(now=111.0)["count"] == 0
+
+    def test_events_accumulate_and_expire(self):
+        window = SlidingWindow(10.0)
+        window.record_event("restarts", 1, now=100.0)
+        window.record_event("restarts", 2, now=103.0)
+        assert window.snapshot(now=104.0)["events"] == {"restarts": 3}
+        assert window.snapshot(now=112.0)["events"] == {"restarts": 2}
+        assert window.snapshot(now=120.0)["events"] == {}
+
+    def test_merge_folds_slots(self):
+        a = SlidingWindow(10.0)
+        b = SlidingWindow(10.0)
+        a.record(0.01, now=100.0)
+        b.record(0.02, now=100.0, error=True)
+        b.record_event("deadline", 1, now=100.0)
+        a.merge(b)
+        snap = a.snapshot(now=100.0)
+        assert snap["count"] == 2
+        assert snap["errors"] == 1
+        assert snap["events"] == {"deadline": 1}
+
+
+class TestSloEngine:
+    def test_records_into_all_windows(self):
+        clock = FakeClock()
+        engine = SloEngine(clock=clock)
+        for _ in range(10):
+            engine.record(0.005)
+        snap = engine.snapshot()
+        assert set(snap) == {"10s", "1m", "5m"}
+        assert all(stats["count"] == 10 for stats in snap.values())
+        # Short window forgets first.
+        clock.advance(30.0)
+        snap = engine.snapshot()
+        assert snap["10s"]["count"] == 0
+        assert snap["1m"]["count"] == 10
+        assert snap["5m"]["count"] == 10
+
+    def test_event_labels_flatten_into_key(self):
+        engine = SloEngine(clock=FakeClock())
+        engine.record_event("restarts", shard=1)
+        engine.record_event("restarts", shard=1)
+        engine.record_event("restarts", shard=2)
+        events = engine.snapshot()["1m"]["events"]
+        assert events == {"restarts/shard=1": 2, "restarts/shard=2": 1}
+
+    def test_merge_engines(self):
+        clock = FakeClock()
+        a = SloEngine(clock=clock)
+        b = SloEngine(clock=clock)
+        a.record(0.001)
+        b.record(0.002, error=True)
+        a.merge(b)
+        assert a.snapshot()["1m"]["count"] == 2
+        assert a.snapshot()["1m"]["errors"] == 1
+
+    def test_alerts_fire_over_threshold(self):
+        clock = FakeClock()
+        thresholds = SloThresholds(window="1m", p95_ms=1.0, error_rate=0.05)
+        engine = SloEngine(thresholds=thresholds, clock=clock)
+        assert engine.alerts() == []  # empty window never alerts
+        for i in range(50):
+            engine.record(0.050, error=(i < 5))  # 50ms >> 1ms p95 budget; 10% errors
+        alerts = engine.alerts()
+        fired = {a["slo"] for a in alerts}
+        assert fired == {"p95_ms", "error_rate"}
+        for alert in alerts:
+            assert alert["window"] == "1m"
+            assert alert["value"] > alert["threshold"]
+
+    def test_no_thresholds_means_no_alerts(self):
+        engine = SloEngine(clock=FakeClock())
+        engine.record(10.0, error=True)
+        assert engine.alerts() == []
