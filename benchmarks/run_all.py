@@ -22,10 +22,13 @@ persistence layer must round-trip exactly (``bench_persistence --quick``:
 built vs loaded vs mmap-loaded answers bit-identical, v1 shim intact,
 single-byte corruption rejected), every registered kernel backend must
 agree bit for bit with the scalar reference (``bench_kernels --quick``),
-and the sharded query service must answer bit-identically to a single
-process under concurrent load (``bench_service --quick``).  Any violation
-exits non-zero, making this a perf-regression tripwire cheap enough to
-run on every push.
+the sharded query service must answer bit-identically to a single
+process under concurrent load (``bench_service --quick``), and the
+cost-model query planner must keep ``strategy="auto"`` bit-identical to
+the canonical fixed plan with a committed ``BENCH_planner.json`` holding
+its acceptance bars (``bench_planner --quick``).  Any violation exits
+non-zero, making this a perf-regression tripwire cheap enough to run on
+every push.
 """
 
 from __future__ import annotations
@@ -184,7 +187,7 @@ def _obs_artifact_smoke(walks, m: int) -> int:
 def quick_smoke() -> int:
     """CI smoke: hard invariants on tiny inputs instead of the full sweep.
 
-    Seven tripwires, all fatal:
+    Eight tripwires, all fatal:
 
     1. For every (measure, query) pair, ``wedge_search`` must report at most
        as many steps as ``brute_force_search`` and agree on the nearest
@@ -205,6 +208,10 @@ def quick_smoke() -> int:
        bit-identically to single-process search, with a parseable merged
        ``/metrics`` exposition and a working answer cache
        (``bench_service --quick``).
+    8. The cost-model query planner must keep ``strategy="auto"``
+       bit-identical to the canonical fixed plan while its telemetry
+       warms, and the committed ``BENCH_planner.json`` must hold its
+       acceptance bars (``bench_planner --quick``).
     """
     src = BENCH_DIR.parent / "src"
     for path in (str(BENCH_DIR), str(src)):
@@ -313,7 +320,19 @@ def quick_smoke() -> int:
     print("\n=== bench_service --quick ===", flush=True)
     import bench_service
 
-    return bench_service.main(["--quick"])
+    rc = bench_service.main(["--quick"])
+    if rc != 0:
+        return rc
+
+    # Eighth tripwire: the cost-model query planner -- ``strategy="auto"``
+    # must answer bit-identically to the canonical fixed plan while its
+    # live telemetry warms, and the committed BENCH_planner.json must parse
+    # back with provenance and show auto within 10% of the best fixed
+    # plan's per-query wall clock (strictly better than the worst).
+    print("\n=== bench_planner --quick ===", flush=True)
+    import bench_planner
+
+    return bench_planner.main(["--quick"])
 
 
 def main(argv=None) -> int:

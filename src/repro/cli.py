@@ -109,6 +109,7 @@ def cmd_datasets(args) -> int:
 
 def cmd_search(args) -> int:
     from repro.core.search import (
+        auto_search,
         brute_force_search,
         early_abandon_search,
         fft_search,
@@ -126,11 +127,24 @@ def cmd_search(args) -> int:
         "brute": brute_force_search,
         "early-abandon": early_abandon_search,
         "fft": fft_search,
+        "auto": auto_search,
     }
+    if args.plan is not None and args.strategy != "auto":
+        # --plan implies the plan-routed strategy.
+        args.strategy = "auto"
     search = strategies[args.strategy]
     kwargs = dict(mirror=args.mirror)
     if args.max_degrees is not None:
         kwargs["max_degrees"] = args.max_degrees
+    if args.strategy == "auto":
+        from repro.core.planner import parse_plan
+
+        try:
+            plan = parse_plan(args.plan or "auto", measure)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        if plan is not None:
+            kwargs["plan"] = plan
 
     tracer = None
     if args.trace:
@@ -159,6 +173,8 @@ def cmd_search(args) -> int:
     brute_steps = len(database) * archive.shape[1] * measure.pairwise_cost(archive.shape[1])
     print(f"query: object {query_index} of the {args.collection} collection")
     print(f"measure: {measure.name} (kernel backend: {measure.backend_name})")
+    if getattr(result, "plan", None):
+        print(f"plan: {result.plan}")
     print(f"best match: object {result.index} at distance {result.distance:.4f} (rotation {result.rotation})")
     print(f"steps: {result.counter.steps:,} ({result.counter.steps / brute_steps:.2%} of brute force)")
     if any(result.tier_stats.values()):
@@ -468,6 +484,12 @@ def cmd_serve(args) -> int:
     from repro.service.worker import RestartPolicy
 
     measure = _build_measure(args)
+    from repro.core.planner import parse_plan
+
+    try:
+        parse_plan(args.plan, measure)  # fail fast on a malformed spec
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     query_log = None
     if args.obs_log:
         from repro.obs.querylog import QueryLogger
@@ -489,7 +511,7 @@ def cmd_serve(args) -> int:
         print(
             f"repro-service listening on {args.host}:{port} "
             f"({service.manifest.n_shards} shards, {service.manifest.objects} objects, "
-            f"measure={measure.name}, backend={service.backend}, "
+            f"measure={measure.name}, backend={service.backend}, plan={service.plan_spec}, "
             f"cache={'on' if service.cache is not None else 'off'}{telemetry})",
             flush=True,
         )
@@ -501,6 +523,7 @@ def cmd_serve(args) -> int:
             args.host,
             args.port,
             cache_size=args.cache_size,
+            plan=args.plan,
             batch_window=args.batch_window_ms / 1000.0,
             max_batch=args.max_batch,
             query_log=query_log,
@@ -672,7 +695,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_collection_args(search)
     _add_measure_args(search)
     search.add_argument("--query-index", type=int, default=0)
-    search.add_argument("--strategy", default="wedge", choices=("wedge", "brute", "early-abandon", "fft"))
+    search.add_argument(
+        "--strategy", default="wedge", choices=("wedge", "brute", "early-abandon", "fft", "auto")
+    )
+    search.add_argument(
+        "--plan",
+        default=None,
+        metavar="SPEC",
+        help="query plan: 'auto' (cost-model planner) or 'fixed:<tier>[><tier>...][:batch|:scalar]', "
+        "e.g. fixed:kim>keogh>improved:batch or fixed:none:scalar; implies --strategy auto",
+    )
     search.add_argument("--mirror", action="store_true")
     search.add_argument("--max-degrees", type=float, default=None)
     search.add_argument("--trace", action="store_true", help="print the query's span tree")
@@ -775,6 +807,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_measure_args(serve)
     serve.add_argument(
         "--cache-size", type=int, default=1024, help="answer cache capacity (0 disables)"
+    )
+    serve.add_argument(
+        "--plan",
+        default="auto",
+        metavar="SPEC",
+        help=(
+            "query plan: 'auto' (cost-model planner, the default) or "
+            "'fixed:<tier>[><tier>...][:batch|:scalar]', e.g. fixed:keogh>improved:batch"
+        ),
     )
     serve.add_argument(
         "--batch-window-ms",

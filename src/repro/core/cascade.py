@@ -39,7 +39,20 @@ from repro.core.wedge import Wedge
 from repro.distances.base import Measure
 from repro.obs.trace import NULL_TRACER
 
-__all__ = ["lb_kim", "candidate_extremes", "CascadePolicy", "empty_tier_stats"]
+__all__ = [
+    "lb_kim",
+    "candidate_extremes",
+    "CascadePolicy",
+    "empty_tier_stats",
+    "CASCADE_TIERS",
+    "canonical_tiers",
+]
+
+#: Canonical cascade order: cheapest admissible test first.  Plans may
+#: drop tiers or permute them (exactness only needs admissibility, which
+#: every tier has independently), but the *batch* leaf-run path in
+#: ``hmerge`` is specialised to this order.
+CASCADE_TIERS = ("kim", "keogh", "improved")
 
 #: Keys every tier-stats dict exposes, cascade or not.  Non-cascade search
 #: strategies report this zeroed sentinel on ``SearchResult.tier_stats`` so
@@ -59,6 +72,23 @@ TIER_STAT_KEYS = (
 def empty_tier_stats() -> dict[str, int]:
     """A zeroed tier-stats dict with the full :data:`TIER_STAT_KEYS` schema."""
     return dict.fromkeys(TIER_STAT_KEYS, 0)
+
+
+def canonical_tiers(measure: Measure, use_kim: bool = True, use_improved: bool = True) -> tuple[str, ...]:
+    """The default tier tuple for ``measure`` under the two legacy toggles.
+
+    This is the order every release before the planner hardcoded: Kim (when
+    the measure is Kim-compatible), then Keogh, then Improved (when the
+    measure has one).  ``CascadePolicy(measure)`` is exactly
+    ``CascadePolicy(measure, tiers=canonical_tiers(measure))``.
+    """
+    tiers = []
+    if use_kim and measure.kim_compatible:
+        tiers.append("kim")
+    tiers.append("keogh")
+    if use_improved and measure.has_improved_bound:
+        tiers.append("improved")
+    return tuple(tiers)
 
 
 def candidate_extremes(candidate: np.ndarray) -> tuple[float, float, float, float]:
@@ -152,10 +182,16 @@ class CascadePolicy:
         use_kim: bool = True,
         use_improved: bool = True,
         tracer=None,
+        tiers: tuple[str, ...] | None = None,
     ):
         self.measure = measure
-        self.use_kim = use_kim and measure.kim_compatible
-        self.use_improved = use_improved and measure.has_improved_bound
+        if tiers is None:
+            tiers = canonical_tiers(measure, use_kim=use_kim, use_improved=use_improved)
+        else:
+            tiers = self._validate_tiers(measure, tiers)
+        self.tiers = tiers
+        self.use_kim = "kim" in tiers
+        self.use_improved = "improved" in tiers
         self.tracer = NULL_TRACER if tracer is None else tracer
         # Resolved once per policy (i.e. per query): stamped on the
         # full-distance trace spans so traces say which kernels ran.
@@ -170,6 +206,67 @@ class CascadePolicy:
         self._prepared: np.ndarray | None = None
         self._extremes: tuple[float, float, float, float] | None = None
         self._env_extremes: dict[Wedge, tuple[float, float]] = {}
+
+    @staticmethod
+    def _validate_tiers(measure: Measure, tiers: tuple[str, ...]) -> tuple[str, ...]:
+        """Normalise an explicit tier tuple against the measure's abilities.
+
+        Unknown names and duplicates are errors; tiers the measure cannot
+        support (``kim`` for non-Kim-compatible measures, ``improved`` when
+        the measure has no improved bound) are silently dropped, matching
+        the legacy toggle semantics.  ``improved`` without a preceding
+        ``keogh`` is rejected: LB_Improved's second pass refines the Keogh
+        envelope distance and is only cheaper *given* that first pass.
+        """
+        tiers = tuple(tiers)
+        for name in tiers:
+            if name not in CASCADE_TIERS:
+                raise ValueError(f"unknown cascade tier {name!r}; expected one of {CASCADE_TIERS}")
+        if len(set(tiers)) != len(tiers):
+            raise ValueError(f"duplicate cascade tier in {tiers!r}")
+        kept = tuple(
+            name
+            for name in tiers
+            if not (name == "kim" and not measure.kim_compatible)
+            and not (name == "improved" and not measure.has_improved_bound)
+        )
+        if "improved" in kept and ("keogh" not in kept or kept.index("keogh") > kept.index("improved")):
+            raise ValueError(
+                f"tier order {tiers!r} runs 'improved' without a preceding 'keogh'; "
+                "LB_Improved refines the Keogh pass and must follow it"
+            )
+        return kept
+
+    @property
+    def batch_compatible(self) -> bool:
+        """Whether the batched leaf-run path may serve this tier order.
+
+        The vectorised run evaluator in ``hmerge`` hardcodes the canonical
+        Kim -> Keogh -> Improved order and always runs a Keogh pass; any
+        plan that drops Keogh or permutes tiers must fall back to the
+        scalar per-leaf cascade (same answers, different step profile).
+        """
+        canonical_subset = tuple(t for t in CASCADE_TIERS if t in self.tiers)
+        return "keogh" in self.tiers and self.tiers == canonical_subset
+
+    def reset(self) -> None:
+        """Zero the funnel counters and drop per-candidate memos.
+
+        A policy instance reused across queries *must* call this between
+        them: the counters otherwise accumulate for the instance lifetime
+        and any per-query consumer (the planner's cost model above all)
+        would see a blended funnel.
+        """
+        self.leaf_candidates = 0
+        self.keogh_reached = 0
+        self.improved_reached = 0
+        self.kim_rejections = 0
+        self.keogh_rejections = 0
+        self.improved_rejections = 0
+        self.full_computations = 0
+        self._prepared = None
+        self._extremes = None
+        self._env_extremes.clear()
 
     def prepare(self, candidate: np.ndarray, counter: StepCounter | None = None) -> None:
         """Memoize the candidate's Kim landmarks (one O(n) scan, charged here).
@@ -271,53 +368,82 @@ class CascadePolicy:
         counter: StepCounter | None = None,
     ) -> float:
         """Exact distance to the leaf's series, or ``inf`` once provably
-        >= ``threshold`` -- after as little work as the cascade allows."""
+        >= ``threshold`` -- after as little work as the cascade allows.
+
+        The tiers run in the order this policy was configured with.  The
+        funnel counters keep their canonical meaning under any order: a
+        candidate is counted as *reaching* the Keogh/Improved stage when it
+        survives long enough that the canonical cascade would have run that
+        stage -- so a plan that drops a tier passes candidates through its
+        ``*_reached`` counter untested, and ``funnel_is_monotone`` holds for
+        every legal plan.
+        """
         self.leaf_candidates += 1
         tracer = self.tracer
         upper, lower = leaf.envelope_for(self.measure, counter=counter)
-        if self.use_kim:
-            kim = self._kim(candidate, leaf, upper, lower, counter)
-            if kim >= threshold:
-                self.kim_rejections += 1
+        keogh: float | None = None
+        keogh_credited = False
+        improved_credited = False
+        for tier in self.tiers:
+            if tier == "kim":
+                kim = self._kim(candidate, leaf, upper, lower, counter)
+                if kim >= threshold:
+                    self.kim_rejections += 1
+                    if tracer.enabled:
+                        tracer.event("cascade.kim", outcome="reject", kind="leaf", bound=float(kim))
+                    return math.inf
                 if tracer.enabled:
-                    tracer.event("cascade.kim", outcome="reject", kind="leaf", bound=float(kim))
-                return math.inf
-            if tracer.enabled:
-                tracer.event("cascade.kim", outcome="pass", kind="leaf", bound=float(kim))
-        self.keogh_reached += 1
-        keogh = self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
-        if keogh >= threshold:
-            self.keogh_rejections += 1
-            if tracer.enabled:
-                tracer.event("cascade.keogh", outcome="reject", kind="leaf", bound=float(keogh))
-            return math.inf
-        if tracer.enabled:
-            tracer.event("cascade.keogh", outcome="pass", kind="leaf", bound=float(keogh))
-        if self.measure.lb_exact_for_singleton:
-            return keogh
-        self.improved_reached += 1
-        if self.use_improved and math.isfinite(threshold):
-            improved = self.measure.improved_lower_bound(
-                candidate,
-                upper,
-                lower,
-                leaf.upper,
-                leaf.lower,
-                threshold,
-                keogh=keogh,
-                counter=counter,
-            )
-            if improved >= threshold:
-                self.improved_rejections += 1
+                    tracer.event("cascade.kim", outcome="pass", kind="leaf", bound=float(kim))
+            elif tier == "keogh":
+                self.keogh_reached += 1
+                keogh_credited = True
+                keogh = self.measure.lower_bound(candidate, upper, lower, threshold, counter=counter)
+                if keogh >= threshold:
+                    self.keogh_rejections += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "cascade.keogh", outcome="reject", kind="leaf", bound=float(keogh)
+                        )
+                    return math.inf
                 if tracer.enabled:
-                    tracer.event(
-                        "cascade.improved", outcome="reject", kind="leaf", bound=float(improved)
+                    tracer.event("cascade.keogh", outcome="pass", kind="leaf", bound=float(keogh))
+                if self.measure.lb_exact_for_singleton:
+                    return keogh
+            elif tier == "improved":
+                if not keogh_credited:
+                    self.keogh_reached += 1
+                    keogh_credited = True
+                self.improved_reached += 1
+                improved_credited = True
+                if math.isfinite(threshold):
+                    improved = self.measure.improved_lower_bound(
+                        candidate,
+                        upper,
+                        lower,
+                        leaf.upper,
+                        leaf.lower,
+                        threshold,
+                        keogh=keogh,
+                        counter=counter,
                     )
-                return math.inf
-            if tracer.enabled:
-                tracer.event(
-                    "cascade.improved", outcome="pass", kind="leaf", bound=float(improved)
-                )
+                    if improved >= threshold:
+                        self.improved_rejections += 1
+                        if tracer.enabled:
+                            tracer.event(
+                                "cascade.improved",
+                                outcome="reject",
+                                kind="leaf",
+                                bound=float(improved),
+                            )
+                        return math.inf
+                    if tracer.enabled:
+                        tracer.event(
+                            "cascade.improved", outcome="pass", kind="leaf", bound=float(improved)
+                        )
+        if not keogh_credited:
+            self.keogh_reached += 1
+        if not improved_credited:
+            self.improved_reached += 1
         self.full_computations += 1
         with tracer.span("cascade.full_distance", backend=self.backend_name) as span:
             dist = self.measure.distance(candidate, leaf.series, threshold, counter=counter)

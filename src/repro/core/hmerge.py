@@ -89,6 +89,11 @@ def h_merge(
         raise ValueError(f"unknown traversal order {order!r}")
     candidate = np.asarray(candidate, dtype=np.float64)
     tracer = NULL_TRACER if tracer is None else tracer
+    if batch_leaves and pruner is not None and not getattr(pruner, "batch_compatible", True):
+        # The batched run evaluator hardcodes the canonical Kim -> Keogh ->
+        # Improved order; non-canonical plans fall back to the scalar
+        # per-leaf cascade (identical answers, different step profile).
+        batch_leaves = False
     best = float(r)
     best_idx = -1
 

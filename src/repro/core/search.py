@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.cascade import CascadePolicy, empty_tier_stats
 from repro.core.counters import StepCounter, fft_step_cost
 from repro.core.hmerge import DynamicKPolicy, FixedKPolicy, h_merge
+from repro.core.planner import Planner, QueryPlan, default_plan
 from repro.core.rotation import RotationSet
 from repro.core.wedge_builder import WedgeTree, build_wedge_tree
 from repro.distances.base import Measure
@@ -58,11 +59,13 @@ __all__ = [
     "early_abandon_search",
     "fft_search",
     "wedge_search",
+    "auto_search",
     "anytime_wedge_search",
     "test_all_rotations",
     "search_many",
     "merge_counters",
     "merge_neighbors",
+    "merge_range_hits",
 ]
 
 
@@ -90,6 +93,10 @@ class SearchResult:
         run no cascade report the zeroed
         :func:`~repro.core.cascade.empty_tier_stats` sentinel with the
         same key schema, so reporting code never branches on ``None``.
+    plan:
+        Canonical name of the :class:`~repro.core.planner.QueryPlan` that
+        executed the query, or ``None`` when no explicit plan was involved
+        (legacy toggle-driven calls).
     """
 
     index: int
@@ -98,6 +105,7 @@ class SearchResult:
     counter: StepCounter = field(default_factory=StepCounter)
     strategy: str = ""
     tier_stats: dict = field(default_factory=empty_tier_stats)
+    plan: str | None = None
 
     @property
     def found(self) -> bool:
@@ -376,6 +384,7 @@ def wedge_search(
     use_kim: bool = False,
     use_improved: bool = True,
     batch_leaves: bool = True,
+    plan: QueryPlan | None = None,
     tracer=None,
     metrics: MetricsRegistry | None = None,
     query_log=None,
@@ -398,6 +407,14 @@ def wedge_search(
     leaves through the batched kernels.  The per-tier rejection counts are
     returned on ``SearchResult.tier_stats``.
 
+    ``plan`` supersedes the individual cascade toggles: a
+    :class:`~repro.core.planner.QueryPlan` pins the tier set *and order*,
+    the batch/scalar leaf mode, and (when ``backend`` is not given) the
+    kernel backend.  Any plan returns bit-identical answers -- the tiers
+    are each admissible on their own -- and the plan's canonical name is
+    stamped on the query span, the query-log record, and
+    ``SearchResult.plan``.
+
     ``tracer``/``metrics``/``query_log`` are the opt-in observability
     hooks: the tracer receives the full span tree (wedge-tree build,
     H-Merge pops, cascade tiers, batch kernel calls), the registry and
@@ -406,20 +423,29 @@ def wedge_search(
     per object, probes included) and the best-so-far radius trace.
     """
     tracer = NULL_TRACER if tracer is None else tracer
+    if plan is not None:
+        if backend is None:
+            backend = plan.backend
+        batch_leaves = plan.batch_leaves
     if backend is not None:
         measure = measure.with_backend(backend)
     t0 = perf_counter()
     rq = _as_query(query, mirror, max_degrees, linkage_method)
     counter = StepCounter()
-    with tracer.span(
-        "query", strategy="wedge", measure=measure.name, backend=measure.backend_name
-    ):
+    span_attrs = {"strategy": "wedge", "measure": measure.name, "backend": measure.backend_name}
+    if plan is not None:
+        span_attrs["plan"] = plan.name
+    with tracer.span("query", **span_attrs):
         with tracer.span("wedge_tree.build") as build_span:
             tree = rq.wedge_tree(counter if charge_setup else None)
             build_span.set(max_k=tree.max_k, length=rq.length)
         policy = k_policy if k_policy is not None else DynamicKPolicy()
         pruner = CascadePolicy(
-            measure, use_kim=use_kim, use_improved=use_improved, tracer=tracer
+            measure,
+            use_kim=use_kim,
+            use_improved=use_improved,
+            tracer=tracer,
+            tiers=plan.tiers if plan is not None else None,
         )
         max_k = tree.max_k
         best = math.inf
@@ -472,16 +498,90 @@ def wedge_search(
                 if tracer.enabled:
                     tracer.event("best_so_far", index=i, distance=float(best))
     result = SearchResult(
-        best_index, best, best_rotation, counter, "wedge", tier_stats=pruner.stats()
+        best_index,
+        best,
+        best_rotation,
+        counter,
+        "wedge",
+        tier_stats=pruner.stats(),
+        plan=plan.name if plan is not None else None,
     )
     extra = (
         {"k_trajectory": k_trajectory, "radius_trace": radius_trace}
         if query_log is not None
         else None
     )
+    if extra is not None and plan is not None:
+        extra["plan"] = plan.name
     return _observe_query(
         result, measure, perf_counter() - t0, metrics, query_log, query_id, extra
     )
+
+
+def auto_search(
+    database: Sequence,
+    query,
+    measure: Measure,
+    mirror: bool = False,
+    max_degrees: float | None = None,
+    *,
+    plan: QueryPlan | None = None,
+    planner: Planner | None = None,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    query_log=None,
+    query_id=None,
+    backend: str | None = None,
+    **kwargs,
+) -> SearchResult:
+    """Planner-routed search (``strategy="auto"``).
+
+    Resolution order for the plan: an explicit ``plan`` wins; otherwise a
+    supplied ``planner`` selects one from its cost model (and the finished
+    query's ``tier_stats`` are fed back into it); otherwise the measure's
+    canonical default plan runs -- which is exactly the pre-planner
+    behaviour.  Whatever the plan, the answer is bit-identical to every
+    other plan's: the planner only ever trades work, never correctness.
+    """
+    if plan is None:
+        plan = planner.plan() if planner is not None else default_plan(measure, backend=backend)
+    if plan.strategy != "wedge":
+        fn = _STRATEGIES[plan.strategy]
+        return fn(
+            database,
+            query,
+            measure,
+            mirror=mirror,
+            max_degrees=max_degrees,
+            tracer=tracer,
+            metrics=metrics,
+            query_log=query_log,
+            query_id=query_id,
+            backend=backend if backend is not None else plan.backend,
+            **kwargs,
+        )
+    t0 = perf_counter()
+    result = wedge_search(
+        database,
+        query,
+        measure,
+        mirror=mirror,
+        max_degrees=max_degrees,
+        plan=plan,
+        tracer=tracer,
+        metrics=metrics,
+        query_log=query_log,
+        query_id=query_id,
+        backend=backend,
+        **kwargs,
+    )
+    if planner is not None:
+        # Funnel counts drive the step model; the measured wall clock feeds
+        # the latency tie-break (see Planner.observe).
+        planner.observe(
+            result.tier_stats, wall_seconds=perf_counter() - t0, plan=plan
+        )
+    return result
 
 
 @dataclass
@@ -577,6 +677,7 @@ _STRATEGIES = {
     "early-abandon": early_abandon_search,
     "fft": fft_search,
     "wedge": wedge_search,
+    "auto": auto_search,
 }
 
 #: Measures whose distance kernels run Python-level dynamic programs and
@@ -658,6 +759,34 @@ def merge_neighbors(neighbor_lists, k: int) -> list:
     return merged[:k]
 
 
+def merge_range_hits(neighbor_lists) -> list:
+    """Exact global merge of per-partition range-search hit lists.
+
+    The range analogue of :func:`merge_neighbors`, and the **explicit
+    contract** the sharded service's range path honours:
+
+    * hits come back sorted by ascending global index (the same order a
+      single-process :func:`repro.mining.queries.range_search` over the
+      concatenated database reports);
+    * each global index appears exactly once (partitions are normally
+      disjoint, but duplicated indices across partitions are collapsed,
+      keeping the smallest distance);
+    * the merge is partition-invariant: any split of the database into
+      shards -- including empty shards -- yields the identical hit list.
+
+    Inclusion at exactly ``radius`` is decided shard-side by
+    ``range_search``'s ``1e-12`` inclusive nudge; the merge never re-tests
+    distances, so boundary hits survive sharding bit-for-bit.
+    """
+    by_index: dict = {}
+    for partition in neighbor_lists:
+        for nb in partition:
+            held = by_index.get(nb.index)
+            if held is None or nb.distance < held.distance:
+                by_index[nb.index] = nb
+    return [by_index[index] for index in sorted(by_index)]
+
+
 def search_many(
     database: Sequence,
     queries: Sequence,
@@ -691,7 +820,14 @@ def search_many(
         stateless by contract).
     strategy:
         One of ``"wedge"``, ``"early-abandon"``, ``"fft"``,
-        ``"brute-force"``.
+        ``"brute-force"``, or ``"auto"`` (planner-routed).  For ``"auto"``
+        the plan is resolved **once, parent-side** -- from an explicit
+        ``plan`` kwarg, a ``planner`` kwarg, or the measure's default --
+        and shipped to every pool worker, mirroring the backend
+        propagation: a process worker must never re-plan on its own or
+        chunks could run different plans.  A supplied ``planner`` stays
+        parent-side and is fed every result's ``tier_stats`` after the
+        pool drains.
     n_jobs:
         Pool size.  ``None`` or ``1`` runs sequentially in-process (still
         on the batched kernels); ``<= 0`` uses one worker per CPU.
@@ -733,6 +869,19 @@ def search_many(
     # Resolve the effective backend once, parent-side, so every worker --
     # thread or subprocess -- runs the same kernels the caller selected.
     backend_name = measure.backend_name if measure.uses_kernel_backends else None
+    planner: Planner | None = None
+    if strategy == "auto":
+        # Resolve the plan once, parent-side, and ship the frozen picklable
+        # QueryPlan to every worker -- the same rule as backend_name above.
+        planner = strategy_kwargs.pop("planner", None)
+        plan = strategy_kwargs.get("plan")
+        if plan is None:
+            plan = planner.plan() if planner is not None else default_plan(measure)
+        if plan.backend is None and backend_name is not None:
+            from dataclasses import replace
+
+            plan = replace(plan, backend=backend_name)
+        strategy_kwargs["plan"] = plan
     if n_jobs is not None and n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     jobs = min(n_jobs or 1, len(queries))
@@ -743,6 +892,9 @@ def search_many(
         )
         if registry is not None:
             metrics.merge(registry)
+        if planner is not None:
+            for result in results:
+                planner.observe(result.tier_stats)
         _log_batch(results, measure, query_log)
         return results
 
@@ -769,6 +921,9 @@ def search_many(
             results.extend(chunk_results)
             if registry is not None:
                 metrics.merge(registry)
+    if planner is not None:
+        for result in results:
+            planner.observe(result.tier_stats)
     _log_batch(results, measure, query_log)
     return results
 
@@ -779,6 +934,7 @@ def _log_batch(results: list[SearchResult], measure: Measure, query_log) -> None
         return
     backend = measure.backend_name
     for result in results:
+        extra = {"plan": result.plan} if getattr(result, "plan", None) else {}
         query_log.log_result(
-            result, measure=measure.name, wall_seconds=None, backend=backend
+            result, measure=measure.name, wall_seconds=None, backend=backend, **extra
         )

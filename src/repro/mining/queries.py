@@ -63,6 +63,8 @@ def knn_search(
     wedge_set_size: int = 8,
     counter: StepCounter | None = None,
     tracer=None,
+    pruner=None,
+    batch_leaves: bool = True,
 ) -> list[Neighbor]:
     """The k nearest rotation-invariant neighbours, ascending by distance.
 
@@ -71,6 +73,10 @@ def knn_search(
     Returns fewer than ``k`` entries only when the database is smaller.
     ``tracer`` (a :class:`repro.obs.Tracer`) records per-tier pruning
     spans via ``h_merge``; it never affects answers or step counts.
+    ``pruner`` (a :class:`~repro.core.cascade.CascadePolicy`, typically
+    configured from a :class:`~repro.core.planner.QueryPlan`) routes leaves
+    through the full cascade and accumulates the tier funnel; ``None``
+    keeps the plain LB_Keogh traversal.  Answers are identical either way.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
@@ -87,7 +93,16 @@ def knn_search(
     for i, obj in enumerate(database):
         obj = np.asarray(obj, dtype=np.float64)
         threshold = -heap[0][0] if len(heap) == k else math.inf
-        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter, tracer=tracer)
+        dist, rotation = h_merge(
+            obj,
+            frontier,
+            measure,
+            r=threshold,
+            counter=counter,
+            tracer=tracer,
+            pruner=pruner,
+            batch_leaves=batch_leaves,
+        )
         if not math.isfinite(dist):
             continue
         if len(heap) < k:
@@ -109,10 +124,18 @@ def range_search(
     wedge_set_size: int = 8,
     counter: StepCounter | None = None,
     tracer=None,
+    pruner=None,
+    batch_leaves: bool = True,
 ) -> list[Neighbor]:
     """Every object within ``radius`` of the query under any rotation.
 
-    Results are ordered by database position.  The threshold never
+    Results are ordered by ascending database position, one entry per
+    position -- the canonical order
+    :func:`repro.core.search.merge_range_hits` preserves when shard-level
+    hit lists are merged.  Objects at *exactly* ``radius`` are included:
+    the threshold below nudges the strict ``<`` pruning comparison by one
+    part in 10^12 so boundary hits survive, and the final ``dist <=
+    radius`` filter keeps the reported set inclusive.  The threshold never
     shrinks, so pruning power is exactly the paper's "range" semantics for
     early abandoning (Definition 1).
     """
@@ -126,7 +149,16 @@ def range_search(
     threshold = radius * (1.0 + 1e-12) + 1e-300
     for i, obj in enumerate(database):
         obj = np.asarray(obj, dtype=np.float64)
-        dist, rotation = h_merge(obj, frontier, measure, r=threshold, counter=counter, tracer=tracer)
+        dist, rotation = h_merge(
+            obj,
+            frontier,
+            measure,
+            r=threshold,
+            counter=counter,
+            tracer=tracer,
+            pruner=pruner,
+            batch_leaves=batch_leaves,
+        )
         if math.isfinite(dist) and dist <= radius:
             hits.append(Neighbor(i, dist, rotation))
     return hits

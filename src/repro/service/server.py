@@ -51,6 +51,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.core.planner import DatasetStats, Planner, parse_plan
 from repro.obs.metrics import MetricsRegistry, registry_from_dict
 from repro.obs.slo import SloEngine, SloThresholds
 from repro.obs.trace import Tracer, new_span_id
@@ -112,6 +113,7 @@ class ShardedSearchService:
         trace_max_spans: int = 20_000,
         worker_trace_max_spans: int = 4096,
         slo_thresholds: SloThresholds | None = None,
+        plan: str = "auto",
     ):
         self.manifest = load_manifest(shards_dir)
         self.measure = measure
@@ -130,6 +132,29 @@ class ShardedSearchService:
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self.cache = AnswerCache(cache_size) if cache_size else None
         self.query_log = query_log
+        #: Query planning: ``"auto"`` builds a live :class:`Planner` fed by
+        #: the merged worker tier funnels (cache hits excluded);
+        #: ``"fixed:..."`` pins one plan for the process lifetime.  Either
+        #: way the plan is resolved once per micro-batch, shipped in the
+        #: worker chunk, and stamped on spans, query-log records, and
+        #: ``/health`` -- and either way answers are bit-identical.
+        self.plan_spec = plan
+        fixed = parse_plan(plan, measure, backend=self.backend)
+        if fixed is None:
+            self.planner = Planner(
+                measure,
+                DatasetStats(
+                    size=self.manifest.objects,
+                    length=self.manifest.length,
+                    n_rotations=self.manifest.length,
+                    measure=measure.name,
+                ),
+                backend=self.backend,
+            )
+            self.fixed_plan = None
+        else:
+            self.planner = None
+            self.fixed_plan = fixed
         self.registry = MetricsRegistry()
         self._requests_total = self.registry.counter(
             "service_requests_total", "Requests accepted by the front-end"
@@ -148,6 +173,13 @@ class ShardedSearchService:
         )
         self._partial_results = self.registry.counter(
             "service_partial_results_total", "Replies served as exact merges over surviving shards"
+        )
+        self._cache_served = self.registry.counter(
+            "service_cache_served_total",
+            "Replies replayed from the answer cache (excluded from planner feedback)",
+        )
+        self._plan_switches = self.registry.counter(
+            "service_plan_switches_total", "Times the planner changed the active query plan"
         )
         self._trace_dropped_spans = self.registry.counter(
             "service_trace_dropped_spans_total",
@@ -290,6 +322,7 @@ class ShardedSearchService:
                 "measure": self.measure.name,
                 "backend": self.backend,
                 "cache": self.cache is not None,
+                "plan": self.current_plan().name,
             }
         if op == "health":
             return self._health_response()
@@ -392,8 +425,21 @@ class ShardedSearchService:
             **knobs,
         )
 
+    def current_plan(self):
+        """The plan this micro-batch will run: fixed, or the planner's pick."""
+        if self.fixed_plan is not None:
+            return self.fixed_plan
+        before = self.planner.plan_switches
+        plan = self.planner.plan()
+        if self.planner.plan_switches > before:
+            self._plan_switches.inc(self.planner.plan_switches - before)
+        return plan
+
     async def _run_batch(self, batch: list) -> None:
         self._batch_sizes.observe(len(batch))
+        # Consult the planner once per micro-batch; every shard chunk in
+        # this batch ships the same frozen plan (workers never re-plan).
+        plan = self.current_plan()
         # One stitched trace per micro-batch: the batch root span, a
         # queue-wait span per member, fan-out spans per shard attempt
         # (with worker subtrees rebased in), and the merge.  Tracing is
@@ -404,7 +450,7 @@ class ShardedSearchService:
         batch_start = time.perf_counter()
         if self.tracing:
             tracer = Tracer(max_spans=self.trace_max_spans)
-            batch_span = tracer.span("service.batch", batch_size=len(batch))
+            batch_span = tracer.span("service.batch", batch_size=len(batch), plan=plan.name)
         self._current_trace_id = tracer.trace_id if tracer is not None else None
         jobs: list[dict] = []  # distinct requests to actually compute
         job_keys: list[tuple | None] = []
@@ -439,7 +485,14 @@ class ShardedSearchService:
                 if cached is not None:
                     if tracer is not None:
                         tracer.event("cache.hit", kind=request["kind"])
+                    self._cache_served.inc(1, kind=request["kind"])
                     response = {**cached, "ok": True, "cached": True}
+                    if self.planner is not None:
+                        # A replayed answer's tier_stats describe work that
+                        # ran once, possibly under an older plan; feeding
+                        # them back would double-count and let a hot cached
+                        # query pin the plan.  Counted, never folded in.
+                        self.planner.observe(response.get("tier_stats"), cached=True)
                     self._log_query(request, response)
                     plans.append(("done", response))
                     continue
@@ -455,7 +508,7 @@ class ShardedSearchService:
         answers: list[dict | None] = []
         missing: list[tuple[int, dict]] = []  # (shard_id, structured error)
         if jobs:
-            outcomes, wall = await self._fan_out(jobs, tracer, batch_span)
+            outcomes, wall = await self._fan_out(jobs, tracer, batch_span, plan=plan)
             ok_replies = [
                 outcome for _status, outcome in (outcomes[w.shard_id] for w in self.workers)
                 if _status == "ok"
@@ -472,7 +525,12 @@ class ShardedSearchService:
                 if not ok_replies:
                     answers.append(None)
                     continue
-                answer = self._merge_job(request, j, ok_replies, wall, missing_ids)
+                answer = self._merge_job(request, j, ok_replies, wall, missing_ids, plan=plan)
+                if self.planner is not None and not missing:
+                    # Feed the merged worker funnel back into the cost
+                    # model.  Partial merges are skipped: a missing shard's
+                    # funnel would bias the rejection rates low.
+                    self.planner.observe(answer.get("tier_stats"))
                 if job_keys[j] is not None and not missing:
                     # Partial answers are never cached: the cache must
                     # only ever serve the full exact merge.
@@ -602,7 +660,7 @@ class ShardedSearchService:
             tracer.dropped += dropped
             self._trace_dropped_spans.inc(dropped, side="worker")
 
-    async def _fan_out(self, jobs: list[dict], tracer=None, batch_span=None):
+    async def _fan_out(self, jobs: list[dict], tracer=None, batch_span=None, plan=None):
         """Ship one chunk to every worker, retrying failed shards once.
 
         Returns ``(outcomes, wall)`` where ``outcomes`` maps shard id to
@@ -637,6 +695,11 @@ class ShardedSearchService:
             else:
                 slice_timeout = remaining
             base_chunk = {"op": "search", "requests": wire, "budget_seconds": slice_timeout}
+            if plan is not None:
+                # The resolved plan rides the pipe as plain data (like the
+                # backend in the measure spec): every shard runs the same
+                # cascade this micro-batch.
+                base_chunk["plan"] = plan.to_dict()
             span_ids: list[str | None] = []
             calls = []
             for worker in ask:
@@ -740,8 +803,9 @@ class ShardedSearchService:
         shard_replies: list,
         wall: float,
         missing_ids: list[int] | None = None,
+        plan=None,
     ) -> dict:
-        from repro.core.search import merge_neighbors
+        from repro.core.search import merge_neighbors, merge_range_hits
         from repro.mining.queries import Neighbor
 
         partials = [
@@ -751,9 +815,9 @@ class ShardedSearchService:
         if request["kind"] == "knn":
             merged = merge_neighbors(partials, request["k"])
         else:
-            # range_search orders by database position; the global answer
-            # does the same over global indices.
-            merged = sorted((nb for part in partials for nb in part), key=lambda nb: nb.index)
+            # The explicit sharded range contract: ascending global index,
+            # deduplicated, partition-invariant (see merge_range_hits).
+            merged = merge_range_hits(partials)
         steps = sum(reply["results"][j]["steps"] for reply in shard_replies)
         answer = {
             "kind": request["kind"],
@@ -766,6 +830,19 @@ class ShardedSearchService:
             "backend": self.backend,
             "measure": self.measure.name,
         }
+        if plan is not None:
+            answer["plan"] = plan.name
+        tier_totals: dict[str, int] | None = None
+        for reply in shard_replies:
+            stats = reply["results"][j].get("tier_stats")
+            if not stats:
+                continue
+            if tier_totals is None:
+                tier_totals = dict.fromkeys(stats, 0)
+            for key, value in stats.items():
+                tier_totals[key] = tier_totals.get(key, 0) + int(value)
+        if tier_totals is not None:
+            answer["tier_stats"] = tier_totals
         if missing_ids:
             answer["missing_shards"] = list(missing_ids)
         return answer
@@ -786,6 +863,7 @@ class ShardedSearchService:
                 "backend": self.backend,
                 "shards": self.manifest.n_shards,
                 "cached": response.get("cached", False),
+                "plan": response.get("plan"),
                 "partial": response.get("partial", False),
                 "k": request.get("k"),
                 "radius": request.get("radius"),
@@ -815,7 +893,12 @@ class ShardedSearchService:
         else:
             status = "ok"
         slo_snapshot = self.slo.snapshot()
+        if self.planner is not None:
+            planner_block = {"mode": "auto", **self.planner.snapshot()}
+        else:
+            planner_block = {"mode": "fixed", "plan": self.fixed_plan.name}
         return {
+            "planner": planner_block,
             "slo": {"alerts": self.slo.alerts(slo_snapshot), "windows": slo_snapshot},
             "ok": True,
             "server": "repro-service",

@@ -98,7 +98,7 @@ class ShardDegradedError(RuntimeError):
         )
 
 
-def _search_one(request: dict, data, measure, counter, tracer=None):
+def _search_one(request: dict, data, measure, counter, tracer=None, pruner=None, batch_leaves=True):
     """Answer one normalized request against this worker's shard slice."""
     from repro.mining.queries import knn_search, range_search
     from repro.obs.trace import NULL_TRACER
@@ -111,6 +111,8 @@ def _search_one(request: dict, data, measure, counter, tracer=None):
         "wedge_set_size": int(request.get("wedge_set_size", 8)),
         "counter": counter,
         "tracer": tracer if tracer is not None else NULL_TRACER,
+        "pruner": pruner,
+        "batch_leaves": batch_leaves,
     }
     if kind == "knn":
         return knn_search(data, query, measure, k=int(request["k"]), **common)
@@ -145,6 +147,7 @@ def worker_main(
     fault_spec: dict | None = None,
 ) -> None:
     """Child-process entry point: open the shard, answer until shutdown/EOF."""
+    from repro.core.cascade import empty_tier_stats
     from repro.core.counters import StepCounter
     from repro.core.search import SearchResult
     from repro.obs.metrics import MetricsRegistry, record_query
@@ -192,6 +195,24 @@ def worker_main(
             continue
         if op == "search":
             budget = message.get("budget_seconds")
+            # The coordinator resolves the query plan once per micro-batch
+            # and ships it in the chunk (the same propagation rule as the
+            # kernel backend): workers never re-plan on their own, so every
+            # shard runs the identical cascade.  One CascadePolicy serves
+            # the whole chunk and is reset() between requests so each
+            # query's tier funnel rides home independently.
+            plan_spec = message.get("plan")
+            pruner = None
+            plan_name = None
+            batch_leaves = True
+            if plan_spec:
+                from repro.core.cascade import CascadePolicy
+                from repro.core.planner import QueryPlan
+
+                plan = QueryPlan.from_dict(plan_spec)
+                plan_name = plan.name
+                batch_leaves = plan.batch_leaves
+                pruner = CascadePolicy(measure, tiers=plan.tiers)
             # Adopt the coordinator's trace context when one was shipped
             # in the chunk; the subtree rides home in the reply as plain
             # data for the coordinator to stitch (see server._fan_out).
@@ -225,14 +246,25 @@ def worker_main(
                         _apply_terminal_fault(terminal, conn)
                 counter = StepCounter()
                 kind = request["kind"]
+                if pruner is not None:
+                    pruner.reset()  # independent per-query funnel
                 with tracer.span("worker.query", kind=kind) as query_span:
                     start = time.perf_counter()
                     neighbors = _search_one(
-                        request, data, measure, counter, tracer if trace_ctx else None
+                        request,
+                        data,
+                        measure,
+                        counter,
+                        tracer if trace_ctx else None,
+                        pruner=pruner,
+                        batch_leaves=batch_leaves,
                     )
                     wall = time.perf_counter() - start
                     query_span.set(steps=counter.steps)
+                    if plan_name is not None:
+                        query_span.set(plan=plan_name)
                 requests_total.inc(1, shard=str(shard_id), kind=kind)
+                tier_stats = pruner.stats() if pruner is not None else None
                 top = neighbors[0] if neighbors else None
                 record_query(
                     SearchResult(
@@ -241,20 +273,26 @@ def worker_main(
                         top.rotation if top else -1,
                         counter,
                         f"service-{kind}",
+                        tier_stats=tier_stats or empty_tier_stats(),
+                        plan=plan_name,
                     ),
                     measure.name,
                     wall,
                     registry=registry,
                 )
-                results.append(
-                    {
-                        # Local index -> global index via the shard offset.
-                        "neighbors": [
-                            [nb.index + offset, nb.distance, nb.rotation] for nb in neighbors
-                        ],
-                        "steps": counter.steps,
-                    }
-                )
+                entry = {
+                    # Local index -> global index via the shard offset.
+                    "neighbors": [
+                        [nb.index + offset, nb.distance, nb.rotation] for nb in neighbors
+                    ],
+                    "steps": counter.steps,
+                }
+                if tier_stats is not None:
+                    # Per-query funnel rides home so the coordinator can
+                    # feed the planner's cost model (cache hits excluded
+                    # coordinator-side).
+                    entry["tier_stats"] = tier_stats
+                results.append(entry)
             chunk_span.__exit__(None, None, None)
             reply: dict
             if aborted is not None:

@@ -3,6 +3,7 @@
 import math
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -167,3 +168,129 @@ class TestCascadePolicy:
         assert stats["keogh_reached"] >= stats["improved_reached"]
         assert stats["improved_reached"] >= stats["full_computations"]
         assert stats["full_computations"] > 0
+
+
+class TestCascadeReset:
+    """Regression: counters used to accumulate for the policy's lifetime.
+
+    A worker reusing one ``CascadePolicy`` across queries would report a
+    funnel that mixed every query it ever served; ``reset()`` lets callers
+    snapshot a per-query funnel.
+    """
+
+    def test_two_sequential_queries_report_independent_funnels(self, rng):
+        measure = DTWMeasure(radius=2)
+        policy = CascadePolicy(measure)
+        wedges = [Wedge.from_series(rng.normal(size=20), i) for i in range(6)]
+
+        def run_query(candidate):
+            threshold = math.inf
+            for leaf in wedges:
+                d = policy.leaf_distance(candidate, leaf, threshold)
+                threshold = min(threshold, d)
+            return policy.stats()
+
+        first = run_query(rng.normal(size=20))
+        policy.reset()
+        second = run_query(rng.normal(size=20))
+        # Each query saw exactly 6 leaf candidates; without the reset the
+        # second snapshot would have reported 12.
+        assert first["leaf_candidates"] == 6
+        assert second["leaf_candidates"] == 6
+        for stats in (first, second):
+            assert stats["leaf_candidates"] >= stats["keogh_reached"]
+            assert stats["keogh_reached"] >= stats["full_computations"]
+
+    def test_reset_zeroes_every_counter(self, rng):
+        from repro.core.cascade import empty_tier_stats
+
+        policy = CascadePolicy(DTWMeasure(radius=1))
+        leaf = Wedge.from_series(rng.normal(size=16), 0)
+        policy.leaf_distance(rng.normal(size=16), leaf, math.inf)
+        assert policy.stats() != empty_tier_stats()
+        policy.reset()
+        assert policy.stats() == empty_tier_stats()
+
+    def test_reset_clears_memoised_query_state(self, rng):
+        """After reset the next query re-pays the landmark scans (no stale
+        extremes leak from the previous candidate)."""
+        policy = CascadePolicy(DTWMeasure(radius=2))
+        counter = StepCounter()
+        series = rng.normal(size=50)
+        leaf = Wedge.from_series(series, 0)
+        candidate = series + 100.0
+        policy.leaf_distance(candidate, leaf, threshold=1.0, counter=counter)
+        policy.reset()
+        counter.reset()
+        policy.leaf_distance(candidate, leaf, threshold=1.0, counter=counter)
+        # Full first-call cost again, not the <=4-step memoised retest.
+        assert counter.steps > 4
+
+
+class TestTierPlans:
+    """Explicit tier tuples: validation, batch compatibility, funnel shape."""
+
+    def test_default_tiers_match_legacy_flags(self):
+        from repro.core.cascade import canonical_tiers
+
+        dtw = DTWMeasure(radius=2)
+        assert CascadePolicy(dtw).tiers == canonical_tiers(dtw)
+        assert CascadePolicy(dtw, use_kim=False).tiers == ("keogh", "improved")
+        assert CascadePolicy(EuclideanMeasure()).tiers == ("kim", "keogh")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            CascadePolicy(DTWMeasure(radius=1), tiers=("keogh", "bogus"))
+
+    def test_duplicate_tier_rejected(self):
+        with pytest.raises(ValueError):
+            CascadePolicy(DTWMeasure(radius=1), tiers=("keogh", "keogh"))
+
+    def test_improved_without_keogh_rejected(self):
+        with pytest.raises(ValueError):
+            CascadePolicy(DTWMeasure(radius=1), tiers=("improved",))
+
+    def test_unsupported_tiers_silently_dropped(self):
+        # Euclidean has no LB_Improved pass; asking for it degrades cleanly.
+        policy = CascadePolicy(EuclideanMeasure(), tiers=("kim", "keogh", "improved"))
+        assert policy.tiers == ("kim", "keogh")
+
+    def test_batch_compatible_orders(self):
+        dtw = DTWMeasure(radius=2)
+        assert CascadePolicy(dtw).batch_compatible
+        assert CascadePolicy(dtw, tiers=("keogh", "improved")).batch_compatible
+        assert CascadePolicy(dtw, tiers=("keogh",)).batch_compatible
+        # Non-canonical order and keogh-less plans must run scalar leaves.
+        assert not CascadePolicy(dtw, tiers=("keogh", "kim")).batch_compatible
+        assert not CascadePolicy(dtw, tiers=("kim",)).batch_compatible
+        assert not CascadePolicy(dtw, tiers=()).batch_compatible
+
+    def test_noncanonical_order_keeps_funnel_monotone(self):
+        rng = np.random.default_rng(11)
+        measure = DTWMeasure(radius=2)
+        policy = CascadePolicy(measure, tiers=("keogh", "kim", "improved"))
+        wedges = [Wedge.from_series(rng.standard_normal(24), i) for i in range(10)]
+        for candidate in rng.standard_normal((6, 24)):
+            threshold = 4.0
+            for leaf in wedges:
+                d = policy.leaf_distance(candidate, leaf, threshold)
+                if d < threshold:
+                    threshold = d
+        stats = policy.stats()
+        assert stats["leaf_candidates"] >= stats["keogh_reached"]
+        assert stats["keogh_reached"] >= stats["improved_reached"]
+        assert stats["improved_reached"] >= stats["full_computations"]
+
+    def test_empty_tier_plan_always_computes_full(self, rng):
+        measure = DTWMeasure(radius=2)
+        policy = CascadePolicy(measure, tiers=())
+        series = rng.normal(size=20)
+        leaf = Wedge.from_series(series, 0)
+        candidate = series + rng.normal(0, 0.1, 20)
+        dist = policy.leaf_distance(candidate, leaf, math.inf)
+        # No lower bound ran; the exact distance came straight back.
+        assert math.isclose(dist, dtw_distance(candidate, series, 2), rel_tol=1e-9)
+        assert policy.full_computations == 1
+        assert policy.kim_rejections == policy.keogh_rejections == 0
+        # Pass-through credit keeps the funnel monotone even with no tiers.
+        assert policy.keogh_reached == policy.improved_reached == 1

@@ -63,6 +63,34 @@ class TestSearchCommand:
             answers[strategy] = [line for line in out.splitlines() if "best match" in line][0]
         assert len(set(answers.values())) == 1
 
+    def test_plan_specs_agree_with_wedge(self, capsys):
+        """--plan auto and every fixed spec return the wedge answer."""
+        base = ["search", "--collection", "points", "--size", "12", "--length",
+                "32", "--query-index", "1", "--measure", "dtw"]
+        answers = {}
+        for extra in ([], ["--plan", "auto"], ["--plan", "fixed:keogh:scalar"],
+                      ["--plan", "fixed:none"], ["--plan", "fixed:kim>keogh>improved"]):
+            assert main(base + extra) == 0
+            out = capsys.readouterr().out
+            answers[tuple(extra)] = [
+                line for line in out.splitlines() if "best match" in line
+            ][0]
+            if extra and extra[1] != "auto":
+                assert "plan: wedge:" in out
+        assert len(set(answers.values())) == 1
+
+    def test_malformed_plan_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--size", "10", "--plan", "fixed:improved"])
+
+    def test_serve_parser_accepts_plan(self):
+        args = build_parser().parse_args(["serve", "--shards", "shards/"])
+        assert args.plan == "auto"
+        args = build_parser().parse_args(
+            ["serve", "--shards", "shards/", "--plan", "fixed:keogh"]
+        )
+        assert args.plan == "fixed:keogh"
+
     def test_dtw_and_options(self, capsys):
         code = main(
             [

@@ -11,9 +11,9 @@ nothing.
 import numpy as np
 import pytest
 
-from repro.core.search import merge_neighbors
+from repro.core.search import merge_neighbors, merge_range_hits
 from repro.distances.euclidean import EuclideanMeasure
-from repro.mining.queries import Neighbor, knn_search
+from repro.mining.queries import Neighbor, knn_search, range_search
 from repro.service.shard import shard_slices
 
 
@@ -97,6 +97,91 @@ class TestMergeNeighbors:
             merged = merge_neighbors(partials, 5)
             answers.append([(nb.index, nb.distance, nb.rotation) for nb in merged])
         assert all(answer == answers[0] for answer in answers)
+
+
+class TestMergeRangeHits:
+    """The explicit sharded range-merge contract: ascending global index,
+    one entry per index, invariant under how the database was partitioned.
+
+    Before this contract was pinned the coordinator concatenated shard hit
+    lists in shard order -- correct only by accident of the fan-out layout.
+    """
+
+    def _sharded_range(self, data, query, measure, radius, n_shards):
+        partials = []
+        for lo, hi in shard_slices(len(data), n_shards):
+            local = range_search(data[lo:hi], query, measure, radius=radius)
+            partials.append(
+                [Neighbor(nb.index + lo, nb.distance, nb.rotation) for nb in local]
+            )
+        return partials
+
+    def test_matches_single_process_ordering(self, tied_walks):
+        measure = EuclideanMeasure()
+        query = tied_walks[4] + 0.05
+        probe = knn_search(tied_walks, query, measure, k=8)
+        radius = probe[-1].distance
+        single = range_search(tied_walks, query, measure, radius=radius)
+        assert len(single) >= 3
+        partials = self._sharded_range(tied_walks, query, measure, radius, 3)
+        merged = merge_range_hits(partials)
+        assert [(nb.index, nb.distance, nb.rotation) for nb in merged] == [
+            (nb.index, nb.distance, nb.rotation) for nb in single
+        ]
+
+    def test_partition_invariant(self, tied_walks):
+        measure = EuclideanMeasure()
+        query = tied_walks[2] + 0.02
+        radius = knn_search(tied_walks, query, measure, k=6)[-1].distance
+        answers = []
+        for n_shards in (1, 2, 3, 4):
+            merged = merge_range_hits(
+                self._sharded_range(tied_walks, query, measure, radius, n_shards)
+            )
+            answers.append([(nb.index, nb.distance, nb.rotation) for nb in merged])
+        assert all(answer == answers[0] for answer in answers)
+
+    def test_sorted_and_deduplicated(self):
+        # Out-of-order partitions and a repeated index: the merge must sort
+        # by global index and keep one (best-distance) entry per index.
+        partials = [
+            [Neighbor(7, 2.0, 1), Neighbor(3, 1.0, 0)],
+            [Neighbor(5, 0.5, 2), Neighbor(3, 0.75, 4)],
+            [],
+        ]
+        merged = merge_range_hits(partials)
+        assert [nb.index for nb in merged] == [3, 5, 7]
+        assert merged[0].distance == 0.75  # the better duplicate wins
+        assert merged[0].rotation == 4
+
+    def test_all_empty(self):
+        assert merge_range_hits([[], [], []]) == []
+
+    def test_boundary_hit_at_exactly_radius_survives_the_merge(self):
+        """An object at *exactly* the query radius is reported: range_search
+        nudges its strict < pruning threshold by one part in 1e12, and the
+        merge must not drop the boundary hit either."""
+        measure = EuclideanMeasure()
+        rng = np.random.default_rng(9)
+        base = np.cumsum(rng.normal(size=16))
+        data = np.stack([base + 3.0, base, base + 50.0, base + 3.0])
+        query = base
+        # Rotation-invariant distance to objects 0 and 3 is <= the aligned
+        # euclidean distance; use the true best as the exact radius.
+        exact = knn_search(data, query, measure, k=4)
+        boundary = [nb for nb in exact if nb.index in (0, 3)]
+        radius = boundary[0].distance
+        assert radius > 0
+        single = range_search(data, query, measure, radius=radius)
+        assert {nb.index for nb in single} == {0, 1, 3}
+        for n_shards in (2, 3, 4):
+            merged = merge_range_hits(
+                self._sharded_range(data, query, measure, radius, n_shards)
+            )
+            assert [(nb.index, nb.distance) for nb in merged] == [
+                (nb.index, nb.distance) for nb in single
+            ]
+            assert {nb.index for nb in merged} == {0, 1, 3}
 
 
 class TestCanonicalKnnTieBreak:

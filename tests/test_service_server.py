@@ -204,6 +204,96 @@ class TestWorkerDeath:
             handle.close()
 
 
+class TestServicePlanner:
+    def test_health_exposes_the_planner_and_answers_stamp_the_plan(self, handle, walks):
+        query = walks[9] + 0.4
+        response = handle.request(
+            {"op": "knn", "query": list(query), "k": 2, "no_cache": True}
+        )
+        assert response["ok"]
+        assert response["plan"].startswith("wedge:")
+        assert response["tier_stats"]["leaf_candidates"] > 0
+        health = handle.request({"op": "health"})
+        planner = health["planner"]
+        assert planner["mode"] == "auto"
+        assert planner["plan"].startswith("wedge:")
+        assert planner["observations"] >= 1
+        ping = handle.request({"op": "ping"})
+        assert ping["plan"] == planner["plan"] or ping["plan"].startswith("wedge:")
+
+    def test_hot_cache_loop_does_not_shift_the_plan(self, shard_dir, walks):
+        """Satellite bugfix: cache-served answers replay recorded telemetry
+        and must not keep feeding the planner's cost model."""
+        handle = start_service_thread(shard_dir, EuclideanMeasure(), cache_size=32)
+        try:
+            query = walks[7] + 0.6
+            handle.request({"op": "knn", "query": list(query), "k": 2})
+            # One cache-hit batch so the snapshot reflects the warmed plan
+            # (plans are recomputed at the top of each micro-batch).
+            assert handle.request({"op": "knn", "query": list(query), "k": 2})["cached"]
+            before = handle.request({"op": "health"})["planner"]
+            for _ in range(20):
+                hit = handle.request({"op": "knn", "query": list(query), "k": 2})
+                assert hit["cached"] is True
+            after = handle.request({"op": "health"})["planner"]
+            assert after["plan"] == before["plan"]
+            assert after["observations"] == before["observations"]
+            assert after["totals"] == before["totals"]
+            assert after["cached_skipped"] >= 20
+            metrics = handle.request({"op": "metrics"})
+            parsed = parse_prometheus_text(metrics["prometheus"])
+            served = sum(
+                value
+                for name, _labels, value in parsed["samples"]
+                if name == "service_cache_served_total"
+            )
+            assert served >= 20
+        finally:
+            handle.close()
+
+    def test_fixed_plan_mode_bit_identical_and_reported(self, shard_dir, walks):
+        measure = EuclideanMeasure()
+        handle = start_service_thread(
+            shard_dir, measure, cache_size=0, plan="fixed:keogh:scalar"
+        )
+        try:
+            query = walks[3] + 0.15
+            response = handle.request({"op": "knn", "query": list(query), "k": 3})
+            assert response["ok"]
+            # The service stamps its resolved backend onto the plan name.
+            assert response["plan"].startswith("wedge:keogh:scalar")
+            expected = knn_search(walks, query, measure, k=3)
+            assert response["neighbors"] == [
+                [nb.index, nb.distance, nb.rotation] for nb in expected
+            ]
+            health = handle.request({"op": "health"})
+            assert health["planner"]["mode"] == "fixed"
+            assert health["planner"]["plan"].startswith("wedge:keogh:scalar")
+        finally:
+            handle.close()
+
+    def test_every_enumerable_fixed_plan_matches_auto(self, shard_dir, walks):
+        from repro.core.planner import enumerate_plans
+
+        measure = EuclideanMeasure()
+        query = walks[12] + 0.33
+        auto = start_service_thread(shard_dir, measure, cache_size=0)
+        try:
+            reference = auto.request({"op": "knn", "query": list(query), "k": 4})
+        finally:
+            auto.close()
+        assert reference["ok"]
+        for plan in enumerate_plans(measure):
+            spec = "fixed:" + (">".join(plan.tiers) or "none")
+            spec += ":batch" if plan.batch_leaves else ":scalar"
+            handle = start_service_thread(shard_dir, measure, cache_size=0, plan=spec)
+            try:
+                got = handle.request({"op": "knn", "query": list(query), "k": 4})
+            finally:
+                handle.close()
+            assert got["neighbors"] == reference["neighbors"], spec
+
+
 class TestQueryLog:
     def test_records_stamp_backend_and_shard_count(self, shard_dir, walks, tmp_path):
         from repro.obs.querylog import QueryLogger
@@ -227,4 +317,5 @@ class TestQueryLog:
             assert record["shards"] == 3
             assert record["op"] == "knn"
             assert record["steps"] > 0
+            assert record["plan"].startswith("wedge:")
         assert [record["cached"] for record in records] == [False, True]
